@@ -1,0 +1,277 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, prints the artifact-appendix validation checks, runs
+   the Sec.-V ablations, and finishes with Bechamel micro-benchmarks of the
+   pipeline stages behind each table/figure.
+
+   Usage:
+     main.exe                 run everything
+     main.exe --table 1       only Table I (and II with --table 2)
+     main.exe --figure 5      only that figure (2, 3, 5, 6, 7)
+     main.exe --checks        only the validation checklists
+     main.exe --ablation      only the ablations
+     main.exe --bechamel      only the micro-benchmarks
+     main.exe --quick         small workloads everywhere (CI mode)        *)
+
+let pf = Printf.printf
+
+type selection = {
+  mutable tables : int list;
+  mutable figures : int list;
+  mutable checks : bool;
+  mutable ablation : bool;
+  mutable bechamel : bool;
+  mutable all : bool;
+  mutable quick : bool;
+}
+
+let parse_args () =
+  let sel =
+    { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
+      quick = false }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--table" :: n :: rest ->
+      sel.tables <- int_of_string n :: sel.tables;
+      sel.all <- false;
+      go rest
+    | "--figure" :: n :: rest ->
+      sel.figures <- int_of_string n :: sel.figures;
+      sel.all <- false;
+      go rest
+    | "--checks" :: rest ->
+      sel.checks <- true;
+      sel.all <- false;
+      go rest
+    | "--ablation" :: rest ->
+      sel.ablation <- true;
+      sel.all <- false;
+      go rest
+    | "--bechamel" :: rest ->
+      sel.bechamel <- true;
+      sel.all <- false;
+      go rest
+    | "--quick" :: rest ->
+      sel.quick <- true;
+      go rest
+    | arg :: _ -> failwith ("unknown argument " ^ arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  sel
+
+let want_table sel n = sel.all || List.mem n sel.tables
+let want_figure sel n = sel.all || List.mem n sel.figures
+
+(* ------------------------------------------------------------------ *)
+(* The campaigns (computed lazily so partial selections stay cheap)    *)
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  pf "  [%s: %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+  r
+
+let rec main () =
+  let sel = parse_args () in
+  let config =
+    if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
+    else Core.Config.default
+  in
+  let funarc = lazy (timed "funarc brute force" (fun () -> Core.Experiments.funarc_campaign ~config ())) in
+  let mpas = lazy (timed "MPAS-A search" (fun () -> Core.Experiments.hotspot_campaign ~config "mpas")) in
+  let adcirc = lazy (timed "ADCIRC search" (fun () -> Core.Experiments.hotspot_campaign ~config "adcirc")) in
+  let mom6 = lazy (timed "MOM6 search" (fun () -> Core.Experiments.hotspot_campaign ~config "mom6")) in
+  let mpas_whole =
+    lazy (timed "MPAS-A whole-model search" (fun () -> Core.Experiments.whole_model_campaign ~config ()))
+  in
+  let hotspot_campaigns () = [ Lazy.force mpas; Lazy.force adcirc; Lazy.force mom6 ] in
+
+  pf "prose-ml benchmark harness — reproduction of the SC'24 FPPT case study\n";
+  pf "=======================================================================\n\n";
+
+  if want_table sel 1 then begin
+    pf "%s\n" (Core.Report.table1 (hotspot_campaigns ()));
+    List.iter (fun c -> pf "%s" (Core.Report.campaign_header c)) (hotspot_campaigns ());
+    pf "\n"
+  end;
+  if want_table sel 2 then begin
+    pf "%s\n" (Core.Report.table2 (hotspot_campaigns ()))
+  end;
+  if want_figure sel 2 then pf "%s\n" (Core.Report.figure2 (Lazy.force funarc));
+  if want_figure sel 3 then
+    pf "%s\n"
+      (Core.Report.figure3 (Lazy.force funarc)
+         ~error_budget:
+           (match Models.Registry.funarc.Models.Registry.threshold with
+           | Models.Registry.Fixed f -> f
+           | Models.Registry.From_uniform32 _ -> 4.0e-4));
+  if want_figure sel 5 then
+    List.iter (fun c -> pf "%s\n" (Core.Report.figure5 c)) (hotspot_campaigns ());
+  if want_figure sel 6 then
+    List.iter (fun c -> pf "%s\n" (Core.Report.figure6 c)) (hotspot_campaigns ());
+  if want_figure sel 7 then pf "%s\n" (Core.Report.figure7 (Lazy.force mpas_whole));
+
+  if sel.all || sel.checks then begin
+    pf "VALIDATION CHECKS (paper artifact appendix criteria)\n";
+    pf "funarc (Sec. II-B):\n%s" (Core.Checks.render (Core.Checks.funarc (Lazy.force funarc)));
+    pf "MPAS-A + Sec. IV-B:\n%s"
+      (Core.Checks.render (Core.Checks.mpas_hotspot (Lazy.force mpas)));
+    pf "ADCIRC + Sec. IV-B:\n%s"
+      (Core.Checks.render (Core.Checks.adcirc_hotspot (Lazy.force adcirc)));
+    pf "MOM6 + Sec. IV-B:\n%s"
+      (Core.Checks.render (Core.Checks.mom6_hotspot (Lazy.force mom6)));
+    pf "MPAS-A + Sec. IV-C:\n%s\n"
+      (Core.Checks.render (Core.Checks.mpas_whole_model (Lazy.force mpas_whole)))
+  end;
+
+  if sel.all || sel.ablation then begin
+    pf "%s\n"
+      (Core.Experiments.render_ablation (timed "ablation: static filter" (fun () ->
+           Core.Experiments.ablation_static_filter ~config ())));
+    pf "%s\n"
+      (Core.Experiments.render_ablation (timed "ablation: no SIMD" (fun () ->
+           Core.Experiments.ablation_no_simd ~config ())));
+    pf "%s\n"
+      (Core.Experiments.render_ablation (timed "ablation: search strategy" (fun () ->
+           Core.Experiments.ablation_search ~config ())));
+    pf "%s\n"
+      (Core.Experiments.render_ablation (timed "ablation: clustered search" (fun () ->
+           Core.Experiments.ablation_hierarchical ~config ())));
+    (* the [42]-style static performance predictor, trained on each
+       campaign's own exploration: plenty of samples on the funarc
+       brute-force space, sample-starved on a 21-variant search — which is
+       exactly the premise of learning-based variant filtering *)
+    (* the Sec.-I contrast: a hotspot-dominated proxy app tunes trivially *)
+    (let c = timed "contrast: LULESH proxy app" (fun () ->
+         Core.Tuner.run_delta_debug ~config Models.Registry.lulesh)
+     in
+     let s = c.Core.Tuner.summary in
+     pf
+       "CONTRAST CASE (Sec. I): LULESH proxy app — %d variants, pass %.0f%%, best %.2fx, \
+        hotspot %.0f%% of CPU\n\
+       \  The canonical FPPT cycle succeeds immediately on hotspot-dominated mini-apps;\n\
+       \  the pathologies of Table II only appear at weather/climate-model structure.\n\n"
+       s.Search.Variant.total s.Search.Variant.pass_pct s.Search.Variant.best_speedup
+       (100.0
+       *. c.Core.Tuner.prepared.Core.Tuner.baseline_hotspot
+       /. c.Core.Tuner.prepared.Core.Tuner.baseline_cost));
+    pf "ABLATION: static speedup prediction (Wang & Rubio-Gonzalez direction, Sec. V)\n";
+    pf "  features: %s\n" (String.concat ", " Core.Predictor.feature_names);
+    List.iter
+      (fun c ->
+        let name =
+          (Lazy.force c).Core.Tuner.prepared.Core.Tuner.model.Models.Registry.title
+        in
+        match
+          Core.Predictor.holdout_report (Lazy.force c).Core.Tuner.prepared
+            (Lazy.force c).Core.Tuner.records
+        with
+        | Some (train_r2, test_r2, n_test) ->
+          pf "  %-8s train R^2 %5.2f, held-out R^2 %5.2f (%d variants held out)\n" name train_r2
+            test_r2 n_test
+        | None -> pf "  %-8s too few samples to fit\n" name)
+      [ funarc; mpas; mom6 ];
+    pf "\n"
+  end;
+
+  if sel.all || sel.bechamel then bechamel_suite ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure, measuring the
+   pipeline stage that regenerates it, on small workloads.             *)
+
+and bechamel_suite () =
+  let open Bechamel in
+  pf "BECHAMEL MICRO-BENCHMARKS (pipeline stages behind each table/figure)\n";
+  (* small-model fixtures *)
+  let small_mpas =
+    { Models.Registry.mpas with Models.Registry.source = Models.Mpas.source ~p:Models.Mpas.small () }
+  in
+  let small_adcirc =
+    { Models.Registry.adcirc with
+      Models.Registry.source = Models.Adcirc.source ~p:Models.Adcirc.small () }
+  in
+  let small_mom6 =
+    { Models.Registry.mom6 with Models.Registry.source = Models.Mom6.source ~p:Models.Mom6.small () }
+  in
+  let funarc_small =
+    { Models.Registry.funarc with Models.Registry.source = Models.Funarc.source ~n:100 () }
+  in
+  let prep m = Core.Tuner.prepare m in
+  let p_funarc = prep funarc_small in
+  let p_mpas = prep small_mpas in
+  let p_adcirc = prep small_adcirc in
+  let p_mom6 = prep small_mom6 in
+  let lowered_half (p : Core.Tuner.prepared) =
+    let atoms = p.Core.Tuner.atoms in
+    let half = List.filteri (fun i _ -> i mod 2 = 0) atoms in
+    Transform.Assignment.of_lowered atoms ~lowered:half
+  in
+  let prog_mpas = Fortran.Symtab.program p_mpas.Core.Tuner.st in
+  let text_mpas = Fortran.Unparse.program prog_mpas in
+  let tests =
+    [
+      (* Table I: profiling a baseline run with GPTL-style timers *)
+      Test.make ~name:"table1/baseline-profile-mpas"
+        (Staged.stage (fun () -> ignore (Runtime.Interp.run p_mpas.Core.Tuner.st)));
+      (* Table II: one full variant evaluation per model *)
+      Test.make ~name:"table2/variant-eval-mpas"
+        (Staged.stage (fun () -> ignore (Core.Tuner.evaluate p_mpas (lowered_half p_mpas))));
+      Test.make ~name:"table2/variant-eval-adcirc"
+        (Staged.stage (fun () -> ignore (Core.Tuner.evaluate p_adcirc (lowered_half p_adcirc))));
+      Test.make ~name:"table2/variant-eval-mom6"
+        (Staged.stage (fun () -> ignore (Core.Tuner.evaluate p_mom6 (lowered_half p_mom6))));
+      (* Figure 2: one funarc brute-force point *)
+      Test.make ~name:"figure2/variant-eval-funarc"
+        (Staged.stage (fun () -> ignore (Core.Tuner.evaluate p_funarc (lowered_half p_funarc))));
+      (* Figure 3: transformation + wrapper insertion + diff *)
+      Test.make ~name:"figure3/transform-and-diff"
+        (Staged.stage (fun () ->
+             let asg = lowered_half p_funarc in
+             let prog' = Transform.Rewrite.apply p_funarc.Core.Tuner.st asg in
+             let w = Transform.Wrappers.insert prog' in
+             ignore (Transform.Diff.declarations p_funarc.Core.Tuner.st asg);
+             ignore w));
+      (* Figures 5/7: the search step (one delta-debug oracle call) *)
+      Test.make ~name:"figure5/oracle-call-mpas"
+        (Staged.stage (fun () ->
+             ignore
+               (Search.Delta_debug.accepted
+                  { Search.Delta_debug.error_threshold = p_mpas.Core.Tuner.threshold;
+                    perf_floor = 0.95 }
+                  (Core.Tuner.evaluate p_mpas (lowered_half p_mpas)))));
+      (* Figure 6: per-procedure timer attribution *)
+      Test.make ~name:"figure6/timer-snapshot"
+        (Staged.stage (fun () ->
+             let out = Runtime.Interp.run p_adcirc.Core.Tuner.st in
+             ignore (Runtime.Timers.inclusive_of out.Runtime.Interp.timers "jcg")));
+      (* frontend stages used everywhere *)
+      Test.make ~name:"frontend/parse-mpas"
+        (Staged.stage (fun () -> ignore (Fortran.Parser.parse ~file:"b.f90" text_mpas)));
+      Test.make ~name:"frontend/typecheck-mpas"
+        (Staged.stage (fun () -> Fortran.Typecheck.check_program p_mpas.Core.Tuner.st));
+      Test.make ~name:"analysis/vectorize-mpas"
+        (Staged.stage (fun () -> ignore (Analysis.Vectorize.analyze p_mpas.Core.Tuner.st)));
+      Test.make ~name:"analysis/flowgraph-mpas"
+        (Staged.stage (fun () -> ignore (Analysis.Flowgraph.build p_mpas.Core.Tuner.st)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"prose" ~fmt:"%s/%s" tests in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      pf "  %-40s %12.0f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let () = main ()

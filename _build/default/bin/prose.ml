@@ -1,0 +1,210 @@
+(* prose — automated, performance-guided floating-point precision tuning
+   for the bundled weather/climate model proxies.
+
+   Subcommands:
+     prose models               list the registered tuning targets
+     prose source MODEL         print a model's Fortran source
+     prose tune MODEL [...]     run a tuning campaign and report
+     prose reduce MODEL         taint-based program reduction (Sec. III-C)
+     prose report               regenerate every table/figure/checklist    *)
+
+open Cmdliner
+
+let pf = Printf.printf
+
+(* ------------------------------------------------------------------ *)
+
+let model_conv =
+  let parse s =
+    match Models.Registry.find (String.lowercase_ascii s) with
+    | m -> Ok m
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown model %S (try: funarc, mpas, adcirc, mom6)" s))
+  in
+  Arg.conv (parse, fun ppf (m : Models.Registry.t) -> Format.pp_print_string ppf m.name)
+
+let model_arg =
+  Arg.(required & pos 0 (some model_conv) None & info [] ~docv:"MODEL" ~doc:"Tuning target.")
+
+(* ------------------------------------------------------------------ *)
+
+let models_cmd =
+  let doc = "List the registered tuning targets" in
+  let run () =
+    List.iter
+      (fun (m : Models.Registry.t) ->
+        pf "%-8s %-10s target %s: %s\n" m.name m.title m.target_module m.description)
+      (Models.Registry.funarc :: Models.Registry.all)
+  in
+  Cmd.v (Cmd.info "models" ~doc) Term.(const run $ const ())
+
+let source_cmd =
+  let doc = "Print a model's Fortran source" in
+  let run (m : Models.Registry.t) = print_string m.source in
+  Cmd.v (Cmd.info "source" ~doc) Term.(const run $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed for the injected run-to-run noise.")
+
+let max_variants_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-variants" ] ~doc:"Override the model's dynamic-evaluation budget.")
+
+let whole_model_arg =
+  Arg.(
+    value & flag
+    & info [ "whole-model" ]
+        ~doc:"Guide the search by whole-model time instead of hotspot CPU time (Sec. IV-C).")
+
+let static_filter_arg =
+  Arg.(
+    value & flag
+    & info [ "static-filter" ]
+        ~doc:"Enable the Sec.-V static pre-filter (vectorization report + casting penalty).")
+
+let brute_arg =
+  Arg.(value & flag & info [ "brute-force" ] ~doc:"Exhaustive 2^n search instead of delta debugging.")
+
+let csv_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Write the per-variant data as CSV.")
+
+let json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"PATH" ~doc:"Write the campaign summary as JSON.")
+
+let hierarchical_arg =
+  Arg.(
+    value & flag
+    & info [ "hierarchical" ]
+        ~doc:"Cluster atoms by the FP flow graph and search groups first (Sec. V).")
+
+let tune_cmd =
+  let doc = "Run a precision-tuning campaign on a model" in
+  let run m seed max_variants whole static brute hierarchical csv json =
+    let config =
+      {
+        Core.Config.default with
+        Core.Config.seed;
+        max_variants;
+        static_filter = static;
+        mode = (if whole then Core.Config.Whole_model_guided else Core.Config.Hotspot_guided);
+      }
+    in
+    let campaign =
+      if brute then Core.Tuner.run_brute_force ~config m
+      else if hierarchical then Core.Tuner.run_hierarchical ~config m
+      else Core.Tuner.run_delta_debug ~config m
+    in
+    print_string (Core.Report.campaign_header campaign);
+    print_newline ();
+    print_string (Core.Report.table2 [ campaign ]);
+    print_newline ();
+    print_string (Core.Report.figure5 campaign);
+    print_newline ();
+    print_string (Core.Report.figure6 campaign);
+    Option.iter
+      (fun path -> Core.Export.write_file ~path (Core.Export.variants_csv campaign))
+      csv;
+    Option.iter
+      (fun path -> Core.Export.write_file ~path (Core.Export.summary_json campaign))
+      json;
+    match campaign.Core.Tuner.minimal with
+    | Some r when r.Search.Delta_debug.high_set <> [] ->
+      pf "\n1-minimal variant (declaration diff against the original):\n%s"
+        (Transform.Diff.declarations campaign.Core.Tuner.prepared.Core.Tuner.st
+           r.Search.Delta_debug.minimal)
+    | Some _ | None -> ()
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
+      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let reduce_cmd =
+  let doc = "Show the taint-based program reduction for a model's search space" in
+  let run (m : Models.Registry.t) =
+    let prog = Fortran.Parser.parse ~file:(m.name ^ ".f90") m.source in
+    let st = Fortran.Symtab.build prog in
+    let atoms =
+      Transform.Assignment.atoms_of_target st ~module_:m.target_module
+        ~procs:(Some m.target_procs) ~exclude:m.exclude_atoms
+    in
+    let targets =
+      List.map (fun a -> (a.Transform.Assignment.a_scope, a.Transform.Assignment.a_name)) atoms
+    in
+    let reduced, stats = Analysis.Taint.reduce st ~targets in
+    pf "! reduction: %s\n" (Format.asprintf "%a" Analysis.Taint.pp_stats stats);
+    print_string (Fortran.Unparse.program reduced)
+  in
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run $ model_arg)
+
+let analyze_cmd =
+  let doc = "Static analyses of a model: vectorization report, flow graph, static cost" in
+  let run (m : Models.Registry.t) =
+    let prog = Fortran.Parser.parse ~file:(m.name ^ ".f90") m.source in
+    let st = Fortran.Symtab.build prog in
+    pf "== vectorization report ==\n";
+    List.iter
+      (fun r -> Format.printf "  %a@." Analysis.Vectorize.pp_report r)
+      (Analysis.Vectorize.analyze st);
+    let g = Analysis.Flowgraph.build st in
+    pf "\n== interprocedural FP flow graph ==\n";
+    pf "  %d nodes, %d parameter-passing edges, %d kind violations\n"
+      (List.length (Analysis.Flowgraph.nodes g))
+      (List.length (Analysis.Flowgraph.edges g))
+      (List.length (Analysis.Flowgraph.violations g));
+    List.iter (fun e -> Format.printf "  %a@." Analysis.Flowgraph.pp_edge e)
+      (Analysis.Flowgraph.edges g);
+    let v = Analysis.Static_cost.evaluate st in
+    pf "\n== static cost ==\n  vector loops %d, casting penalty %.0f\n"
+      v.Analysis.Static_cost.vector_loops v.Analysis.Static_cost.penalty;
+    let p = Core.Tuner.prepare m in
+    pf "\n== flow-graph clusters (hierarchical search groups) ==\n";
+    List.iter
+      (fun group ->
+        pf "  { %s }\n"
+          (String.concat ", " (List.map Transform.Assignment.atom_id group)))
+      (Core.Tuner.flow_groups p)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg)
+
+let report_cmd =
+  let doc = "Run every campaign and print all tables, figures and validation checks" in
+  let run seed =
+    let config = { Core.Config.default with Core.Config.seed } in
+    let suite = Core.Experiments.run_suite ~config () in
+    let hotspots = [ suite.Core.Experiments.mpas; suite.Core.Experiments.adcirc; suite.Core.Experiments.mom6 ] in
+    print_string (Core.Report.table1 hotspots);
+    print_newline ();
+    print_string (Core.Report.table2 hotspots);
+    print_newline ();
+    print_string (Core.Report.figure2 suite.Core.Experiments.funarc);
+    print_string
+      (Core.Report.figure3 suite.Core.Experiments.funarc
+         ~error_budget:suite.Core.Experiments.funarc.Core.Tuner.prepared.Core.Tuner.threshold);
+    List.iter (fun c -> print_string (Core.Report.figure5 c)) hotspots;
+    List.iter (fun c -> print_string (Core.Report.figure6 c)) hotspots;
+    print_string (Core.Report.figure7 suite.Core.Experiments.mpas_whole);
+    pf "\nVALIDATION CHECKS\n";
+    pf "funarc:\n%s" (Core.Checks.render (Core.Checks.funarc suite.Core.Experiments.funarc));
+    pf "MPAS-A:\n%s" (Core.Checks.render (Core.Checks.mpas_hotspot suite.Core.Experiments.mpas));
+    pf "ADCIRC:\n%s" (Core.Checks.render (Core.Checks.adcirc_hotspot suite.Core.Experiments.adcirc));
+    pf "MOM6:\n%s" (Core.Checks.render (Core.Checks.mom6_hotspot suite.Core.Experiments.mom6));
+    pf "MPAS-A (whole-model):\n%s"
+      (Core.Checks.render (Core.Checks.mpas_whole_model suite.Core.Experiments.mpas_whole))
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ seed_arg)
+
+let () =
+  let doc = "automated performance-guided floating-point precision tuning" in
+  let info = Cmd.info "prose" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ models_cmd; source_cmd; tune_cmd; analyze_cmd; reduce_cmd; report_cmd ]))

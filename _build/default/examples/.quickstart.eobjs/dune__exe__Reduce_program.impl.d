@@ -1,0 +1,1 @@
+examples/reduce_program.ml: Analysis Format Fortran List Models Transform

@@ -1,0 +1,1 @@
+examples/static_screening.ml: Analysis Core Format Fortran List Models Printf Transform

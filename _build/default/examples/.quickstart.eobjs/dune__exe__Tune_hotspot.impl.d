@@ -1,0 +1,1 @@
+examples/tune_hotspot.ml: Array Core List Models Printf Search Sys Transform

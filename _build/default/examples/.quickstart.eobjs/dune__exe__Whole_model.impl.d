@@ -1,0 +1,1 @@
+examples/whole_model.ml: Core Printf Search

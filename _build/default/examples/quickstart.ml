@@ -1,0 +1,33 @@
+(* Quickstart: tune the funarc motivating example end to end.
+
+   This walks the paper's Sec. II-B example through the public API:
+   parse the program, build the search space, explore all 2^8 variants,
+   and pick a mixed-precision variant from the optimal frontier.
+
+     dune exec examples/quickstart.exe                                   *)
+
+let () =
+  (* 1. the target program: funarc, an arc-length computation *)
+  let model = Models.Registry.funarc in
+  print_endline "== target program ==";
+  print_string model.Models.Registry.source;
+
+  (* 2. one-time preprocessing: parse, profile the baseline, resolve the
+        correctness threshold (Fig. 1's entry) *)
+  let prepared = Core.Tuner.prepare model in
+  Printf.printf "\nsearch space: %d FP variable declarations (the atoms):\n  %s\n"
+    (List.length prepared.Core.Tuner.atoms)
+    (String.concat ", " (List.map Transform.Assignment.atom_id prepared.Core.Tuner.atoms));
+  Printf.printf "baseline modeled cost: %.0f units; error threshold: %.2g\n"
+    prepared.Core.Tuner.baseline_cost prepared.Core.Tuner.threshold;
+
+  (* 3. explore the whole 2^8 design space *)
+  let campaign = Core.Tuner.run_brute_force model in
+  Printf.printf "\nexplored %d variants\n" campaign.Core.Tuner.summary.Search.Variant.total;
+
+  (* 4. the speedup-error trade-off (Fig. 2) *)
+  print_string (Core.Report.figure2 campaign);
+
+  (* 5. pick the frontier variant within the error budget and show its
+        source diff (Fig. 3) *)
+  print_string (Core.Report.figure3 campaign ~error_budget:prepared.Core.Tuner.threshold)

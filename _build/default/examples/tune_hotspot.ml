@@ -1,0 +1,30 @@
+(* Tune a weather-model hotspot with the delta-debugging search.
+
+   Reproduces one Sec. IV-B campaign: the MPAS-A atmosphere proxy, tuned
+   on its atm_time_integration work routines, guided by hotspot CPU time.
+
+     dune exec examples/tune_hotspot.exe [mpas|adcirc|mom6]              *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mpas" in
+  let model = Models.Registry.find name in
+  Printf.printf "tuning %s (%s)\n\n" model.Models.Registry.title
+    model.Models.Registry.description;
+  let campaign = Core.Tuner.run_delta_debug model in
+  print_string (Core.Report.campaign_header campaign);
+  print_newline ();
+  print_string (Core.Report.table2 [ campaign ]);
+  print_newline ();
+  print_string (Core.Report.figure5 campaign);
+  print_newline ();
+  print_string (Core.Report.figure6 campaign);
+  (* the 1-minimal variant as a reviewable source diff *)
+  match campaign.Core.Tuner.minimal with
+  | Some r ->
+    Printf.printf "\n1-minimal variant (%d of %d atoms stay 64-bit):\n"
+      (List.length r.Search.Delta_debug.high_set)
+      (List.length campaign.Core.Tuner.prepared.Core.Tuner.atoms);
+    print_string
+      (Transform.Diff.declarations campaign.Core.Tuner.prepared.Core.Tuner.st
+         r.Search.Delta_debug.minimal)
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Ast Builtins Fortran Hashtbl List Option Symtab

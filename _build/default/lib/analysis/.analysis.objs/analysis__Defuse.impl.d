@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: Ast Fortran Hashtbl List Loc Option Symtab

@@ -1,0 +1,1 @@
+lib/analysis/flowgraph.ml: Ast Builtins Format Fortran Hashtbl List Loc Option Symtab Typecheck Unparse

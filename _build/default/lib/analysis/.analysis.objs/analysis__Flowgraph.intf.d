@@ -1,0 +1,1 @@
+lib/analysis/flowgraph.mli: Format Fortran

@@ -1,0 +1,1 @@
+lib/analysis/static_cost.mli: Fortran

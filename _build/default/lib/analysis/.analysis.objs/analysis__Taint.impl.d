@@ -1,0 +1,1 @@
+lib/analysis/taint.ml: Ast Builtins Format Fortran List Option Set Symtab

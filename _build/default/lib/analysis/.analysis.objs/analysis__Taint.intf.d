@@ -1,0 +1,1 @@
+lib/analysis/taint.mli: Format Fortran

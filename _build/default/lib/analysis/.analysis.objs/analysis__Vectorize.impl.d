@@ -1,0 +1,1 @@
+lib/analysis/vectorize.ml: Ast Builtins Format Fortran Hashtbl List Loc Option Set String Symtab Typecheck Unparse

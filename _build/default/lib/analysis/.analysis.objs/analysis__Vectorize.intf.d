@@ -1,0 +1,1 @@
+lib/analysis/vectorize.mli: Format Fortran

@@ -1,0 +1,130 @@
+open Fortran
+
+let case_item_exprs items =
+  List.concat_map
+    (function
+      | Ast.Case_value v -> [ v ]
+      | Ast.Case_range (lo, hi) -> Option.to_list lo @ Option.to_list hi)
+    items
+
+
+type t = {
+  edges : (string option, (string, int) Hashtbl.t) Hashtbl.t;
+  redges : (string, (string option, int) Hashtbl.t) Hashtbl.t;
+  procs : string list;
+}
+
+(* Function references share syntax with array indexing; a name is a call
+   iff it does not resolve to a variable and is not an intrinsic. *)
+let calls_in_block st ~caller blk =
+  let acc : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump name =
+    Hashtbl.replace acc name (1 + Option.value ~default:0 (Hashtbl.find_opt acc name))
+  in
+  let rec expr = function
+    | Ast.Index (name, args) ->
+      List.iter expr args;
+      if (not (Builtins.is_intrinsic_function name))
+         && Option.is_none (Symtab.lookup_var st ~in_proc:caller name)
+         && Option.is_some (Symtab.find_proc st name)
+      then bump name
+    | Ast.Unop (_, e) -> expr e
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ | Ast.Var _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Call (name, args) ->
+        List.iter expr args;
+        if (not (Builtins.is_intrinsic_subroutine name)) && Option.is_some (Symtab.find_proc st name)
+        then bump name
+      | Ast.Assign (lhs, rhs) ->
+        (match lhs with Ast.Lvar _ -> () | Ast.Lindex (_, idx) -> List.iter expr idx);
+        expr rhs
+      | Ast.If (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Ast.Select { selector; arms; _ } ->
+        expr selector;
+        List.iter (fun (items, _) -> List.iter expr (case_item_exprs items)) arms
+      | Ast.Do { from_; to_; step; _ } ->
+        expr from_;
+        expr to_;
+        Option.iter expr step
+      | Ast.Do_while { cond; _ } -> expr cond
+      | Ast.Print_stmt args -> List.iter expr args
+      | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())
+    blk;
+  acc
+
+let build st : t =
+  let prog = Symtab.program st in
+  let edges = Hashtbl.create 32 in
+  let redges = Hashtbl.create 32 in
+  let procs = ref [] in
+  let record caller blk =
+    let cs = calls_in_block st ~caller blk in
+    Hashtbl.replace edges caller cs;
+    Hashtbl.iter
+      (fun callee n ->
+        let back =
+          match Hashtbl.find_opt redges callee with
+          | Some h -> h
+          | None ->
+            let h = Hashtbl.create 4 in
+            Hashtbl.add redges callee h;
+            h
+        in
+        Hashtbl.replace back caller (n + Option.value ~default:0 (Hashtbl.find_opt back caller)))
+      cs
+  in
+  List.iter
+    (fun u ->
+      (match u with
+      | Ast.Main m -> record None m.main_body
+      | Ast.Module _ -> ());
+      List.iter
+        (fun (p : Ast.proc) ->
+          procs := p.proc_name :: !procs;
+          record (Some p.proc_name) p.proc_body)
+        (Ast.procs_of_unit u))
+    prog;
+  { edges; redges; procs = List.rev !procs }
+
+let callees t caller =
+  match Hashtbl.find_opt t.edges caller with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+
+let callers t callee =
+  match Hashtbl.find_opt t.redges callee with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare
+
+let reachable t ~roots =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      List.iter (fun (c, _) -> go c) (callees t (Some name))
+    end
+  in
+  List.iter go roots;
+  List.filter (Hashtbl.mem seen) t.procs
+
+let is_recursive t name =
+  let seen = Hashtbl.create 8 in
+  let rec go n =
+    List.exists
+      (fun (c, _) ->
+        c = name
+        ||
+        if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.add seen c ();
+          go c
+        end)
+      (callees t (Some n))
+  in
+  go name

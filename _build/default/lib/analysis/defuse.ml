@@ -1,0 +1,116 @@
+open Fortran
+
+let case_item_exprs items =
+  List.concat_map
+    (function
+      | Ast.Case_value v -> [ v ]
+      | Ast.Case_range (lo, hi) -> Option.to_list lo @ Option.to_list hi)
+    items
+
+
+type occurrence = { o_loc : Loc.t; o_loop_depth : int; o_proc : string option }
+
+type summary = {
+  var : string;
+  scope : Symtab.scope;
+  defs : occurrence list;
+  uses : occurrence list;
+}
+
+type acc = { mutable adefs : occurrence list; mutable auses : occurrence list }
+
+let analyze st : summary list =
+  let table : (Symtab.scope * string, acc) Hashtbl.t = Hashtbl.create 64 in
+  let get key =
+    match Hashtbl.find_opt table key with
+    | Some a -> a
+    | None ->
+      let a = { adefs = []; auses = [] } in
+      Hashtbl.add table key a;
+      a
+  in
+  let note ~in_proc ~depth ~loc ~def name =
+    match Symtab.lookup_var st ~in_proc name with
+    | Some info when not info.v_parameter ->
+      let a = get (info.v_scope, name) in
+      let o = { o_loc = loc; o_loop_depth = depth; o_proc = in_proc } in
+      if def then a.adefs <- o :: a.adefs else a.auses <- o :: a.auses
+    | Some _ | None -> ()
+  in
+  let rec expr ~in_proc ~depth ~loc e =
+    match e with
+    | Ast.Var v -> note ~in_proc ~depth ~loc ~def:false v
+    | Ast.Index (name, args) ->
+      List.iter (expr ~in_proc ~depth ~loc) args;
+      note ~in_proc ~depth ~loc ~def:false name
+    | Ast.Unop (_, a) -> expr ~in_proc ~depth ~loc a
+    | Ast.Binop (_, a, b) ->
+      expr ~in_proc ~depth ~loc a;
+      expr ~in_proc ~depth ~loc b
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ -> ()
+  in
+  let rec block ~in_proc ~depth blk =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        let loc = s.loc in
+        match s.node with
+        | Ast.Assign (lhs, rhs) ->
+          expr ~in_proc ~depth ~loc rhs;
+          (match lhs with
+          | Ast.Lvar v -> note ~in_proc ~depth ~loc ~def:true v
+          | Ast.Lindex (v, idx) ->
+            List.iter (expr ~in_proc ~depth ~loc) idx;
+            note ~in_proc ~depth ~loc ~def:true v)
+        | Ast.Call (name, args) ->
+          ignore name;
+          (* a variable actual may be defined by the callee: count as both *)
+          List.iter
+            (fun a ->
+              expr ~in_proc ~depth ~loc a;
+              match a with
+              | Ast.Var v -> note ~in_proc ~depth ~loc ~def:true v
+              | _ -> ())
+            args
+        | Ast.If (arms, els) ->
+          List.iter
+            (fun (c, b) ->
+              expr ~in_proc ~depth ~loc c;
+              block ~in_proc ~depth b)
+            arms;
+          block ~in_proc ~depth els
+        | Ast.Select { selector; arms; default } ->
+          expr ~in_proc ~depth ~loc selector;
+          List.iter
+            (fun (items, b) ->
+              List.iter (expr ~in_proc ~depth ~loc) (case_item_exprs items);
+              block ~in_proc ~depth b)
+            arms;
+          block ~in_proc ~depth default
+        | Ast.Do { var; from_; to_; step; body; _ } ->
+          note ~in_proc ~depth ~loc ~def:true var;
+          List.iter (expr ~in_proc ~depth ~loc) (from_ :: to_ :: Option.to_list step);
+          block ~in_proc ~depth:(depth + 1) body
+        | Ast.Do_while { cond; body; _ } ->
+          expr ~in_proc ~depth ~loc cond;
+          block ~in_proc ~depth:(depth + 1) body
+        | Ast.Print_stmt args -> List.iter (expr ~in_proc ~depth ~loc) args
+        | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())
+      blk
+  in
+  List.iter
+    (fun u ->
+      (match u with
+      | Ast.Main m -> block ~in_proc:None ~depth:0 m.main_body
+      | Ast.Module _ -> ());
+      List.iter
+        (fun (p : Ast.proc) -> block ~in_proc:(Some p.proc_name) ~depth:0 p.proc_body)
+        (Ast.procs_of_unit u))
+    (Symtab.program st);
+  Hashtbl.fold
+    (fun (scope, var) a l ->
+      { var; scope; defs = List.rev a.adefs; uses = List.rev a.auses } :: l)
+    table []
+  |> List.sort compare
+
+let for_var summaries ~scope v = List.find_opt (fun s -> s.scope = scope && s.var = v) summaries
+let max_use_depth s = List.fold_left (fun m o -> max m o.o_loop_depth) 0 s.uses

@@ -1,0 +1,51 @@
+type params = {
+  loop_weight : float;
+  element_weight : float;
+  scalar_cast_cost : float;
+  unknown_elements : int;
+}
+
+let default_params =
+  { loop_weight = 100.0; element_weight = 1.0; scalar_cast_cost = 1.0; unknown_elements = 1000 }
+
+type verdict = {
+  penalty : float;
+  vector_loops : int;
+  mismatched_edges : int;
+}
+
+let evaluate ?(params = default_params) ?(conv_ratio_threshold = 0.34) st =
+  let graph = Flowgraph.build st in
+  let bad = Flowgraph.violations graph in
+  let penalty =
+    List.fold_left
+      (fun acc (e : Flowgraph.edge) ->
+        let calls = params.loop_weight ** float_of_int e.Flowgraph.e_loop_depth in
+        let size =
+          match e.Flowgraph.e_dummy.Flowgraph.n_elements with
+          | Some n when e.Flowgraph.e_dummy.Flowgraph.n_is_array -> float_of_int n
+          | None when e.Flowgraph.e_dummy.Flowgraph.n_is_array ->
+            float_of_int params.unknown_elements
+          | Some _ | None -> 0.0
+        in
+        acc +. (calls *. (params.scalar_cast_cost +. (params.element_weight *. size))))
+      0.0 bad
+  in
+  let reports = Vectorize.analyze st in
+  let vector_loops =
+    List.length
+      (List.filter
+         (fun (r : Vectorize.report) ->
+           Vectorize.vectorizable r
+           &&
+           let ratio =
+             if r.Vectorize.fp_ops = 0 then 0.0
+             else float_of_int r.Vectorize.conv_sites /. float_of_int r.Vectorize.fp_ops
+           in
+           ratio <= conv_ratio_threshold)
+         reports)
+  in
+  { penalty; vector_loops; mismatched_edges = List.length bad }
+
+let predicts_worse ~baseline ~candidate ~penalty_budget =
+  candidate.vector_loops < baseline.vector_loops || candidate.penalty > penalty_budget

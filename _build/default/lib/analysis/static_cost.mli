@@ -1,0 +1,48 @@
+(** Static evaluation of mixed-precision variants — the paper's Sec. IV-B
+    and Sec. V recommendations, implemented.
+
+    The paper proposes three static strategies to avoid paying for dynamic
+    evaluation of predictably-bad variants:
+
+    {ol
+    {- (MPAS-A analysis) "a cost model which assigns a penalty for
+       mixed-precision interprocedural data flow as a function of the
+       number of calls";}
+    {- (MOM6 analysis) the same penalty additionally scaled by "the number
+       of array elements";}
+    {- (Sec. V) "filter out variants that have less vectorization than the
+       baseline prior to execution by inspecting compiler vectorization
+       reports".}}
+
+    Call volume is not known statically; the standard proxy used here
+    weights each call site by [loop_weight ^ loop_depth]. The penalty of a
+    program is the weighted sum over the mismatching edges of its
+    {!Flowgraph}. The ablation benchmark measures how much search time
+    these filters save and what they cost in missed variants. *)
+
+type params = {
+  loop_weight : float;  (** assumed iterations per loop nesting level (default 100) *)
+  element_weight : float;  (** per-element cost of an array boundary cast (default 1) *)
+  scalar_cast_cost : float;  (** cost of one scalar boundary cast (default 1) *)
+  unknown_elements : int;  (** assumed elements for arrays of unknown static size *)
+}
+
+val default_params : params
+
+type verdict = {
+  penalty : float;  (** casting-overhead penalty of the variant *)
+  vector_loops : int;  (** loops predicted to vectorize *)
+  mismatched_edges : int;
+}
+
+val evaluate : ?params:params -> ?conv_ratio_threshold:float -> Fortran.Symtab.t -> verdict
+(** Score a (transformed but not yet wrapped) program. Mismatching
+    flow-graph edges are priced by call volume × element count; vector
+    loops are counted under the same conversion-ratio rule the cost model
+    uses. *)
+
+val predicts_worse :
+  baseline:verdict -> candidate:verdict -> penalty_budget:float -> bool
+(** The static filter: [true] when the candidate should be skipped without
+    dynamic evaluation — it vectorizes fewer loops than the baseline, or
+    its casting penalty exceeds [penalty_budget]. *)

@@ -1,0 +1,33 @@
+(** Taint-based program reduction (Sec. III-C).
+
+    ROSE generates uncompilable output for unsupported Fortran constructs;
+    the paper's key insight is that the transformation only needs a
+    {e subset} of the program: (1) the statements declaring target
+    variables, (2) statements passing targets to procedure calls, (3)
+    statements defining symbols referenced by 1-2 (recursively), (4) the
+    imports making those symbols visible, and (5) the enclosing program
+    structures. The reduction applies a taint to the targets and
+    propagates those rules to a fixed point; tainted statements remain.
+
+    The reduced program is a valid, parseable program that contains every
+    target declaration and every call site involving a target, and it
+    unparse/reparse round-trips — properties checked by the test suite.
+    It exists for transformation, not execution (exactly as in the paper,
+    where the reduced source is transformed and re-inserted into the full
+    model). *)
+
+type stats = {
+  kept_stmts : int;
+  total_stmts : int;
+  kept_procs : int;
+  total_procs : int;
+  tainted_vars : int;
+}
+
+val reduce :
+  Fortran.Symtab.t -> targets:(Fortran.Symtab.scope * string) list -> Fortran.Ast.program * stats
+(** [reduce st ~targets] returns the reduced program and reduction
+    statistics. [targets] are scope-qualified variable names (the search
+    atoms). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,570 @@
+open Fortran
+
+type blocker =
+  | Do_while_loop
+  | Irregular_control_flow
+  | Nested_loop
+  | Carried_array_dependence of string
+  | Carried_scalar_dependence of string
+  | Non_inlinable_call of string
+
+type report = {
+  loop_id : int;
+  proc : string option;
+  loc : Loc.t;
+  blockers : blocker list;
+  fp_ops : int;
+  conv_sites : int;
+  reductions : string list;
+  inlined_calls : string list;
+}
+
+let vectorizable r = r.blockers = []
+
+let pp_blocker ppf = function
+  | Do_while_loop -> Format.pp_print_string ppf "do-while loop (unknown trip count)"
+  | Irregular_control_flow -> Format.pp_print_string ppf "irregular control flow (exit/cycle/return)"
+  | Nested_loop -> Format.pp_print_string ppf "contains a nested loop"
+  | Carried_array_dependence a -> Format.fprintf ppf "loop-carried dependence on array %s" a
+  | Carried_scalar_dependence s -> Format.fprintf ppf "loop-carried dependence on scalar %s" s
+  | Non_inlinable_call p -> Format.fprintf ppf "non-inlinable call to %s" p
+
+let pp_report ppf r =
+  Format.fprintf ppf "loop %d%s: %s (fp_ops=%d conv_sites=%d)" r.loop_id
+    (match r.proc with Some p -> " in " ^ p | None -> "")
+    (if vectorizable r then "VECTORIZED"
+     else
+       Format.asprintf "not vectorized: %a"
+         (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_blocker)
+         r.blockers)
+    r.fp_ops r.conv_sites
+
+(* ------------------------------------------------------------------ *)
+
+let rec block_stmt_count blk =
+  List.fold_left
+    (fun n (s : Ast.stmt) ->
+      n
+      +
+      match s.node with
+      | Ast.If (arms, els) ->
+        1 + List.fold_left (fun m (_, b) -> m + block_stmt_count b) (block_stmt_count els) arms
+      | Ast.Select { arms; default; _ } ->
+        1
+        + List.fold_left (fun m (_, b) -> m + block_stmt_count b) (block_stmt_count default) arms
+      | Ast.Do { body; _ } | Ast.Do_while { body; _ } -> 1 + block_stmt_count body
+      | Ast.Assign _ | Ast.Call _ | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt
+      | Ast.Stop_stmt _ | Ast.Print_stmt _ ->
+        1)
+    0 blk
+
+let has_loop blk =
+  let found = ref false in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Do _ | Ast.Do_while _ -> found := true
+      | _ -> ())
+    blk;
+  !found
+
+(* user-procedure calls appearing anywhere in a block (no dedup) *)
+let user_calls st ~in_proc blk =
+  let acc = ref [] in
+  let rec expr = function
+    | Ast.Index (name, args) ->
+      List.iter expr args;
+      if (not (Builtins.is_intrinsic_function name))
+         && Option.is_none (Symtab.lookup_var st ~in_proc name)
+      then acc := (name, args) :: !acc
+    | Ast.Unop (_, e) -> expr e
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ | Ast.Var _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Call (name, args) ->
+        List.iter expr args;
+        if not (Builtins.is_intrinsic_subroutine name) then acc := (name, args) :: !acc
+      | Ast.Assign (lhs, rhs) ->
+        (match lhs with Ast.Lvar _ -> () | Ast.Lindex (_, idx) -> List.iter expr idx);
+        expr rhs
+      | Ast.If (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Ast.Select { selector; arms; _ } ->
+        expr selector;
+        List.iter
+          (fun (items, _) ->
+            List.iter
+              (function
+                | Ast.Case_value v -> expr v
+                | Ast.Case_range (lo, hi) ->
+                  Option.iter expr lo;
+                  Option.iter expr hi)
+              items)
+          arms
+      | Ast.Do { from_; to_; step; _ } ->
+        expr from_;
+        expr to_;
+        Option.iter expr step
+      | Ast.Do_while { cond; _ } -> expr cond
+      | Ast.Print_stmt args -> List.iter expr args
+      | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())
+    blk;
+  List.rev !acc
+
+let rec inlinable_rec st ~inline_stmt_limit ~depth (p : Ast.proc) =
+  depth < 3
+  && (not (has_loop p.proc_body))
+  && block_stmt_count p.proc_body <= inline_stmt_limit
+  && List.for_all
+       (fun (name, _) ->
+         name <> p.proc_name
+         &&
+         match Symtab.find_proc st name with
+         | Some callee -> inlinable_rec st ~inline_stmt_limit ~depth:(depth + 1) callee
+         | None -> false)
+       (user_calls st ~in_proc:(Some p.proc_name) p.proc_body)
+
+let inlinable st ~inline_stmt_limit p = inlinable_rec st ~inline_stmt_limit ~depth:0 p
+
+(* Kind of an expression, or None for non-real / untypeable. *)
+let real_kind_of st ~in_proc e =
+  match Typecheck.infer st ~in_proc e with
+  | Typecheck.Real k -> Some k
+  | Typecheck.Integer | Typecheck.Logical | Typecheck.Str -> None
+  | exception Typecheck.Error _ -> None
+
+let is_real_literal = function Ast.Real_lit _ -> true | _ -> false
+
+(* Call boundary is kind-uniform: every real actual matches its dummy. *)
+let kind_uniform_boundary st ~in_proc callee args =
+  match Symtab.find_proc st callee with
+  | None -> false
+  | Some p ->
+    List.length args = List.length p.Ast.params
+    && List.for_all2
+         (fun actual dummy ->
+           match Symtab.lookup_var st ~in_proc:(Some p.Ast.proc_name) dummy with
+           | Some { v_base = Ast.Treal dk; _ } -> (
+             match real_kind_of st ~in_proc actual with
+             | Some ak -> ak = dk
+             | None -> false)
+           | Some _ -> true
+           | None -> false)
+         args p.Ast.params
+
+(* Count FP-arithmetic sites and mixed-kind (conversion) sites in a block.
+   A conversion site is a binary operation whose real operands have
+   different kinds, or a real assignment whose sides differ in kind —
+   except when the narrower/differing side is a literal (folded at compile
+   time). Integer/real promotions are not counted: they are precision-
+   assignment-invariant and cancel out of speedups. *)
+let count_sites st ~in_proc blk =
+  let fp_ops = ref 0 in
+  let conv = ref 0 in
+  let rec expr e =
+    match e with
+    | Ast.Binop (op, a, b) ->
+      expr a;
+      expr b;
+      let ka = real_kind_of st ~in_proc a in
+      let kb = real_kind_of st ~in_proc b in
+      (match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow ->
+        if ka <> None || kb <> None then incr fp_ops
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or -> ());
+      (match ka, kb with
+      | Some k1, Some k2 when k1 <> k2 ->
+        if not (is_real_literal a || is_real_literal b) then incr conv
+      | _ -> ())
+    | Ast.Unop (_, a) -> expr a
+    | Ast.Index (name, args) ->
+      List.iter expr args;
+      if Builtins.is_intrinsic_function name then
+        if Option.is_none (Symtab.lookup_var st ~in_proc name) then incr fp_ops
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ | Ast.Var _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Assign (lhs, rhs) ->
+        expr rhs;
+        let lk =
+          match lhs with
+          | Ast.Lvar v -> real_kind_of st ~in_proc (Ast.Var v)
+          | Ast.Lindex (v, idx) ->
+            List.iter expr idx;
+            real_kind_of st ~in_proc (Ast.Var v)
+        in
+        (match lk, real_kind_of st ~in_proc rhs with
+        | Some k1, Some k2 when k1 <> k2 -> if not (is_real_literal rhs) then incr conv
+        | _ -> ())
+      | Ast.Call (_, args) -> List.iter expr args
+      | Ast.If (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Ast.Select { selector; arms; _ } ->
+        expr selector;
+        List.iter
+          (fun (items, _) ->
+            List.iter
+              (function
+                | Ast.Case_value v -> expr v
+                | Ast.Case_range (lo, hi) ->
+                  Option.iter expr lo;
+                  Option.iter expr hi)
+              items)
+          arms
+      | Ast.Do { from_; to_; step; _ } ->
+        expr from_;
+        expr to_;
+        Option.iter expr step
+      | Ast.Do_while { cond; _ } -> expr cond
+      | Ast.Print_stmt args -> List.iter expr args
+      | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())
+    blk;
+  (!fp_ops, !conv)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar and array dependence scan over a loop body.                  *)
+
+(* subscript vectors compared syntactically through the unparser *)
+let subscript_key idx = String.concat "," (List.map Unparse.expr idx)
+
+let array_dependences st ~in_proc body =
+  let writes : (string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let reads : (string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let note tbl name key =
+    match Hashtbl.find_opt tbl name with
+    | Some l -> l := key :: !l
+    | None -> Hashtbl.add tbl name (ref [ key ])
+  in
+  let is_array name =
+    match Symtab.lookup_var st ~in_proc name with
+    | Some { v_dims = _ :: _; _ } -> true
+    | Some _ | None -> false
+  in
+  let rec expr = function
+    | Ast.Index (name, args) ->
+      List.iter expr args;
+      if is_array name then note reads name (subscript_key args)
+    | Ast.Var name -> if is_array name then note reads name "<whole>"
+    | Ast.Unop (_, e) -> expr e
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Logical_lit _ | Ast.Str_lit _ -> ()
+  in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Assign (lhs, rhs) ->
+        expr rhs;
+        (match lhs with
+        | Ast.Lvar v -> if is_array v then note writes v "<whole>"
+        | Ast.Lindex (v, idx) ->
+          List.iter expr idx;
+          if is_array v then note writes v (subscript_key idx))
+      | Ast.Call (_, args) ->
+        (* conservatively, array arguments may be written by the callee *)
+        List.iter
+          (fun a ->
+            expr a;
+            match a with
+            | Ast.Var v when is_array v -> note writes v "<whole>"
+            | _ -> ())
+          args
+      | Ast.If (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Ast.Select { selector; arms; _ } ->
+        expr selector;
+        List.iter
+          (fun (items, _) ->
+            List.iter
+              (function
+                | Ast.Case_value v -> expr v
+                | Ast.Case_range (lo, hi) ->
+                  Option.iter expr lo;
+                  Option.iter expr hi)
+              items)
+          arms
+      | Ast.Do { from_; to_; step; _ } ->
+        expr from_;
+        expr to_;
+        Option.iter expr step
+      | Ast.Do_while { cond; _ } -> expr cond
+      | Ast.Print_stmt args -> List.iter expr args
+      | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())
+    body;
+  Hashtbl.fold
+    (fun name wkeys acc ->
+      match Hashtbl.find_opt reads name with
+      | None -> acc
+      | Some rkeys ->
+        let wk = List.sort_uniq compare !wkeys in
+        let rk = List.sort_uniq compare !rkeys in
+        (* dependence-free only when every access uses one identical key *)
+        if List.length wk = 1 && rk = wk && List.hd wk <> "<whole>" then acc
+        else Carried_array_dependence name :: acc)
+    writes []
+
+(* Recognize [s = s + e], [s = s * e], [s = min(s, e)], [s = max(s, e)]. *)
+let reduction_pattern (s : Ast.stmt) =
+  match s.node with
+  | Ast.Assign (Ast.Lvar v, rhs) -> (
+    match rhs with
+    | Ast.Binop ((Ast.Add | Ast.Mul), Ast.Var v', e) when v' = v ->
+      if List.mem v (Ast.expr_vars [] e) then None else Some v
+    | Ast.Binop ((Ast.Add | Ast.Mul), e, Ast.Var v') when v' = v ->
+      if List.mem v (Ast.expr_vars [] e) then None else Some v
+    | Ast.Index (("min" | "max"), [ Ast.Var v'; e ]) when v' = v ->
+      if List.mem v (Ast.expr_vars [] e) then None else Some v
+    | Ast.Index (("min" | "max"), [ e; Ast.Var v' ]) when v' = v ->
+      if List.mem v (Ast.expr_vars [] e) then None else Some v
+    | _ -> None)
+  | _ -> None
+
+(* Scalars read in an iteration before being assigned in that iteration
+   (other than via a recognized reduction) carry values between
+   iterations. The scan walks statements in order, tracking definitely-
+   assigned scalars; [if] branches merge by intersection.
+
+   A scalar qualifies as a reduction only when every one of its
+   assignments matches the reduction pattern and it is never read outside
+   those assignments — an accumulator whose running value feeds other
+   computation (e.g. funarc's [d1]) is a true recurrence. *)
+let scalar_dependences st ~in_proc ~induction body =
+  let is_scalar name =
+    match Symtab.lookup_var st ~in_proc name with
+    | Some { v_dims = []; v_base = Ast.Treal _ | Ast.Tinteger; v_parameter = false; _ } -> true
+    | Some _ | None -> false
+  in
+  let assigned_somewhere = Hashtbl.create 8 in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Assign (Ast.Lvar v, _) when is_scalar v -> Hashtbl.replace assigned_somewhere v ()
+      | _ -> ())
+    body;
+  (* disqualify reduction candidates that are read or re-assigned outside
+     their own reduction statement *)
+  let disqualified = Hashtbl.create 8 in
+  let candidates = Hashtbl.create 8 in
+  Ast.iter_stmts
+    (fun s ->
+      match reduction_pattern s with
+      | Some v ->
+        Hashtbl.replace candidates v ();
+        (* reads of the non-accumulator operand still disqualify others *)
+        (match s.Ast.node with
+        | Ast.Assign (_, rhs) ->
+          List.iter
+            (fun r -> if r <> v then Hashtbl.replace disqualified r ())
+            (Ast.expr_vars [] rhs)
+        | _ -> ())
+      | None -> (
+        (* reads and non-reduction writes in this statement disqualify *)
+        let note_var v = Hashtbl.replace disqualified v () in
+        (match s.Ast.node with
+        | Ast.Assign (lhs, rhs) ->
+          List.iter note_var (Ast.expr_vars [] rhs);
+          (match lhs with
+          | Ast.Lvar v -> note_var v
+          | Ast.Lindex (_, idx) -> List.iter (fun e -> List.iter note_var (Ast.expr_vars [] e)) idx)
+        | Ast.Call (_, args) -> List.iter (fun a -> List.iter note_var (Ast.expr_vars [] a)) args
+        | Ast.If (arms, _) -> List.iter (fun (c, _) -> List.iter note_var (Ast.expr_vars [] c)) arms
+        | Ast.Select { selector; arms; _ } ->
+          List.iter note_var (Ast.expr_vars [] selector);
+          List.iter
+            (fun (items, _) ->
+              List.iter
+                (function
+                  | Ast.Case_value v -> List.iter note_var (Ast.expr_vars [] v)
+                  | Ast.Case_range (lo, hi) ->
+                    Option.iter (fun e -> List.iter note_var (Ast.expr_vars [] e)) lo;
+                    Option.iter (fun e -> List.iter note_var (Ast.expr_vars [] e)) hi)
+                items)
+            arms
+        | Ast.Do { from_; to_; step; _ } ->
+          List.iter
+            (fun e -> List.iter note_var (Ast.expr_vars [] e))
+            (from_ :: to_ :: Option.to_list step)
+        | Ast.Do_while { cond; _ } -> List.iter note_var (Ast.expr_vars [] cond)
+        | Ast.Print_stmt args -> List.iter (fun a -> List.iter note_var (Ast.expr_vars [] a)) args
+        | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> ())))
+    body;
+  let valid_reduction v = Hashtbl.mem candidates v && not (Hashtbl.mem disqualified v) in
+  let reductions = ref [] in
+  let bad = ref [] in
+  let module SS = Set.Make (String) in
+  let note_read defined v =
+    if
+      is_scalar v && v <> induction
+      && Hashtbl.mem assigned_somewhere v
+      && (not (SS.mem v defined))
+      && (not (List.mem v !reductions))
+      && not (List.mem v !bad)
+    then bad := v :: !bad
+  in
+  let reads_of_expr e = List.sort_uniq compare (Ast.expr_vars [] e) in
+  let rec stmt defined (s : Ast.stmt) =
+    match reduction_pattern s with
+    | Some v when valid_reduction v ->
+      if not (List.mem v !reductions) then reductions := v :: !reductions;
+      (* operand reads still count *)
+      (match s.node with
+      | Ast.Assign (_, rhs) ->
+        List.iter (fun r -> if r <> v then note_read defined r) (reads_of_expr rhs)
+      | _ -> ());
+      defined
+    | Some _ | None -> (
+      match s.node with
+      | Ast.Assign (lhs, rhs) ->
+        List.iter (note_read defined) (reads_of_expr rhs);
+        (match lhs with
+        | Ast.Lvar v when is_scalar v -> SS.add v defined
+        | Ast.Lvar _ -> defined
+        | Ast.Lindex (_, idx) ->
+          List.iter (fun e -> List.iter (note_read defined) (reads_of_expr e)) idx;
+          defined)
+      | Ast.Call (_, args) ->
+        (* scalar lvalue arguments may be defined by the callee; scalar
+           value reads count as reads *)
+        List.fold_left
+          (fun defined a ->
+            List.iter (note_read defined) (reads_of_expr a);
+            match a with
+            | Ast.Var v when is_scalar v -> SS.add v defined
+            | _ -> defined)
+          defined args
+      | Ast.If (arms, els) ->
+        List.iter (fun (c, _) -> List.iter (note_read defined) (reads_of_expr c)) arms;
+        let branch_out =
+          List.map (fun (_, blk) -> block defined blk) arms @ [ block defined els ]
+        in
+        (match branch_out with
+        | [] -> defined
+        | first :: rest -> List.fold_left SS.inter first rest)
+      | Ast.Select { selector; arms; default } ->
+        List.iter (note_read defined) (reads_of_expr selector);
+        List.iter
+          (fun (items, _) ->
+            List.iter
+              (function
+                | Ast.Case_value v -> List.iter (note_read defined) (reads_of_expr v)
+                | Ast.Case_range (lo, hi) ->
+                  Option.iter (fun e -> List.iter (note_read defined) (reads_of_expr e)) lo;
+                  Option.iter (fun e -> List.iter (note_read defined) (reads_of_expr e)) hi)
+              items)
+          arms;
+        let branch_out =
+          List.map (fun (_, blk) -> block defined blk) arms @ [ block defined default ]
+        in
+        (match branch_out with
+        | [] -> defined
+        | first :: rest -> List.fold_left SS.inter first rest)
+      | Ast.Do { body = b; from_; to_; step; var; _ } ->
+        List.iter
+          (fun e -> List.iter (note_read defined) (reads_of_expr e))
+          (from_ :: to_ :: Option.to_list step);
+        ignore (block (SS.add var defined) b);
+        defined
+      | Ast.Do_while { cond; body = b; _ } ->
+        List.iter (note_read defined) (reads_of_expr cond);
+        ignore (block defined b);
+        defined
+      | Ast.Print_stmt args ->
+        List.iter (fun a -> List.iter (note_read defined) (reads_of_expr a)) args;
+        defined
+      | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _ -> defined)
+  and block defined blk = List.fold_left stmt defined blk in
+  ignore (block SS.empty body);
+  (List.rev !bad, List.rev !reductions)
+
+(* ------------------------------------------------------------------ *)
+
+let analyze ?(inline_stmt_limit = 16) st : report list =
+  let reports = ref [] in
+  let analyze_loop ~proc ~loc ~id ~induction body =
+    let blockers = ref [] in
+    let add b = blockers := b :: !blockers in
+    if has_loop body then add Nested_loop;
+    let irregular = ref false in
+    Ast.iter_stmts
+      (fun s ->
+        match s.Ast.node with
+        | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt | Ast.Stop_stmt _
+        | Ast.Select _ (* multiway branches defeat if-conversion *) ->
+          irregular := true
+        | _ -> ())
+      body;
+    if !irregular then add Irregular_control_flow;
+    List.iter add (array_dependences st ~in_proc:proc body);
+    let scalar_bad, reductions =
+      scalar_dependences st ~in_proc:proc ~induction body
+    in
+    List.iter (fun v -> add (Carried_scalar_dependence v)) scalar_bad;
+    let inlined = ref [] in
+    let fp_extra = ref 0 in
+    let conv_extra = ref 0 in
+    List.iter
+      (fun (callee, args) ->
+        match Symtab.find_proc st callee with
+        | None -> add (Non_inlinable_call callee)
+        | Some p ->
+          if
+            inlinable st ~inline_stmt_limit p
+            && kind_uniform_boundary st ~in_proc:proc callee args
+          then begin
+            inlined := callee :: !inlined;
+            let f, c = count_sites st ~in_proc:(Some p.Ast.proc_name) p.Ast.proc_body in
+            fp_extra := !fp_extra + f;
+            conv_extra := !conv_extra + c
+          end
+          else add (Non_inlinable_call callee))
+      (user_calls st ~in_proc:proc body);
+    let fp_ops, conv_sites = count_sites st ~in_proc:proc body in
+    reports :=
+      { loop_id = id; proc; loc; blockers = List.rev !blockers; fp_ops = fp_ops + !fp_extra;
+        conv_sites = conv_sites + !conv_extra; reductions;
+        inlined_calls = List.sort_uniq compare !inlined }
+      :: !reports
+  in
+  let rec walk ~proc blk =
+    List.iter
+      (fun (s : Ast.stmt) ->
+        match s.node with
+        | Ast.Do { id; var; body; _ } ->
+          analyze_loop ~proc ~loc:s.loc ~id ~induction:var body;
+          walk ~proc body
+        | Ast.Do_while { id; body; _ } ->
+          reports :=
+            { loop_id = id; proc; loc = s.loc; blockers = [ Do_while_loop ];
+              fp_ops = fst (count_sites st ~in_proc:proc body);
+              conv_sites = snd (count_sites st ~in_proc:proc body); reductions = [];
+              inlined_calls = [] }
+            :: !reports;
+          walk ~proc body
+        | Ast.If (arms, els) ->
+          List.iter (fun (_, b) -> walk ~proc b) arms;
+          walk ~proc els
+        | Ast.Select { arms; default; _ } ->
+          List.iter (fun (_, b) -> walk ~proc b) arms;
+          walk ~proc default
+        | Ast.Assign _ | Ast.Call _ | Ast.Exit_stmt | Ast.Cycle_stmt | Ast.Return_stmt
+        | Ast.Stop_stmt _ | Ast.Print_stmt _ ->
+          ())
+      blk
+  in
+  List.iter
+    (fun u ->
+      (match u with
+      | Ast.Main m -> walk ~proc:None m.main_body
+      | Ast.Module _ -> ());
+      List.iter
+        (fun (p : Ast.proc) -> walk ~proc:(Some p.proc_name) p.proc_body)
+        (Ast.procs_of_unit u))
+    (Symtab.program st);
+  List.sort (fun a b -> compare a.loop_id b.loop_id) !reports
+
+let report_for reports id = List.find_opt (fun r -> r.loop_id = id) reports

@@ -1,0 +1,1 @@
+lib/core/checks.ml: Float Fortran List Metrics Printf Report Search String Transform Tuner Variant

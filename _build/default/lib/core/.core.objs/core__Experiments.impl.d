@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Config List Models Printf Runtime Search Tuner

@@ -1,0 +1,1 @@
+lib/core/export.ml: Buffer Float Fun List Models Printf Search String Transform Tuner Variant

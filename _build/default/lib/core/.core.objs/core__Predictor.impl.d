@@ -1,0 +1,1 @@
+lib/core/predictor.ml: Analysis Fortran List Metrics Option Search Transform Tuner

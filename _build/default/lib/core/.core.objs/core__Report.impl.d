@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Char Float Hashtbl List Metrics Models Printf Runtime Search String Transform Tuner Variant

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Analysis Array Brute_force Cluster Config Delta_debug Float Format Fortran Hashtbl Hierarchical List Metrics Models Option Printf Random_walk Runtime Search Trace Transform Variant

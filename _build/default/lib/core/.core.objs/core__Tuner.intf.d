@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Analysis Config Fortran Models Runtime Search Transform

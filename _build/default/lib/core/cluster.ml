@@ -1,0 +1,31 @@
+type t = {
+  nodes : int;
+  job_hours : float;
+  per_variant_overhead_s : float;
+  baseline_wall_s : float;
+}
+
+let for_model (m : Models.Registry.t) =
+  match m.name with
+  | "funarc" -> { nodes = 1; job_hours = 12.0; per_variant_overhead_s = 5.0; baseline_wall_s = 2.0 }
+  | "mpas" -> { nodes = 20; job_hours = 12.0; per_variant_overhead_s = 600.0; baseline_wall_s = 90.0 }
+  | "adcirc" ->
+    { nodes = 20; job_hours = 12.0; per_variant_overhead_s = 600.0; baseline_wall_s = 200.0 }
+  | "mom6" ->
+    (* MOM6's larger search space keeps every node busy; heavier build *)
+    { nodes = 20; job_hours = 12.0; per_variant_overhead_s = 900.0; baseline_wall_s = 60.0 }
+  | _ -> { nodes = 20; job_hours = 12.0; per_variant_overhead_s = 600.0; baseline_wall_s = 60.0 }
+
+let variant_seconds t ~baseline_cost ~variant_cost =
+  let scale = if baseline_cost > 0.0 then t.baseline_wall_s /. baseline_cost else 0.0 in
+  t.per_variant_overhead_s +. (variant_cost *. scale)
+
+let campaign_hours t ~baseline_cost ~variant_costs =
+  let total =
+    List.fold_left
+      (fun acc c -> acc +. variant_seconds t ~baseline_cost ~variant_cost:c)
+      0.0 variant_costs
+  in
+  total /. float_of_int t.nodes /. 3600.0
+
+let over_budget t hours = hours > t.job_hours

@@ -1,0 +1,30 @@
+(** Simulated batch execution on the paper's cluster setup.
+
+    The paper parallelizes transformation, compilation and execution of
+    variants over 20 dedicated Derecho nodes under a 12-hour job limit
+    (Sec. IV-A). The cost model's abstract time units are mapped to wall
+    seconds through the paper's own baseline wall times (MPAS-A ≈ 90 s,
+    ADCIRC ≈ 200 s, MOM6 ≈ 60 s), plus a fixed per-variant transform +
+    compile overhead; this bookkeeping reproduces the resource accounting
+    (and MOM6's failure to finish inside the job limit). *)
+
+type t = {
+  nodes : int;  (** 20 in the paper *)
+  job_hours : float;  (** 12 in the paper *)
+  per_variant_overhead_s : float;  (** transform + compile + queue, per variant *)
+  baseline_wall_s : float;  (** wall seconds of one baseline model run *)
+}
+
+val for_model : Models.Registry.t -> t
+(** Paper-faithful constants for each model (funarc gets a 1-node,
+    laptop-scale setup). *)
+
+val variant_seconds : t -> baseline_cost:float -> variant_cost:float -> float
+(** Wall seconds to transform, compile and run one variant whose modeled
+    cost is [variant_cost]. *)
+
+val campaign_hours : t -> baseline_cost:float -> variant_costs:float list -> float
+(** Simulated wall-clock hours for a whole search, with variants spread
+    across the nodes. *)
+
+val over_budget : t -> float -> bool

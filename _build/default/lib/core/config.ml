@@ -1,0 +1,26 @@
+type mode =
+  | Hotspot_guided
+  | Whole_model_guided
+
+type t = {
+  machine : Runtime.Machine.t;
+  mode : mode;
+  perf_floor : float;
+  seed : int;
+  baseline_runs : int;
+  static_filter : bool;
+  static_penalty_budget : float;
+  max_variants : int option;
+}
+
+let default =
+  {
+    machine = Runtime.Machine.default;
+    mode = Hotspot_guided;
+    perf_floor = 0.95;
+    seed = 42;
+    baseline_runs = 10;
+    static_filter = false;
+    static_penalty_budget = 5.0e4;
+    max_variants = None;
+  }

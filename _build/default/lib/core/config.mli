@@ -1,0 +1,31 @@
+(** Tuning-campaign configuration.
+
+    Collects the choices Fig. 1 asks the user for, beyond what the model
+    registry already fixes (workload, correctness metric, threshold). *)
+
+type mode =
+  | Hotspot_guided
+      (** the searches of Sec. IV-B: Eq.-1 speedup over the hotspot's CPU
+          time (exclusive time of the targeted procedures) *)
+  | Whole_model_guided
+      (** the Sec. IV-C search: speedup over the whole model's time *)
+
+type t = {
+  machine : Runtime.Machine.t;
+  mode : mode;
+  perf_floor : float;
+      (** delta-debug acceptance floor on speedup; [0.95] tolerates Eq.-1
+          noise around parity, matching "not less performant than the
+          baseline" *)
+  seed : int;  (** base seed for the injected run-to-run noise *)
+  baseline_runs : int;  (** baseline ensemble size used to pick Eq.-1's n (10) *)
+  static_filter : bool;
+      (** enable the Sec.-V static pre-filter (vectorization report +
+          casting-penalty cost model) before dynamic evaluation *)
+  static_penalty_budget : float;  (** casting-penalty budget for the filter *)
+  max_variants : int option;  (** overrides the model's default budget *)
+}
+
+val default : t
+(** [Hotspot_guided], default machine, floor 0.95, seed 42, no static
+    filter. *)

@@ -1,0 +1,78 @@
+open Search
+
+let variants_csv (c : Tuner.campaign) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "index,pct_32bit,status,speedup,rel_error,hotspot_time,model_time,casting_share,signature\n";
+  List.iter
+    (fun (r : Variant.record) ->
+      let m = r.Variant.meas in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%.4f,%s,%.6g,%.6g,%.6g,%.6g,%.4f,%s\n" r.Variant.index
+           (100.0 *. Variant.fraction_lowered r)
+           (Variant.status_to_string m.Variant.status)
+           m.Variant.speedup m.Variant.rel_error m.Variant.hotspot_time m.Variant.model_time
+           m.Variant.casting_share
+           (Transform.Assignment.signature r.Variant.asg)))
+    c.Tuner.records;
+  Buffer.contents b
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun ch ->
+         match ch with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let jfloat v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let summary_json (c : Tuner.campaign) =
+  let p = c.Tuner.prepared in
+  let m = p.Tuner.model in
+  let s = c.Tuner.summary in
+  let minimal =
+    match c.Tuner.minimal with
+    | None -> "null"
+    | Some r ->
+      Printf.sprintf
+        {|{"high_atoms": [%s], "finished": %b, "evaluations": %d}|}
+        (String.concat ", "
+           (List.map
+              (fun a -> "\"" ^ json_escape (Transform.Assignment.atom_id a) ^ "\"")
+              r.Search.Delta_debug.high_set))
+        r.Search.Delta_debug.finished r.Search.Delta_debug.evaluations
+  in
+  Printf.sprintf
+    {|{
+  "model": "%s",
+  "target_module": "%s",
+  "atoms": %d,
+  "threshold": %s,
+  "eq1_n": %d,
+  "baseline_cost": %s,
+  "baseline_hotspot": %s,
+  "variants": %d,
+  "pass_pct": %s,
+  "fail_pct": %s,
+  "timeout_pct": %s,
+  "error_pct": %s,
+  "best_speedup": %s,
+  "simulated_hours": %s,
+  "minimal": %s
+}
+|}
+    (json_escape m.Models.Registry.name)
+    (json_escape m.Models.Registry.target_module)
+    (List.length p.Tuner.atoms) (jfloat p.Tuner.threshold) p.Tuner.eq1_n
+    (jfloat p.Tuner.baseline_cost) (jfloat p.Tuner.baseline_hotspot) s.Variant.total
+    (jfloat s.Variant.pass_pct) (jfloat s.Variant.fail_pct) (jfloat s.Variant.timeout_pct)
+    (jfloat s.Variant.error_pct) (jfloat s.Variant.best_speedup) (jfloat c.Tuner.simulated_hours)
+    minimal
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

@@ -1,0 +1,16 @@
+(** Campaign data export — the artifact's machine-readable outputs.
+
+    The paper's artifact ships raw per-variant data from which its plots
+    are rebuilt; these renderers produce the same data as CSV (one row per
+    explored variant) and a compact JSON summary. *)
+
+val variants_csv : Tuner.campaign -> string
+(** Header plus one row per variant: index, %32-bit, status, Eq.-1
+    speedup, relative error, hotspot/model times, casting share, and the
+    precision signature (one character per atom, '4' or '8'). *)
+
+val summary_json : Tuner.campaign -> string
+(** Model, search-space size, threshold, Table-II row, 1-minimal variant,
+    simulated cluster hours, as a JSON object. *)
+
+val write_file : path:string -> string -> unit

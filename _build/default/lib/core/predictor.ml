@@ -1,0 +1,62 @@
+type t = Metrics.Linreg.model
+
+let feature_names =
+  [ "frac_32bit"; "mismatch_edges"; "mismatch_array_elems"; "vector_loops"; "conv_sites" ]
+
+let features (p : Tuner.prepared) asg =
+  let prog' = Transform.Rewrite.apply p.Tuner.st asg in
+  let st' = Fortran.Symtab.build prog' in
+  let graph = Analysis.Flowgraph.build st' in
+  let violations = Analysis.Flowgraph.violations graph in
+  let array_elems =
+    List.fold_left
+      (fun acc (e : Analysis.Flowgraph.edge) ->
+        if e.Analysis.Flowgraph.e_dummy.Analysis.Flowgraph.n_is_array then
+          acc
+          + Option.value ~default:100 e.Analysis.Flowgraph.e_dummy.Analysis.Flowgraph.n_elements
+        else acc)
+      0 violations
+  in
+  let reports = Analysis.Vectorize.analyze st' in
+  let vec = List.length (List.filter Analysis.Vectorize.vectorizable reports) in
+  let convs =
+    List.fold_left (fun acc (r : Analysis.Vectorize.report) -> acc + r.Analysis.Vectorize.conv_sites)
+      0 reports
+  in
+  [|
+    Transform.Assignment.fraction_lowered asg;
+    float_of_int (List.length violations);
+    float_of_int array_elems;
+    float_of_int vec;
+    float_of_int convs;
+  |]
+
+let measurable (r : Search.Variant.record) =
+  r.Search.Variant.meas.Search.Variant.speedup > 0.0
+
+let samples p records =
+  let usable = List.filter measurable records in
+  ( List.map (fun (r : Search.Variant.record) -> features p r.Search.Variant.asg) usable,
+    List.map (fun (r : Search.Variant.record) -> r.Search.Variant.meas.Search.Variant.speedup)
+      usable )
+
+let train p records =
+  let features, targets = samples p records in
+  Metrics.Linreg.fit ~features ~targets
+
+let predict m p asg = Metrics.Linreg.predict m (features p asg)
+
+let r_squared m p records =
+  let features, targets = samples p records in
+  Metrics.Linreg.r_squared m ~features ~targets
+
+let holdout_report p records =
+  let usable = List.filter measurable records in
+  let n = List.length usable in
+  let cut = n * 3 / 5 in
+  let train_set = List.filteri (fun i _ -> i < cut) usable in
+  let test_set = List.filteri (fun i _ -> i >= cut) usable in
+  match train p train_set with
+  | None -> None
+  | Some m ->
+    Some (r_squared m p train_set, r_squared m p test_set, List.length test_set)

@@ -1,0 +1,340 @@
+open Search
+
+let buf_add = Buffer.add_string
+
+(* ------------------------------------------------------------------ *)
+(* ASCII scatter                                                       *)
+
+let scatter ?(width = 64) ?(height = 18) ?(log_x = false) ?(log_y = false) ~xlabel ~ylabel points =
+  let finite (x, y, _) =
+    Float.is_finite x && Float.is_finite y
+    && ((not log_x) || x > 0.0)
+    && ((not log_y) || y > 0.0)
+  in
+  let points = List.filter finite points in
+  if points = [] then Printf.sprintf "  (no plottable points)  x=%s y=%s\n" xlabel ylabel
+  else begin
+    let tx x = if log_x then log10 x else x in
+    let ty y = if log_y then log10 y else y in
+    let xs = List.map (fun (x, _, _) -> tx x) points in
+    let ys = List.map (fun (_, y, _) -> ty y) points in
+    let pad lo hi = if hi -. lo < 1e-9 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let xmin, xmax = pad (Metrics.Stats.minimum xs) (Metrics.Stats.maximum xs) in
+    let ymin, ymax = pad (Metrics.Stats.minimum ys) (Metrics.Stats.maximum ys) in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun (x, y, c) ->
+        let px =
+          int_of_float ((tx x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1) +. 0.5)
+        in
+        let py =
+          int_of_float ((ty y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1) +. 0.5)
+        in
+        let row = height - 1 - max 0 (min (height - 1) py) in
+        let col = max 0 (min (width - 1) px) in
+        grid.(row).(col) <- c)
+      points;
+    let b = Buffer.create 2048 in
+    let fmt v islog = if islog then Printf.sprintf "1e%+.1f" v else Printf.sprintf "%.3g" v in
+    Buffer.add_string b
+      (Printf.sprintf "  %s: [%s, %s]   %s: [%s, %s]\n" xlabel (fmt xmin log_x) (fmt xmax log_x)
+         ylabel (fmt ymin log_y) (fmt ymax log_y));
+    Array.iter
+      (fun row ->
+        Buffer.add_string b "  |";
+        Array.iter (Buffer.add_char b) row;
+        Buffer.add_char b '\n')
+      grid;
+    Buffer.add_string b ("  +" ^ String.make width '-' ^ "> " ^ xlabel ^ "\n");
+    Buffer.contents b
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let status_char = function
+  | Variant.Pass -> 'o'
+  | Variant.Fail -> 'x'
+  | Variant.Timeout -> 'T'
+  | Variant.Error -> 'E'
+
+let err_for_plot e = if Float.is_finite e then Float.max e 1e-12 else nan
+
+let pct32 (r : Variant.record) = 100.0 *. Variant.fraction_lowered r
+
+let campaign_header (c : Tuner.campaign) =
+  let p = c.prepared in
+  let m = p.Tuner.model in
+  let b = Buffer.create 512 in
+  buf_add b
+    (Printf.sprintf "%s: target %s (%s); %d FP atoms; threshold %.3g on %s; Eq.1 n=%d\n"
+       m.Models.Registry.title m.Models.Registry.target_module
+       (String.concat ", " m.Models.Registry.target_procs)
+       (List.length p.Tuner.atoms) p.Tuner.threshold m.Models.Registry.metric_desc p.Tuner.eq1_n);
+  buf_add b
+    (Printf.sprintf
+       "  baseline: model cost %.3g, hotspot %.3g (%.1f%% of CPU); simulated cluster time %.1f h\n"
+       p.Tuner.baseline_cost p.Tuner.baseline_hotspot
+       (100.0 *. p.Tuner.baseline_hotspot /. p.Tuner.baseline_cost)
+       c.Tuner.simulated_hours);
+  (match c.Tuner.minimal with
+  | Some r ->
+    buf_add b
+      (Printf.sprintf "  1-minimal variant: %d of %d atoms kept at 64 bits%s (search %s, %d evals)\n"
+         (List.length r.Search.Delta_debug.high_set)
+         (List.length p.Tuner.atoms)
+         (match r.Search.Delta_debug.high_set with
+         | [] -> ""
+         | l ->
+           ": "
+           ^ String.concat ", "
+               (List.map Transform.Assignment.atom_id
+                  (if List.length l > 6 then
+                     let rec take n = function
+                       | [] -> []
+                       | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+                     in
+                     take 6 l
+                   else l))
+           ^ if List.length l > 6 then ", ..." else "")
+         (if r.Search.Delta_debug.finished then "finished"
+          else "truncated by the 12-hour budget")
+         r.Search.Delta_debug.evaluations)
+  | None -> ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+
+let table1 campaigns =
+  let b = Buffer.create 512 in
+  buf_add b "TABLE I: Summary statistics for targeted hotspots\n";
+  buf_add b
+    "  Model    Targeted Module       %CPU (ours)  %CPU (paper)  #FP vars (ours)  #FP vars (paper)\n";
+  List.iter
+    (fun (c : Tuner.campaign) ->
+      let p = c.Tuner.prepared in
+      let m = p.Tuner.model in
+      let share = 100.0 *. p.Tuner.baseline_hotspot /. p.Tuner.baseline_cost in
+      let paper_share, paper_vars =
+        match m.Models.Registry.paper with
+        | Some pn -> (Printf.sprintf "%.0f%%" pn.Models.Registry.p_cpu_share,
+                      string_of_int pn.Models.Registry.p_fp_vars)
+        | None -> ("-", "-")
+      in
+      buf_add b
+        (Printf.sprintf "  %-8s %-21s %8.1f%%  %12s  %15d  %16s\n" m.Models.Registry.title
+           m.Models.Registry.target_module share paper_share
+           (List.length p.Tuner.atoms) paper_vars))
+    campaigns;
+  Buffer.contents b
+
+let table2 campaigns =
+  let b = Buffer.create 512 in
+  buf_add b "TABLE II: Summary metrics for variants explored (ours | paper)\n";
+  buf_add b "  Model    Total      Pass          Fail          Timeout       Error         Speedup\n";
+  List.iter
+    (fun (c : Tuner.campaign) ->
+      let m = c.Tuner.prepared.Tuner.model in
+      let s = c.Tuner.summary in
+      let fmt v pv = Printf.sprintf "%5.1f|%5.1f%%" v pv in
+      let row =
+        match m.Models.Registry.paper with
+        | Some pn ->
+          Printf.sprintf "  %-8s %3d|%3d  %s  %s  %s  %s  %.2f|%.2fx\n" m.Models.Registry.title
+            s.Variant.total pn.Models.Registry.p_variants
+            (fmt s.Variant.pass_pct pn.Models.Registry.p_pass_pct)
+            (fmt s.Variant.fail_pct pn.Models.Registry.p_fail_pct)
+            (fmt s.Variant.timeout_pct pn.Models.Registry.p_timeout_pct)
+            (fmt s.Variant.error_pct pn.Models.Registry.p_error_pct)
+            s.Variant.best_speedup pn.Models.Registry.p_best_speedup
+        | None ->
+          Printf.sprintf "  %-8s %3d      %5.1f%%        %5.1f%%        %5.1f%%        %5.1f%%        %.2fx\n"
+            m.Models.Registry.title s.Variant.total s.Variant.pass_pct s.Variant.fail_pct
+            s.Variant.timeout_pct s.Variant.error_pct s.Variant.best_speedup
+      in
+      buf_add b row)
+    campaigns;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let speedup_error_points records =
+  List.filter_map
+    (fun (r : Variant.record) ->
+      if r.Variant.meas.Variant.speedup > 0.0 then
+        Some (r.Variant.meas.Variant.speedup, err_for_plot r.Variant.meas.Variant.rel_error,
+              status_char r.Variant.meas.Variant.status)
+      else None)
+    records
+
+let figure2 (c : Tuner.campaign) =
+  let b = Buffer.create 2048 in
+  buf_add b "FIGURE 2: funarc mixed-precision variants (speedup vs relative error)\n";
+  buf_add b "  legend: o = within budget, x = over budget\n";
+  buf_add b
+    (scatter ~log_y:true ~xlabel:"speedup" ~ylabel:"rel.error"
+       (speedup_error_points c.Tuner.records));
+  buf_add b "  optimal frontier (increasing error):\n";
+  List.iter
+    (fun (r : Variant.record) ->
+      buf_add b
+        (Printf.sprintf "    speedup %.3f  error %.3g  lowered: %s\n" r.Variant.meas.Variant.speedup
+           r.Variant.meas.Variant.rel_error
+           (match Transform.Assignment.lowered r.Variant.asg with
+           | [] -> "(none: baseline)"
+           | l -> String.concat ", " (List.map Transform.Assignment.atom_id l))))
+    (Variant.frontier c.Tuner.records);
+  Buffer.contents b
+
+let figure3 (c : Tuner.campaign) ~error_budget =
+  let chosen =
+    List.fold_left
+      (fun acc (r : Variant.record) ->
+        if r.Variant.meas.Variant.status = Variant.Pass
+           && r.Variant.meas.Variant.rel_error <= error_budget
+        then
+          match acc with
+          | Some (best : Variant.record) when best.Variant.meas.Variant.speedup >= r.Variant.meas.Variant.speedup ->
+            acc
+          | Some _ | None -> Some r
+        else acc)
+      None c.Tuner.records
+  in
+  let b = Buffer.create 1024 in
+  buf_add b
+    (Printf.sprintf "FIGURE 3: diff of the variant maximizing speedup within error budget %.1g\n"
+       error_budget);
+  (match chosen with
+  | None -> buf_add b "  (no variant within the budget)\n"
+  | Some r ->
+    buf_add b
+      (Printf.sprintf "  chosen variant: speedup %.3f, error %.3g\n" r.Variant.meas.Variant.speedup
+         r.Variant.meas.Variant.rel_error);
+    buf_add b (Transform.Diff.declarations c.Tuner.prepared.Tuner.st r.Variant.asg));
+  Buffer.contents b
+
+let cluster_line records ~lo ~hi label =
+  let bucket =
+    List.filter (fun r -> pct32 r >= lo && pct32 r <= hi) records
+  in
+  let speedups =
+    List.filter_map
+      (fun (r : Variant.record) ->
+        if r.Variant.meas.Variant.speedup > 0.0 then Some r.Variant.meas.Variant.speedup else None)
+      bucket
+  in
+  if bucket = [] then Printf.sprintf "    %s: no variants\n" label
+  else
+    Printf.sprintf "    %s: %d variants, speedup min %.2f / median %.2f / max %.2f\n" label
+      (List.length bucket) (Metrics.Stats.minimum speedups) (Metrics.Stats.median speedups)
+      (Metrics.Stats.maximum speedups)
+
+let figure5_like title (c : Tuner.campaign) =
+  let b = Buffer.create 2048 in
+  buf_add b (title ^ "\n");
+  buf_add b "  legend: o = pass, x = fail, T = timeout, E = error (T/E carry no speedup)\n";
+  buf_add b (scatter ~log_y:true ~xlabel:"speedup" ~ylabel:"rel.error" (speedup_error_points c.Tuner.records));
+  buf_add b "  clusters by fraction of variables at 32 bits:\n";
+  buf_add b (cluster_line c.Tuner.records ~lo:0.0 ~hi:30.0 "<=30% 32-bit");
+  buf_add b (cluster_line c.Tuner.records ~lo:30.0 ~hi:50.0 "30-50% 32-bit");
+  buf_add b (cluster_line c.Tuner.records ~lo:50.0 ~hi:89.0 "50-89% 32-bit");
+  buf_add b (cluster_line c.Tuner.records ~lo:89.0 ~hi:100.0 ">=90% 32-bit");
+  let max_cast =
+    List.fold_left
+      (fun acc (r : Variant.record) -> Float.max acc r.Variant.meas.Variant.casting_share)
+      0.0 c.Tuner.records
+  in
+  buf_add b
+    (Printf.sprintf "  heaviest casting overhead among variants: %.0f%% of model CPU time\n"
+       (100.0 *. max_cast));
+  Buffer.contents b
+
+let figure5 c =
+  figure5_like
+    (Printf.sprintf "FIGURE 5 (%s): hotspot variants on speedup-error axes"
+       c.Tuner.prepared.Tuner.model.Models.Registry.title)
+    c
+
+let figure7 c =
+  figure5_like "FIGURE 7 (MPAS-A, whole-model-guided): variants on speedup-error axes" c
+
+let base_per_call_of (p : Tuner.prepared) proc =
+  let incl = Runtime.Timers.inclusive_of p.Tuner.baseline_timers proc in
+  let calls = Runtime.Timers.calls_of p.Tuner.baseline_timers proc in
+  if calls = 0 then nan else incl /. float_of_int calls
+
+let per_proc_per_call_speedups (c : Tuner.campaign) ~proc =
+  let base = base_per_call_of c.Tuner.prepared proc in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (r : Variant.record) ->
+      let sigp = Transform.Assignment.restrict_signature r.Variant.asg ~proc in
+      if Hashtbl.mem seen sigp then None
+      else begin
+        Hashtbl.add seen sigp ();
+        match List.find_opt (fun (n, _, _) -> n = proc) r.Variant.meas.Variant.proc_stats with
+        | Some (_, incl, calls) when calls > 0 && Float.is_finite base && incl > 0.0 ->
+          Some (base /. (incl /. float_of_int calls))
+        | Some _ | None -> None
+      end)
+    c.Tuner.records
+
+let unique_proc_variants (c : Tuner.campaign) ~proc =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Variant.record) ->
+      Hashtbl.replace seen (Transform.Assignment.restrict_signature r.Variant.asg ~proc) ())
+    c.Tuner.records;
+  Hashtbl.length seen
+
+let speedups_in_bucket (c : Tuner.campaign) ~lo ~hi =
+  List.filter_map
+    (fun (r : Variant.record) ->
+      if pct32 r >= lo && pct32 r <= hi && r.Variant.meas.Variant.speedup > 0.0 then
+        Some r.Variant.meas.Variant.speedup
+      else None)
+    c.Tuner.records
+
+let passing_speedups_in_bucket (c : Tuner.campaign) ~lo ~hi =
+  List.filter_map
+    (fun (r : Variant.record) ->
+      if pct32 r >= lo && pct32 r <= hi && r.Variant.meas.Variant.status = Variant.Pass then
+        Some r.Variant.meas.Variant.speedup
+      else None)
+    c.Tuner.records
+
+let figure6 (c : Tuner.campaign) =
+  let p = c.Tuner.prepared in
+  let m = p.Tuner.model in
+  let b = Buffer.create 2048 in
+  buf_add b
+    (Printf.sprintf "FIGURE 6 (%s): per-procedure variant performance (avg CPU time per call)\n"
+       m.Models.Registry.title);
+  let hotspot = p.Tuner.baseline_hotspot in
+  List.iter
+    (fun proc ->
+      let share =
+        100.0 *. Runtime.Timers.exclusive_of p.Tuner.baseline_timers proc /. hotspot
+      in
+      let sp = per_proc_per_call_speedups c ~proc in
+      buf_add b
+        (Printf.sprintf
+           "  %-38s (%4.1f%% of hotspot): %3d unique variants; per-call speedup min %.3g / median %.3g / max %.3g\n"
+           proc share
+           (unique_proc_variants c ~proc)
+           (Metrics.Stats.minimum sp) (Metrics.Stats.median sp) (Metrics.Stats.maximum sp)))
+    m.Models.Registry.fig6_procs;
+  (* one combined log-axis strip plot: per-call speedups of all fig6 procs *)
+  let pts =
+    List.concat (List.mapi
+      (fun idx proc ->
+        List.map
+          (fun s -> (s, float_of_int (idx + 1), Char.chr (Char.code 'a' + (idx mod 26))))
+          (per_proc_per_call_speedups c ~proc))
+      m.Models.Registry.fig6_procs)
+  in
+  buf_add b "  strip plot (x: per-call speedup, log; y: procedure a,b,c,... in listed order):\n";
+  buf_add b (scatter ~height:(2 + (2 * List.length m.Models.Registry.fig6_procs)) ~log_x:true
+               ~xlabel:"per-call speedup" ~ylabel:"procedure" pts);
+  Buffer.contents b

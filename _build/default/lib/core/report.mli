@@ -1,0 +1,63 @@
+(** Text rendering of the paper's tables and figures.
+
+    Every experiment renderer prints the same rows/series the paper
+    reports; absolute values are the cost model's, so EXPERIMENTS.md
+    records them side by side with the paper's (shape, not bit-equality,
+    is the reproduction criterion — exactly as the paper's own artifact
+    appendix specifies for its non-deterministic searches). *)
+
+val table1 : Tuner.campaign list -> string
+(** Table I: targeted module, measured %CPU time and #FP vars, with the
+    paper's numbers alongside. *)
+
+val table2 : Tuner.campaign list -> string
+(** Table II: variants explored, outcome percentages, best speedup. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  xlabel:string ->
+  ylabel:string ->
+  (float * float * char) list ->
+  string
+(** ASCII scatter plot; non-finite points are dropped. *)
+
+val figure2 : Tuner.campaign -> string
+(** funarc speedup–error scatter with the optimal frontier. *)
+
+val figure3 : Tuner.campaign -> error_budget:float -> string
+(** The Fig.-3 diff: the frontier variant maximizing speedup within the
+    error budget, rendered as a declaration diff against the original. *)
+
+val figure5 : Tuner.campaign -> string
+(** Hotspot variants on speedup–error axes, plus the %-32-bit cluster
+    summary the paper's checklist validates. *)
+
+val figure6 : Tuner.campaign -> string
+(** Per-procedure variant performance: unique per-procedure precision
+    assignments vs. average inclusive CPU time per call. *)
+
+val figure7 : Tuner.campaign -> string
+(** The whole-model-guided MPAS-A search (same axes as Fig. 5). *)
+
+val campaign_header : Tuner.campaign -> string
+(** One-paragraph summary: search space size, threshold, Eq.-1 n,
+    1-minimal result, simulated cluster hours. *)
+
+val per_proc_per_call_speedups : Tuner.campaign -> proc:string -> float list
+(** Fig. 6's raw series for one procedure: for each {e unique}
+    per-procedure precision assignment among the explored variants, the
+    baseline-vs-variant ratio of average inclusive CPU time per call. *)
+
+val unique_proc_variants : Tuner.campaign -> proc:string -> int
+(** Number of unique per-procedure precision assignments explored — the
+    paper's "how quickly correct/performant variants were found" signal. *)
+
+val passing_speedups_in_bucket : Tuner.campaign -> lo:float -> hi:float -> float list
+(** Eq.-1 speedups of passing variants whose %-32-bit fraction lies in
+    [lo, hi] (percent). *)
+
+val speedups_in_bucket : Tuner.campaign -> lo:float -> hi:float -> float list
+(** Same, over all variants that produced a speedup (pass or fail). *)

@@ -1,0 +1,351 @@
+open Search
+
+type prepared = {
+  model : Models.Registry.t;
+  config : Config.t;
+  st : Fortran.Symtab.t;
+  atoms : Transform.Assignment.atom list;
+  baseline_cost : float;
+  baseline_hotspot : float;
+  baseline_metric : float list;
+  baseline_timers : Runtime.Timers.entry list;
+  baseline_times : float list;
+  threshold : float;
+  eq1_n : int;
+  perf_floor : float;  (* noise-adjusted acceptance floor *)
+  budget : float;
+  baseline_static : Analysis.Static_cost.verdict;
+}
+
+let hotspot_time_of procs timers =
+  List.fold_left (fun acc p -> acc +. Runtime.Timers.exclusive_of timers p) 0.0 procs
+
+let hotspot_time p timers = hotspot_time_of p.model.Models.Registry.target_procs timers
+
+(* ------------------------------------------------------------------ *)
+(* One trip through transformation + dynamic evaluation.               *)
+
+type raw = {
+  r_outcome : Runtime.Interp.outcome option;  (* None = transformation failed *)
+  r_detail : string;
+  r_hotspot : float;
+  r_model_time : float;
+  r_rel_error : float;  (* infinity unless the run finished *)
+}
+
+let transform_and_run p asg : raw =
+  let module R = Runtime.Interp in
+  match
+    let prog' = Transform.Rewrite.apply p.st asg in
+    let w = Transform.Wrappers.insert prog' in
+    let text = Fortran.Unparse.program w.Transform.Wrappers.program in
+    let prog'' = Fortran.Parser.parse ~file:(p.model.Models.Registry.name ^ "_variant.f90") text in
+    let st' = Fortran.Symtab.build prog'' in
+    Fortran.Typecheck.check_program st';
+    (st', w)
+  with
+  | exception Fortran.Lexer.Error { message; _ } ->
+    { r_outcome = None; r_detail = "lexer: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
+      r_rel_error = infinity }
+  | exception Fortran.Parser.Error { message; _ } ->
+    { r_outcome = None; r_detail = "parser: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
+      r_rel_error = infinity }
+  | exception Fortran.Typecheck.Error { message; _ } ->
+    { r_outcome = None; r_detail = "typecheck: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
+      r_rel_error = infinity }
+  | exception Fortran.Symtab.Error { message; _ } ->
+    { r_outcome = None; r_detail = "symtab: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
+      r_rel_error = infinity }
+  | st', w ->
+    let out =
+      R.run ~machine:p.config.Config.machine ~budget:p.budget
+        ~wrapper_owner:(Transform.Wrappers.owner_fn w) st'
+    in
+    let hotspot = hotspot_time p out.R.timers in
+    let rel_error =
+      match out.R.status with
+      | R.Finished ->
+        let series = R.series out p.model.Models.Registry.metric_key in
+        if series = [] then infinity
+        else Metrics.Error.series_rel_error_l2 ~baseline:p.baseline_metric series
+      | R.Stopped _ | R.Runtime_error _ | R.Timed_out -> infinity
+    in
+    {
+      r_outcome = Some out;
+      r_detail = Format.asprintf "%a" R.pp_status out.R.status;
+      r_hotspot = hotspot;
+      r_model_time = out.R.cost;
+      r_rel_error = rel_error;
+    }
+
+let noisy_times p ~seed time =
+  List.init p.eq1_n (fun run ->
+      time *. Runtime.Noise.factor ~seed ~run ~rel_std:p.model.Models.Registry.noise_rel_std)
+
+let measurement_of_raw p asg (raw : raw) : Variant.measurement =
+  let module R = Runtime.Interp in
+  let status =
+    match raw.r_outcome with
+    | None -> Variant.Error
+    | Some out -> (
+      match out.R.status with
+      | R.Finished ->
+        if raw.r_rel_error <= p.threshold then Variant.Pass else Variant.Fail
+      | R.Timed_out -> Variant.Timeout
+      | R.Stopped _ | R.Runtime_error _ -> Variant.Error)
+  in
+  let speedup =
+    match status with
+    | Variant.Pass | Variant.Fail ->
+      let base_time, var_time =
+        match p.config.Config.mode with
+        | Config.Hotspot_guided -> (p.baseline_hotspot, raw.r_hotspot)
+        | Config.Whole_model_guided -> (p.baseline_cost, raw.r_model_time)
+      in
+      if var_time <= 0.0 then 0.0
+      else begin
+        let seed = p.config.Config.seed lxor Hashtbl.hash (Transform.Assignment.signature asg) in
+        Metrics.Speedup.of_times
+          ~baseline:(noisy_times p ~seed:p.config.Config.seed base_time)
+          ~variant:(noisy_times p ~seed var_time)
+      end
+    | Variant.Timeout | Variant.Error -> 0.0
+  in
+  let proc_stats =
+    match raw.r_outcome with
+    | None -> []
+    | Some out ->
+      List.map
+        (fun (e : Runtime.Timers.entry) -> (e.Runtime.Timers.name, e.Runtime.Timers.inclusive, e.Runtime.Timers.calls))
+        out.R.timers
+  in
+  let casting_share =
+    match raw.r_outcome with
+    | Some out -> Runtime.Interp.casting_share out
+    | None -> 0.0
+  in
+  {
+    Variant.status;
+    speedup;
+    rel_error = raw.r_rel_error;
+    hotspot_time = raw.r_hotspot;
+    model_time = raw.r_model_time;
+    proc_stats;
+    casting_share;
+    detail = raw.r_detail;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
+  let prog = Fortran.Parser.parse ~file:(model.name ^ ".f90") model.source in
+  let st = Fortran.Symtab.build prog in
+  Fortran.Typecheck.check_program st;
+  let atoms =
+    Transform.Assignment.atoms_of_target st ~module_:model.target_module
+      ~procs:(Some model.target_procs) ~exclude:model.exclude_atoms
+  in
+  if atoms = [] then invalid_arg ("Tuner.prepare: no FP atoms in " ^ model.target_module);
+  let out = Runtime.Interp.run ~machine:config.Config.machine st in
+  (match out.Runtime.Interp.status with
+  | Runtime.Interp.Finished -> ()
+  | s ->
+    invalid_arg
+      (Format.asprintf "Tuner.prepare: baseline %s did not finish: %a" model.name
+         Runtime.Interp.pp_status s));
+  let baseline_metric = Runtime.Interp.series out model.metric_key in
+  if baseline_metric = [] then
+    invalid_arg ("Tuner.prepare: baseline produced no '" ^ model.metric_key ^ "' series");
+  let baseline_cost = out.Runtime.Interp.cost in
+  let baseline_hotspot = hotspot_time_of model.target_procs out.Runtime.Interp.timers in
+  let baseline_times =
+    List.init config.Config.baseline_runs (fun run ->
+        baseline_cost
+        *. Runtime.Noise.factor ~seed:config.Config.seed ~run ~rel_std:model.noise_rel_std)
+  in
+  let eq1_n = Metrics.Speedup.choose_n ~rel_std:(Metrics.Stats.rel_stddev baseline_times) in
+  (* Eq. 1's median-of-n tames but does not eliminate noise: a variant
+     identical to the baseline still scores ~N(1, rel_std·sqrt(2/n)).
+     The acceptance floor must sit below that spread or the search
+     rejects parity variants spuriously. *)
+  let perf_floor =
+    Float.min config.Config.perf_floor
+      (1.0 -. (3.0 *. model.noise_rel_std /. sqrt (float_of_int eq1_n)))
+  in
+  let baseline_static = Analysis.Static_cost.evaluate st in
+  let partial =
+    {
+      model;
+      config;
+      st;
+      atoms;
+      baseline_cost;
+      baseline_hotspot;
+      baseline_metric;
+      baseline_timers = out.Runtime.Interp.timers;
+      baseline_times;
+      threshold = infinity;
+      eq1_n;
+      perf_floor;
+      budget = model.timeout_factor *. baseline_cost;
+      baseline_static;
+    }
+  in
+  let threshold =
+    match model.threshold with
+    | Models.Registry.Fixed f -> f
+    | Models.Registry.From_uniform32 mult ->
+      (* the reference is the developer-supported uniform 32-bit BUILD:
+         every real declaration in the whole program at kind 4 — not just
+         the hotspot's atoms. Mixed f32 hotspots inside an f64 model incur
+         boundary re-rounding the consistent build does not, which is why
+         the all-lowered hotspot variant can (and here does) exceed this
+         threshold, making the search non-trivial, as in the paper. *)
+      let whole_atoms =
+        List.concat_map
+          (fun u -> Transform.Assignment.atoms_of_module st (Fortran.Ast.unit_name u))
+          (Fortran.Symtab.program st)
+      in
+      let asg32 = Transform.Assignment.uniform whole_atoms Fortran.Ast.K4 in
+      let raw = transform_and_run partial asg32 in
+      if Float.is_finite raw.r_rel_error && raw.r_rel_error > 0.0 then mult *. raw.r_rel_error
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Tuner.prepare: cannot derive %s threshold from uniform-32 (error %g, %s)"
+             model.name raw.r_rel_error raw.r_detail)
+  in
+  { partial with threshold }
+
+let statically_filtered p asg =
+  p.config.Config.static_filter
+  &&
+  let prog' = Transform.Rewrite.apply p.st asg in
+  match Fortran.Symtab.build prog' with
+  | st' ->
+    let v = Analysis.Static_cost.evaluate st' in
+    Analysis.Static_cost.predicts_worse ~baseline:p.baseline_static ~candidate:v
+      ~penalty_budget:p.config.Config.static_penalty_budget
+  | exception Fortran.Symtab.Error _ -> false
+
+let evaluate p asg : Variant.measurement =
+  if statically_filtered p asg then
+    {
+      Variant.status = Variant.Fail;
+      speedup = 0.0;
+      rel_error = infinity;
+      hotspot_time = 0.0;
+      model_time = 0.0;  (* no dynamic run: costs nothing on the cluster *)
+      proc_stats = [];
+      casting_share = 0.0;
+      detail = "static-filter";
+    }
+  else measurement_of_raw p asg (transform_and_run p asg)
+
+let uniform32_measurement p =
+  measurement_of_raw p
+    (Transform.Assignment.uniform p.atoms Fortran.Ast.K4)
+    (transform_and_run p (Transform.Assignment.uniform p.atoms Fortran.Ast.K4))
+
+(* ------------------------------------------------------------------ *)
+
+type campaign = {
+  prepared : prepared;
+  records : Variant.record list;
+  summary : Variant.summary;
+  minimal : Search.Delta_debug.result option;
+  simulated_hours : float;
+}
+
+let finish_campaign p trace minimal =
+  let records = Trace.records trace in
+  let cluster = Cluster.for_model p.model in
+  let simulated_hours =
+    Cluster.campaign_hours cluster ~baseline_cost:p.baseline_cost
+      ~variant_costs:(List.map (fun (r : Variant.record) -> r.Variant.meas.Variant.model_time) records)
+  in
+  { prepared = p; records; summary = Variant.summarize records; minimal; simulated_hours }
+
+let max_variants_of p =
+  match p.config.Config.max_variants with
+  | Some _ as v -> v
+  | None -> p.model.Models.Registry.max_variants
+
+let run_delta_debug ?config model =
+  let p = prepare ?config model in
+  let trace = Trace.create ?max_variants:(max_variants_of p) () in
+  let dd_config =
+    { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
+  in
+  let result = Delta_debug.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) dd_config in
+  finish_campaign p trace (Some result)
+
+let run_brute_force ?config model =
+  let p = prepare ?config model in
+  let trace = Trace.create ?max_variants:(max_variants_of p) () in
+  let _records = Brute_force.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) () in
+  finish_campaign p trace None
+
+(* Atoms grouped by connected components of the interprocedural FP flow
+   graph: variables linked by parameter passing move together in the
+   hierarchical search. *)
+let flow_groups p =
+  let atoms = p.atoms in
+  let n = List.length atoms in
+  let index = Hashtbl.create n in
+  List.iteri
+    (fun i (a : Transform.Assignment.atom) ->
+      Hashtbl.replace index (a.Transform.Assignment.a_scope, a.Transform.Assignment.a_name) i)
+    atoms;
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let graph = Analysis.Flowgraph.build p.st in
+  List.iter
+    (fun (e : Analysis.Flowgraph.edge) ->
+      match e.Analysis.Flowgraph.e_actual with
+      | Some a -> (
+        let dummy = e.Analysis.Flowgraph.e_dummy in
+        match
+          ( Hashtbl.find_opt index (a.Analysis.Flowgraph.n_scope, a.Analysis.Flowgraph.n_var),
+            Hashtbl.find_opt index (dummy.Analysis.Flowgraph.n_scope, dummy.Analysis.Flowgraph.n_var) )
+        with
+        | Some i, Some j -> union i j
+        | _ -> ())
+      | None -> ())
+    (Analysis.Flowgraph.edges graph);
+  let buckets = Hashtbl.create n in
+  List.iteri
+    (fun i a ->
+      let r = find i in
+      Hashtbl.replace buckets r (a :: Option.value ~default:[] (Hashtbl.find_opt buckets r)))
+    atoms;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) buckets []
+  |> List.sort (fun a b ->
+         compare
+           (List.map Transform.Assignment.atom_id a)
+           (List.map Transform.Assignment.atom_id b))
+
+let run_hierarchical ?config model =
+  let p = prepare ?config model in
+  let trace = Trace.create ?max_variants:(max_variants_of p) () in
+  let dd_config =
+    { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
+  in
+  let result =
+    Hierarchical.search ~atoms:p.atoms ~groups:(flow_groups p) ~trace ~evaluate:(evaluate p)
+      dd_config
+  in
+  finish_campaign p trace (Some result)
+
+let run_random ?config ~samples model =
+  let p = prepare ?config model in
+  let trace = Trace.create ?max_variants:(max_variants_of p) () in
+  let _records =
+    Random_walk.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) ~samples
+      ~seed:p.config.Config.seed ()
+  in
+  finish_campaign p trace None

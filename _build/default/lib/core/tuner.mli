@@ -1,0 +1,74 @@
+(** The Fig.-1 tuning cycle, assembled.
+
+    [prepare] performs the one-time preprocessing ([T₀]: parse, search
+    space construction, baseline profiling, threshold resolution);
+    [evaluate] is one trip around the cycle for one precision assignment
+    ([T₂]–[T₄]: source-to-source transformation with wrapper insertion,
+    unparse + reparse + strict typecheck, interpretation under the cost
+    model with the 3× timeout budget, correctness and Eq.-1 speedup
+    scoring); the campaign runners drive the search algorithms over it. *)
+
+type prepared = {
+  model : Models.Registry.t;
+  config : Config.t;
+  st : Fortran.Symtab.t;  (** baseline program's symbol table *)
+  atoms : Transform.Assignment.atom list;  (** the search space (Sec. III-A) *)
+  baseline_cost : float;  (** modeled whole-run CPU time of the baseline *)
+  baseline_hotspot : float;  (** exclusive time of the targeted procedures *)
+  baseline_metric : float list;  (** per-step correctness series *)
+  baseline_timers : Runtime.Timers.entry list;
+  baseline_times : float list;  (** the 10-member noisy ensemble (Sec. IV-A) *)
+  threshold : float;  (** resolved error threshold *)
+  eq1_n : int;  (** Eq. 1's n, chosen from the ensemble's relative std *)
+  perf_floor : float;
+      (** noise-adjusted acceptance floor: the configured floor, capped at
+          3σ below parity for the model's Eq.-1 noise *)
+  budget : float;  (** variant timeout: timeout_factor × baseline cost *)
+  baseline_static : Analysis.Static_cost.verdict;
+}
+
+val prepare : ?config:Config.t -> Models.Registry.t -> prepared
+(** Raises on a malformed model program (parse/typecheck failures are
+    bugs in the model, not variant outcomes). *)
+
+val hotspot_time : prepared -> Runtime.Timers.entry list -> float
+(** Sum of exclusive times of the targeted procedures — GPTL-style
+    hotspot CPU time (Sec. III-E). *)
+
+val evaluate : prepared -> Transform.Assignment.t -> Search.Variant.measurement
+(** One dynamic evaluation. Never raises: transformation or execution
+    failures become [Error]-status measurements. When the static filter
+    is enabled, statically-rejected variants return a zero-cost [Fail]
+    measurement with detail ["static-filter"]. *)
+
+type campaign = {
+  prepared : prepared;
+  records : Search.Variant.record list;  (** every distinct variant, in order *)
+  summary : Search.Variant.summary;  (** the Table-II row *)
+  minimal : Search.Delta_debug.result option;  (** [None] for brute force *)
+  simulated_hours : float;  (** Sec.-IV-A cluster accounting *)
+}
+
+val run_delta_debug : ?config:Config.t -> Models.Registry.t -> campaign
+(** The paper's search (Sec. III-B) on the model's search space, bounded
+    by the model's variant budget (the simulated 12-hour limit). *)
+
+val run_brute_force : ?config:Config.t -> Models.Registry.t -> campaign
+(** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B. *)
+
+val run_random : ?config:Config.t -> samples:int -> Models.Registry.t -> campaign
+(** Random-subset baseline for the ablation benchmark. *)
+
+val flow_groups : prepared -> Transform.Assignment.atom list list
+(** The search space partitioned by connected components of the
+    interprocedural FP flow graph: atoms linked by parameter passing land
+    in one group. Singleton groups for unconnected atoms. *)
+
+val run_hierarchical : ?config:Config.t -> Models.Registry.t -> campaign
+(** The community-structure search ({!Search.Hierarchical}) over the
+    flow-graph groups — the clustering approach the paper's Sec. V points
+    to for scaling FPPT. *)
+
+val uniform32_measurement : prepared -> Search.Variant.measurement
+(** The uniform 32-bit variant (the "supported single-precision build"
+    MPAS-A is compared against). *)

@@ -1,0 +1,1 @@
+lib/fortran/ast.ml: List Loc Option Token

@@ -1,0 +1,1 @@
+lib/fortran/builtins.mli:

@@ -1,0 +1,1 @@
+lib/fortran/lexer.ml: Array Buffer Format List Loc Option String Token

@@ -1,0 +1,1 @@
+lib/fortran/parser.ml: Array Ast Format Hashtbl Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/fortran/parser.mli: Ast Loc Token

@@ -1,0 +1,1 @@
+lib/fortran/symtab.ml: Ast Format Hashtbl List Loc Option Printf

@@ -1,0 +1,1 @@
+lib/fortran/symtab.mli: Ast Loc

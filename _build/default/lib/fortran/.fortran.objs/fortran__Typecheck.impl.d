@@ -1,0 +1,1 @@
+lib/fortran/typecheck.ml: Ast Builtins Format List Loc Option Printf Symtab Token

@@ -1,0 +1,1 @@
+lib/fortran/typecheck.mli: Ast Format Loc Symtab

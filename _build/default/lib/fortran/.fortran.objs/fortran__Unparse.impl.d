@@ -1,0 +1,1 @@
+lib/fortran/unparse.ml: Ast Buffer Format List Option Printf String

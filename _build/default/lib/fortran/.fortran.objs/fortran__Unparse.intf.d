@@ -1,0 +1,1 @@
+lib/fortran/unparse.mli: Ast Format

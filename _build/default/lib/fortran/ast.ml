@@ -1,0 +1,236 @@
+(** Abstract syntax for the supported Fortran 90 subset.
+
+    Design notes:
+    - Real kinds are restricted to {!Token.K4} / {!Token.K8}: the paper's
+      search space uses exactly 32- and 64-bit precision (Sec. III-A).
+    - [Do] statements and procedures carry unique integer ids assigned by
+      the parser; the vectorization and cost analyses key their per-loop /
+      per-procedure facts on these ids.
+    - Identifiers are lowercase (Fortran is case-insensitive). *)
+
+type real_kind = Token.real_kind = K4 | K8
+
+type base_type =
+  | Treal of real_kind
+  | Tinteger
+  | Tlogical
+
+type intent = In | Out | Inout
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int_lit of int
+  | Real_lit of { text : string; value : float; kind : real_kind }
+  | Logical_lit of bool
+  | Str_lit of string
+  | Var of string
+  | Index of string * expr list
+      (** array element reference, or a function call — disambiguated by the
+          symbol table (Fortran's grammar cannot tell them apart either). *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type lvalue =
+  | Lvar of string
+  | Lindex of string * expr list
+
+type stmt = { node : stmt_node; loc : Loc.t }
+
+and stmt_node =
+  | Assign of lvalue * expr
+  | Call of string * expr list
+  | If of (expr * block) list * block
+      (** arms are the [if]/[else if] branches in source order; the final
+          block is the [else] branch (possibly empty). *)
+  | Do of { id : int; var : string; from_ : expr; to_ : expr; step : expr option; body : block }
+  | Do_while of { id : int; cond : expr; body : block }
+  | Select of { selector : expr; arms : (case_item list * block) list; default : block }
+      (** [select case (selector)] with [case (items)] arms and an optional
+          [case default] block. *)
+  | Exit_stmt
+  | Cycle_stmt
+  | Return_stmt
+  | Stop_stmt of string option
+  | Print_stmt of expr list
+
+and case_item =
+  | Case_value of expr  (** [case (v)] *)
+  | Case_range of expr option * expr option
+      (** [case (lo:hi)]; an open bound is [None] ([case (:hi)], [case (lo:)]) *)
+
+and block = stmt list
+
+type decl = {
+  base : base_type;
+  dims : expr list;  (** [[]] for scalars; extents for [dimension(...)] *)
+  parameter : bool;
+  intent : intent option;
+  names : (string * expr option) list;  (** declared names with optional initializers *)
+  decl_loc : Loc.t;
+}
+
+type proc_kind =
+  | Subroutine
+  | Function of { result : string }
+      (** [result] is the result-variable name ([result(...)] clause, or the
+          function name itself when the clause is absent). *)
+
+type proc = {
+  proc_id : int;
+  proc_kind : proc_kind;
+  proc_name : string;
+  params : string list;  (** dummy argument names in order *)
+  proc_decls : decl list;
+  proc_body : block;
+  proc_loc : Loc.t;
+}
+
+type module_unit = {
+  mod_name : string;
+  mod_uses : string list;
+  mod_decls : decl list;
+  mod_procs : proc list;
+}
+
+type main_unit = {
+  main_name : string;
+  main_uses : string list;
+  main_decls : decl list;
+  main_body : block;
+  main_procs : proc list;
+}
+
+type program_unit =
+  | Module of module_unit
+  | Main of main_unit
+
+type program = program_unit list
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers used across analyses and transforms.                  *)
+
+let kind_equal (a : real_kind) (b : real_kind) = a = b
+
+let base_type_equal a b =
+  match a, b with
+  | Treal ka, Treal kb -> kind_equal ka kb
+  | Tinteger, Tinteger | Tlogical, Tlogical -> true
+  | (Treal _ | Tinteger | Tlogical), _ -> false
+
+let string_of_base_type = function
+  | Treal K4 -> "real(kind=4)"
+  | Treal K8 -> "real(kind=8)"
+  | Tinteger -> "integer"
+  | Tlogical -> "logical"
+
+let is_real = function Treal _ -> true | Tinteger | Tlogical -> false
+
+let procs_of_unit = function
+  | Module m -> m.mod_procs
+  | Main m -> m.main_procs
+
+let unit_name = function Module m -> m.mod_name | Main m -> m.main_name
+
+let all_procs (p : program) = List.concat_map procs_of_unit p
+
+let find_proc (p : program) name =
+  List.find_opt (fun pr -> pr.proc_name = name) (all_procs p)
+
+let find_module (p : program) name =
+  List.find_map
+    (function Module m when m.mod_name = name -> Some m | Module _ | Main _ -> None)
+    p
+
+let main_of (p : program) =
+  List.find_map (function Main m -> Some m | Module _ -> None) p
+
+(** Fold over every statement of a block, descending into nested blocks. *)
+let rec iter_stmts f (b : block) =
+  List.iter
+    (fun s ->
+      f s;
+      match s.node with
+      | If (arms, els) ->
+        List.iter (fun (_, blk) -> iter_stmts f blk) arms;
+        iter_stmts f els
+      | Select { arms; default; _ } ->
+        List.iter (fun (_, blk) -> iter_stmts f blk) arms;
+        iter_stmts f default
+      | Do { body; _ } | Do_while { body; _ } -> iter_stmts f body
+      | Assign _ | Call _ | Exit_stmt | Cycle_stmt | Return_stmt | Stop_stmt _ | Print_stmt _ ->
+        ())
+    b
+
+(** Fold over every expression occurring in a block (including index
+    expressions, bounds and call arguments). *)
+let iter_exprs f (b : block) =
+  let rec expr e =
+    f e;
+    match e with
+    | Int_lit _ | Real_lit _ | Logical_lit _ | Str_lit _ | Var _ -> ()
+    | Index (_, args) -> List.iter expr args
+    | Unop (_, e1) -> expr e1
+    | Binop (_, e1, e2) ->
+      expr e1;
+      expr e2
+  in
+  iter_stmts
+    (fun s ->
+      match s.node with
+      | Assign (lhs, rhs) ->
+        (match lhs with
+        | Lvar _ -> ()
+        | Lindex (_, idx) -> List.iter expr idx);
+        expr rhs
+      | Call (_, args) -> List.iter expr args
+      | If (arms, _) -> List.iter (fun (c, _) -> expr c) arms
+      | Select { selector; arms; _ } ->
+        expr selector;
+        List.iter
+          (fun (items, _) ->
+            List.iter
+              (function
+                | Case_value v -> expr v
+                | Case_range (lo, hi) ->
+                  Option.iter expr lo;
+                  Option.iter expr hi)
+              items)
+          arms
+      | Do { from_; to_; step; _ } ->
+        expr from_;
+        expr to_;
+        Option.iter expr step
+      | Do_while { cond; _ } -> expr cond
+      | Print_stmt args -> List.iter expr args
+      | Exit_stmt | Cycle_stmt | Return_stmt | Stop_stmt _ -> ())
+    b
+
+(** All variable names read anywhere in an expression. *)
+let rec expr_vars acc = function
+  | Int_lit _ | Real_lit _ | Logical_lit _ | Str_lit _ -> acc
+  | Var v -> v :: acc
+  | Index (v, args) -> List.fold_left expr_vars (v :: acc) args
+  | Unop (_, e) -> expr_vars acc e
+  | Binop (_, a, b) -> expr_vars (expr_vars acc a) b
+
+let decl_names (d : decl) = List.map fst d.names
+
+(** The declaration block of a procedure, looked up by declared name. *)
+let find_decl_for (decls : decl list) name =
+  List.find_opt (fun d -> List.mem name (decl_names d)) decls

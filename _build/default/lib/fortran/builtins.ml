@@ -1,0 +1,50 @@
+type category =
+  | Elemental_math
+  | Minmax
+  | Mod_like
+  | Conversion
+  | Array_reduction
+  | Inquiry
+
+let table =
+  [
+    "abs", Elemental_math;
+    "sqrt", Elemental_math;
+    "exp", Elemental_math;
+    "log", Elemental_math;
+    "sin", Elemental_math;
+    "cos", Elemental_math;
+    "tan", Elemental_math;
+    "atan", Elemental_math;
+    "asin", Elemental_math;
+    "acos", Elemental_math;
+    "sinh", Elemental_math;
+    "cosh", Elemental_math;
+    "tanh", Elemental_math;
+    "log10", Elemental_math;
+    "aint", Elemental_math;
+    "anint", Elemental_math;
+    "min", Minmax;
+    "max", Minmax;
+    "mod", Mod_like;
+    "sign", Mod_like;
+    "atan2", Mod_like;
+    "real", Conversion;
+    "dble", Conversion;
+    "int", Conversion;
+    "nint", Conversion;
+    "floor", Conversion;
+    "sum", Array_reduction;
+    "maxval", Array_reduction;
+    "minval", Array_reduction;
+    "dot_product", Array_reduction;
+    "size", Inquiry;
+    "epsilon", Inquiry;
+    "huge", Inquiry;
+    "tiny", Inquiry;
+  ]
+
+let classify name = List.assoc_opt name table
+let is_intrinsic_function name = classify name <> None
+let is_intrinsic_subroutine name = name = "mpi_allreduce" || name = "mpi_barrier"
+let vectorizable name = is_intrinsic_function name

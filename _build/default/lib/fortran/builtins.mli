@@ -1,0 +1,33 @@
+(** Fortran intrinsic procedures recognized by the frontend and runtime.
+
+    The paper's timing methodology excludes non-targeted model procedures
+    but {e includes} time spent in intrinsic or library functions
+    (Sec. III-E); the cost model therefore prices intrinsics explicitly,
+    and — matching hardware — prices most of them cheaper at binary32
+    (e.g. [sqrt], [sin]) while leaving precision-insensitive operations
+    (like MPI reductions) flat. *)
+
+type category =
+  | Elemental_math
+      (** abs, sqrt, exp, log, log10, sin, cos, tan, atan, asin, acos,
+          sinh, cosh, tanh, aint, anint *)
+  | Minmax  (** min, max — n-ary, promoting *)
+  | Mod_like  (** mod, sign, atan2 — binary, promoting *)
+  | Conversion  (** real, dble, int, nint, floor *)
+  | Array_reduction  (** sum, maxval, minval, dot_product over whole arrays *)
+  | Inquiry  (** size, epsilon, huge, tiny — no runtime cost *)
+
+val classify : string -> category option
+(** [classify name] returns the category of intrinsic function [name]
+    (lowercase), or [None] if [name] is not an intrinsic function. *)
+
+val is_intrinsic_function : string -> bool
+
+val is_intrinsic_subroutine : string -> bool
+(** Currently the MPI stand-ins: [mpi_allreduce] (scalar, op in {'sum',
+    'max', 'min'}) and [mpi_barrier]. *)
+
+val vectorizable : string -> bool
+(** Whether a call to this intrinsic inside a loop still permits
+    vectorization of that loop (models SVML-style vector math libraries;
+    true for all intrinsic functions, false for the MPI subroutines). *)

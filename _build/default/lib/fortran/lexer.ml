@@ -1,0 +1,275 @@
+exception Error of { loc : Loc.t; message : string }
+
+let error loc fmt = Format.kasprintf (fun message -> raise (Error { loc; message })) fmt
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable toks : (Token.t * Loc.t) list;  (* reversed *)
+  mutable continuation : bool;  (* a trailing [&] suppresses the next newline *)
+}
+
+let here st = Loc.make ~file:st.file ~line:st.line ~col:st.col
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_at st k =
+  if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let emit st tok loc = st.toks <- (tok, loc) :: st.toks
+
+let last_significant st =
+  match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let lower = String.lowercase_ascii
+
+(* The dot-form operators and logical literals. *)
+let dot_words =
+  [
+    "and", Token.And_op;
+    "or", Token.Or_op;
+    "not", Token.Not_op;
+    "eq", Token.Eq;
+    "ne", Token.Ne;
+    "lt", Token.Lt;
+    "le", Token.Le;
+    "gt", Token.Gt;
+    "ge", Token.Ge;
+    "true", Token.Logical_lit true;
+    "false", Token.Logical_lit false;
+  ]
+
+(* Looking at [.], decide whether a dot-word like [.and.] starts here. *)
+let dot_word_at st =
+  let n = String.length st.src in
+  let rec scan i acc =
+    if i >= n then None
+    else
+      let c = st.src.[i] in
+      if c = '.' then Some (lower acc, i)
+      else if is_ident_char c then scan (i + 1) (acc ^ String.make 1 c)
+      else None
+  in
+  match scan (st.pos + 1) "" with
+  | None -> None
+  | Some (word, close) -> (
+    match List.assoc_opt word dot_words with
+    | Some tok -> Some (tok, close)
+    | None -> None)
+
+let read_while st pred =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some c when pred c ->
+      Buffer.add_char b c;
+      advance st;
+      go ()
+    | Some _ | None -> Buffer.contents b
+  in
+  go ()
+
+(* Numeric literal: integer, or real with fraction / exponent / kind suffix. *)
+let lex_number st loc =
+  let b = Buffer.create 16 in
+  let add_digits () = Buffer.add_string b (read_while st is_digit) in
+  add_digits ();
+  let is_real = ref false in
+  (match peek st with
+  | Some '.' when dot_word_at st = None ->
+    (* a fraction, not a dot-operator such as [1.and.] *)
+    is_real := true;
+    Buffer.add_char b '.';
+    advance st;
+    add_digits ()
+  | Some _ | None -> ());
+  let kind = ref Token.K4 in
+  (match peek st with
+  | Some ('e' | 'E' | 'd' | 'D') -> (
+    let exp_char = Option.get (peek st) in
+    let next = peek_at st 1 in
+    let next2 = peek_at st 2 in
+    let exponent_follows =
+      match next with
+      | Some c when is_digit c -> true
+      | Some ('+' | '-') -> ( match next2 with Some c -> is_digit c | None -> false)
+      | Some _ | None -> false
+    in
+    if exponent_follows then begin
+      is_real := true;
+      if exp_char = 'd' || exp_char = 'D' then kind := Token.K8;
+      Buffer.add_char b 'e';
+      advance st;
+      (match peek st with
+      | Some (('+' | '-') as sign) ->
+        Buffer.add_char b sign;
+        advance st
+      | Some _ | None -> ());
+      add_digits ()
+    end)
+  | Some _ | None -> ());
+  (* kind suffix: [_4] or [_8] *)
+  (match peek st, peek_at st 1 with
+  | Some '_', Some ('4' | '8') ->
+    let k = if peek_at st 1 = Some '8' then Token.K8 else Token.K4 in
+    advance st;
+    advance st;
+    if !is_real then kind := k
+  | _ -> ());
+  let text = Buffer.contents b in
+  if !is_real then begin
+    match float_of_string_opt text with
+    | Some value ->
+      let source_text =
+        (* reconstruct a printable spelling close to the source *)
+        match !kind with
+        | Token.K8 ->
+          if String.contains text 'e' then String.map (fun c -> if c = 'e' then 'd' else c) text
+          else text ^ "d0"
+        | Token.K4 -> text
+      in
+      emit st (Token.Real_lit { text = source_text; value; kind = !kind }) loc
+    | None -> error loc "malformed real literal %S" text
+  end
+  else
+    match int_of_string_opt text with
+    | Some i -> emit st (Token.Int_lit i) loc
+    | None -> error loc "malformed integer literal %S" text
+
+let lex_string st loc quote =
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error loc "unterminated string literal"
+    | Some '\n' -> error loc "newline in string literal"
+    | Some c when c = quote ->
+      advance st;
+      if peek st = Some quote then begin
+        (* doubled quote escapes itself *)
+        Buffer.add_char b quote;
+        advance st;
+        go ()
+      end
+      else emit st (Token.Str_lit (Buffer.contents b)) loc
+    | Some c ->
+      Buffer.add_char b c;
+      advance st;
+      go ()
+  in
+  go ()
+
+let skip_comment st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+      advance st;
+      go ()
+  in
+  go ()
+
+let tokenize ?(file = "<input>") src =
+  let st = { src; file; pos = 0; line = 1; col = 1; toks = []; continuation = false } in
+  let emit_newline loc =
+    if st.continuation then st.continuation <- false
+    else
+      match last_significant st with
+      | None | Some Token.Newline -> ()  (* collapse blank lines *)
+      | Some _ -> emit st Token.Newline loc
+  in
+  let rec loop () =
+    let loc = here st in
+    match peek st with
+    | None ->
+      emit_newline loc;
+      emit st Token.Eof loc
+    | Some (' ' | '\t' | '\r') ->
+      advance st;
+      loop ()
+    | Some '!' ->
+      skip_comment st;
+      loop ()
+    | Some '\n' ->
+      advance st;
+      emit_newline loc;
+      loop ()
+    | Some ';' ->
+      advance st;
+      emit_newline loc;
+      loop ()
+    | Some '&' ->
+      advance st;
+      (* trailing continuation: suppress the next newline. A leading [&] on
+         the continued line is consumed the same way and is harmless. *)
+      st.continuation <- true;
+      loop ()
+    | Some c when is_digit c ->
+      st.continuation <- false;
+      lex_number st loc;
+      loop ()
+    | Some '.' -> (
+      st.continuation <- false;
+      match dot_word_at st with
+      | Some (tok, close_pos) ->
+        while st.pos <= close_pos do
+          advance st
+        done;
+        emit st tok loc;
+        loop ()
+      | None ->
+        if match peek_at st 1 with Some c -> is_digit c | None -> false then begin
+          lex_number st loc;
+          loop ()
+        end
+        else error loc "unexpected '.'")
+    | Some c when is_ident_start c ->
+      st.continuation <- false;
+      let word = read_while st is_ident_char in
+      emit st (Token.Ident (lower word)) loc;
+      loop ()
+    | Some ('\'' | '"') ->
+      st.continuation <- false;
+      lex_string st loc (Option.get (peek st));
+      loop ()
+    | Some c ->
+      st.continuation <- false;
+      let two cont = advance st; advance st; emit st cont loc; loop () in
+      let one cont = advance st; emit st cont loc; loop () in
+      (match c, peek_at st 1 with
+      | '*', Some '*' -> two Token.Pow
+      | '*', _ -> one Token.Star
+      | '/', Some '=' -> two Token.Ne
+      | '/', Some '/' -> two Token.Concat
+      | '/', _ -> one Token.Slash
+      | '=', Some '=' -> two Token.Eq
+      | '=', _ -> one Token.Assign
+      | '<', Some '=' -> two Token.Le
+      | '<', _ -> one Token.Lt
+      | '>', Some '=' -> two Token.Ge
+      | '>', _ -> one Token.Gt
+      | '+', _ -> one Token.Plus
+      | '-', _ -> one Token.Minus
+      | '(', _ -> one Token.Lparen
+      | ')', _ -> one Token.Rparen
+      | ',', _ -> one Token.Comma
+      | ':', Some ':' -> two Token.Dcolon
+      | ':', _ -> one Token.Colon
+      | _ -> error loc "unexpected character %C" c)
+  in
+  loop ();
+  Array.of_list (List.rev st.toks)

@@ -1,0 +1,15 @@
+(** Free-form Fortran lexer.
+
+    Supports the subset of Fortran 90 free-form lexical structure needed by
+    the precision-tuning pipeline: case-insensitive identifiers/keywords,
+    integer and real literals (with [e]/[d] exponents and [_4]/[_8] kind
+    suffixes), string literals, [!] comments, [&] line continuations, [;]
+    statement separators, and the dot-form logical/relational operators. *)
+
+exception Error of { loc : Loc.t; message : string }
+
+val tokenize : ?file:string -> string -> (Token.t * Loc.t) array
+(** [tokenize ~file source] lexes [source] into a token stream terminated by
+    {!Token.Eof}. Consecutive blank/comment lines collapse into a single
+    {!Token.Newline}. Raises {!Error} on malformed input (unterminated
+    string, bad numeric literal, unknown character or dot-operator). *)

@@ -1,0 +1,771 @@
+exception Error of { loc : Loc.t; message : string }
+
+let error loc fmt = Format.kasprintf (fun message -> raise (Error { loc; message })) fmt
+
+type state = {
+  toks : (Token.t * Loc.t) array;
+  mutable pos : int;
+  mutable next_loop_id : int;
+  mutable next_proc_id : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let peek_loc st = snd st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Token.Eof
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else error (peek_loc st) "expected %s but found %s" (Token.to_string tok) (Token.to_string (peek st))
+
+let is_kw st kw = match peek st with Token.Ident s -> s = kw | _ -> false
+
+let expect_kw st kw =
+  if is_kw st kw then advance st
+  else error (peek_loc st) "expected keyword %S but found %s" kw (Token.to_string (peek st))
+
+let accept_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match peek st with
+  | Token.Ident s ->
+    advance st;
+    s
+  | t -> error (peek_loc st) "expected identifier but found %s" (Token.to_string t)
+
+let skip_newlines st =
+  while Token.equal (peek st) Token.Newline do
+    advance st
+  done
+
+let end_of_stmt st =
+  match peek st with
+  | Token.Newline ->
+    advance st;
+    skip_newlines st
+  | Token.Eof -> ()
+  | t -> error (peek_loc st) "expected end of statement but found %s" (Token.to_string t)
+
+let fresh_loop_id st =
+  let id = st.next_loop_id in
+  st.next_loop_id <- id + 1;
+  id
+
+let fresh_proc_id st =
+  let id = st.next_proc_id in
+  st.next_proc_id <- id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go lhs =
+    if Token.equal (peek st) Token.Or_op then begin
+      advance st;
+      go (Ast.Binop (Ast.Or, lhs, parse_and st))
+    end
+    else lhs
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  let rec go lhs =
+    if Token.equal (peek st) Token.And_op then begin
+      advance st;
+      go (Ast.Binop (Ast.And, lhs, parse_not st))
+    end
+    else lhs
+  in
+  go lhs
+
+and parse_not st =
+  if Token.equal (peek st) Token.Not_op then begin
+    advance st;
+    Ast.Unop (Ast.Not, parse_not st)
+  end
+  else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let op =
+    match peek st with
+    | Token.Eq -> Some Ast.Eq
+    | Token.Ne -> Some Ast.Ne
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_additive st)
+
+and parse_additive st =
+  let lhs =
+    match peek st with
+    | Token.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_multiplicative st)
+    | Token.Plus ->
+      advance st;
+      parse_multiplicative st
+    | _ -> parse_multiplicative st
+  in
+  let rec go lhs =
+    match peek st with
+    | Token.Plus ->
+      advance st;
+      go (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | Token.Minus ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match peek st with
+    | Token.Star ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Token.Slash ->
+      advance st;
+      go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.Plus ->
+    advance st;
+    parse_unary st
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_primary st in
+  if Token.equal (peek st) Token.Pow then begin
+    advance st;
+    (* [**] is right-associative; its right operand binds unary minus. *)
+    Ast.Binop (Ast.Pow, base, parse_unary st)
+  end
+  else base
+
+and parse_primary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    Ast.Int_lit i
+  | Token.Real_lit { text; value; kind } ->
+    advance st;
+    Ast.Real_lit { text; value; kind }
+  | Token.Logical_lit b ->
+    advance st;
+    Ast.Logical_lit b
+  | Token.Str_lit s ->
+    advance st;
+    Ast.Str_lit s
+  | Token.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    e
+  | Token.Ident name ->
+    advance st;
+    if Token.equal (peek st) Token.Lparen then begin
+      advance st;
+      let args = parse_arg_list st in
+      expect st Token.Rparen;
+      Ast.Index (name, args)
+    end
+    else Ast.Var name
+  | t -> error loc "expected expression but found %s" (Token.to_string t)
+
+and parse_arg_list st =
+  if Token.equal (peek st) Token.Rparen then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+let parse_kind_spec st loc =
+  (* after "real": optional "(" ["kind" "="] int ")" *)
+  if Token.equal (peek st) Token.Lparen then begin
+    advance st;
+    if is_kw st "kind" then begin
+      advance st;
+      expect st Token.Assign
+    end;
+    let k =
+      match peek st with
+      | Token.Int_lit i -> (
+        match Token.kind_of_int i with
+        | Some k -> k
+        | None -> error loc "unsupported real kind %d (only 4 and 8)" i)
+      | t -> error loc "expected kind integer but found %s" (Token.to_string t)
+    in
+    advance st;
+    expect st Token.Rparen;
+    k
+  end
+  else Token.K4
+
+(* Returns [None] when the tokens at point do not start a type spec. *)
+let parse_type_spec_opt st =
+  let loc = peek_loc st in
+  match peek st with
+  | Token.Ident "real" ->
+    advance st;
+    Some (Ast.Treal (parse_kind_spec st loc))
+  | Token.Ident "double" ->
+    advance st;
+    expect_kw st "precision";
+    Some (Ast.Treal K8)
+  | Token.Ident "integer" ->
+    advance st;
+    (* allow and ignore an explicit integer kind, e.g. integer(kind=4) *)
+    if Token.equal (peek st) Token.Lparen then begin
+      let _ = parse_kind_spec st loc in
+      ()
+    end;
+    Some Ast.Tinteger
+  | Token.Ident "logical" ->
+    advance st;
+    Some Ast.Tlogical
+  | _ -> None
+
+let parse_dims st =
+  expect st Token.Lparen;
+  let dims = parse_arg_list st in
+  expect st Token.Rparen;
+  dims
+
+let parse_decl_attrs st =
+  let dims = ref [] in
+  let parameter = ref false in
+  let intent = ref None in
+  while Token.equal (peek st) Token.Comma do
+    advance st;
+    let loc = peek_loc st in
+    match ident st with
+    | "dimension" -> dims := parse_dims st
+    | "parameter" -> parameter := true
+    | "save" -> ()  (* accepted and ignored: module state persists anyway *)
+    | "intent" ->
+      expect st Token.Lparen;
+      let dir_loc = peek_loc st in
+      (match ident st with
+      | "in" -> intent := Some Ast.In
+      | "out" -> intent := Some Ast.Out
+      | "inout" -> intent := Some Ast.Inout
+      | s -> error dir_loc "unknown intent %S" s);
+      expect st Token.Rparen
+    | attr -> error loc "unsupported declaration attribute %S" attr
+  done;
+  (!dims, !parameter, !intent)
+
+let parse_decl st (base : Ast.base_type) =
+  let decl_loc = peek_loc st in
+  let dims, parameter, intent = parse_decl_attrs st in
+  expect st Token.Dcolon;
+  let rec names acc =
+    let n = ident st in
+    (* per-entity array spec: real :: a(10) *)
+    let entity_dims = if Token.equal (peek st) Token.Lparen then Some (parse_dims st) else None in
+    let init =
+      if Token.equal (peek st) Token.Assign then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    let acc = (n, init, entity_dims) :: acc in
+    if Token.equal (peek st) Token.Comma then begin
+      advance st;
+      names acc
+    end
+    else List.rev acc
+  in
+  let entries = names [] in
+  end_of_stmt st;
+  (* Entity-specific dims override the dimension attribute. Entries with
+     distinct dims are split into separate decl records by the caller; to
+     keep the AST simple we split here. *)
+  let groups = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (n, init, ed) ->
+      let d = match ed with Some d -> d | None -> dims in
+      let key = List.length d in
+      (* group by the actual dim expressions; structural equality suffices *)
+      let k = (key, d) in
+      (match Hashtbl.find_opt groups k with
+      | None ->
+        order := k :: !order;
+        Hashtbl.add groups k [ (n, init) ]
+      | Some l -> Hashtbl.replace groups k ((n, init) :: l)))
+    entries;
+  List.rev_map
+    (fun k ->
+      let d = snd k in
+      { Ast.base; dims = d; parameter; intent; names = List.rev (Hashtbl.find groups k); decl_loc })
+    !order
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec parse_block st ~stop =
+  (* [stop] returns true when the tokens at point terminate this block. *)
+  let rec go acc =
+    skip_newlines st;
+    if stop st then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and at_end_kw st kw =
+  (* "end do" / "end if" / "endif" / "enddo" *)
+  (is_kw st "end" && (match peek2 st with Token.Ident s -> s = kw | _ -> false))
+  || is_kw st ("end" ^ kw)
+
+and consume_end_kw st kw =
+  if accept_kw st ("end" ^ kw) then ()
+  else begin
+    expect_kw st "end";
+    expect_kw st kw
+  end
+
+and parse_stmt st : Ast.stmt =
+  let loc = peek_loc st in
+  let mk node = { Ast.node; loc } in
+  match peek st with
+  | Token.Ident "call" ->
+    advance st;
+    let name = ident st in
+    let args =
+      if Token.equal (peek st) Token.Lparen then begin
+        advance st;
+        let a = parse_arg_list st in
+        expect st Token.Rparen;
+        a
+      end
+      else []
+    in
+    end_of_stmt st;
+    mk (Ast.Call (name, args))
+  | Token.Ident "if" -> parse_if st loc
+  | Token.Ident "do" -> parse_do st loc
+  | Token.Ident "select" -> parse_select st loc
+  | Token.Ident "exit" ->
+    advance st;
+    end_of_stmt st;
+    mk Ast.Exit_stmt
+  | Token.Ident "cycle" ->
+    advance st;
+    end_of_stmt st;
+    mk Ast.Cycle_stmt
+  | Token.Ident "return" ->
+    advance st;
+    end_of_stmt st;
+    mk Ast.Return_stmt
+  | Token.Ident "stop" ->
+    advance st;
+    let msg =
+      match peek st with
+      | Token.Str_lit s ->
+        advance st;
+        Some s
+      | _ -> None
+    in
+    end_of_stmt st;
+    mk (Ast.Stop_stmt msg)
+  | Token.Ident "print" ->
+    advance st;
+    expect st Token.Star;
+    let args =
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        let rec go acc =
+          let e = parse_expr st in
+          if Token.equal (peek st) Token.Comma then begin
+            advance st;
+            go (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        go []
+      end
+      else []
+    in
+    end_of_stmt st;
+    mk (Ast.Print_stmt args)
+  | Token.Ident _ ->
+    (* assignment: name [ (indices) ] = expr *)
+    let name = ident st in
+    let lhs =
+      if Token.equal (peek st) Token.Lparen then begin
+        advance st;
+        let idx = parse_arg_list st in
+        expect st Token.Rparen;
+        Ast.Lindex (name, idx)
+      end
+      else Ast.Lvar name
+    in
+    expect st Token.Assign;
+    let rhs = parse_expr st in
+    end_of_stmt st;
+    mk (Ast.Assign (lhs, rhs))
+  | t -> error loc "expected statement but found %s" (Token.to_string t)
+
+and parse_if st loc =
+  expect_kw st "if";
+  expect st Token.Lparen;
+  let cond = parse_expr st in
+  expect st Token.Rparen;
+  if is_kw st "then" then begin
+    advance st;
+    end_of_stmt st;
+    let stop st = at_end_kw st "if" || is_kw st "else" || is_kw st "elseif" in
+    let first = parse_block st ~stop in
+    let rec arms acc =
+      if at_end_kw st "if" then begin
+        consume_end_kw st "if";
+        end_of_stmt st;
+        (List.rev acc, [])
+      end
+      else if is_kw st "elseif" || (is_kw st "else" && (match peek2 st with Token.Ident "if" -> true | _ -> false))
+      then begin
+        if accept_kw st "elseif" then ()
+        else begin
+          expect_kw st "else";
+          expect_kw st "if"
+        end;
+        expect st Token.Lparen;
+        let c = parse_expr st in
+        expect st Token.Rparen;
+        expect_kw st "then";
+        end_of_stmt st;
+        let blk = parse_block st ~stop in
+        arms ((c, blk) :: acc)
+      end
+      else begin
+        expect_kw st "else";
+        end_of_stmt st;
+        let els = parse_block st ~stop:(fun st -> at_end_kw st "if") in
+        consume_end_kw st "if";
+        end_of_stmt st;
+        (List.rev acc, els)
+      end
+    in
+    let rest, els = arms [ (cond, first) ] in
+    { Ast.node = Ast.If (rest, els); loc }
+  end
+  else begin
+    (* one-line logical if: [if (c) stmt] *)
+    let body = parse_stmt st in
+    { Ast.node = Ast.If ([ (cond, [ body ]) ], []); loc }
+  end
+
+and parse_select st loc =
+  expect_kw st "select";
+  expect_kw st "case";
+  expect st Token.Lparen;
+  let selector = parse_expr st in
+  expect st Token.Rparen;
+  end_of_stmt st;
+  skip_newlines st;
+  let parse_case_items () =
+    expect st Token.Lparen;
+    let item () =
+      (* [:hi] | [lo:] | [lo:hi] | [v] *)
+      if Token.equal (peek st) Token.Colon then begin
+        advance st;
+        let hi = parse_expr st in
+        Ast.Case_range (None, Some hi)
+      end
+      else begin
+        let lo = parse_expr st in
+        if Token.equal (peek st) Token.Colon then begin
+          advance st;
+          if Token.equal (peek st) Token.Comma || Token.equal (peek st) Token.Rparen then
+            Ast.Case_range (Some lo, None)
+          else Ast.Case_range (Some lo, Some (parse_expr st))
+        end
+        else Ast.Case_value lo
+      end
+    in
+    let rec go acc =
+      let it = item () in
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        go (it :: acc)
+      end
+      else List.rev (it :: acc)
+    in
+    let items = go [] in
+    expect st Token.Rparen;
+    items
+  in
+  let stop st = at_end_kw st "select" || is_kw st "case" in
+  let rec arms acc default =
+    if at_end_kw st "select" then begin
+      consume_end_kw st "select";
+      end_of_stmt st;
+      (List.rev acc, default)
+    end
+    else begin
+      expect_kw st "case";
+      if is_kw st "default" then begin
+        advance st;
+        end_of_stmt st;
+        let blk = parse_block st ~stop in
+        arms acc blk
+      end
+      else begin
+        let items = parse_case_items () in
+        end_of_stmt st;
+        let blk = parse_block st ~stop in
+        arms ((items, blk) :: acc) default
+      end
+    end
+  in
+  let arms_list, default = arms [] [] in
+  { Ast.node = Ast.Select { selector; arms = arms_list; default }; loc }
+
+and parse_do st loc =
+  expect_kw st "do";
+  (* ids are assigned at loop entry so outer loops precede inner ones *)
+  let id = fresh_loop_id st in
+  if is_kw st "while" then begin
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    end_of_stmt st;
+    let body = parse_block st ~stop:(fun st -> at_end_kw st "do") in
+    consume_end_kw st "do";
+    end_of_stmt st;
+    { Ast.node = Ast.Do_while { id; cond; body }; loc }
+  end
+  else begin
+    let var = ident st in
+    expect st Token.Assign;
+    let from_ = parse_expr st in
+    expect st Token.Comma;
+    let to_ = parse_expr st in
+    let step =
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    end_of_stmt st;
+    let body = parse_block st ~stop:(fun st -> at_end_kw st "do") in
+    consume_end_kw st "do";
+    end_of_stmt st;
+    { Ast.node = Ast.Do { id; var; from_; to_; step; body }; loc }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program units                                                       *)
+
+let parse_uses st =
+  let rec go acc =
+    skip_newlines st;
+    if is_kw st "use" then begin
+      advance st;
+      let m = ident st in
+      end_of_stmt st;
+      go (m :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let accept_implicit_none st =
+  skip_newlines st;
+  if is_kw st "implicit" then begin
+    advance st;
+    expect_kw st "none";
+    end_of_stmt st
+  end
+
+let parse_decls st =
+  let rec go acc =
+    skip_newlines st;
+    match parse_type_spec_opt st with
+    | Some base when not (is_kw st "function") -> go (List.rev_append (parse_decl st base) acc)
+    | Some _ -> error (peek_loc st) "typed function declarations must appear after 'contains'"
+    | None -> List.rev acc
+  in
+  go []
+
+let rec parse_proc st : Ast.proc =
+  skip_newlines st;
+  let proc_loc = peek_loc st in
+  let prefix = parse_type_spec_opt st in
+  let kind_kw = ident st in
+  let proc_id = fresh_proc_id st in
+  match kind_kw with
+  | "subroutine" ->
+    if prefix <> None then error proc_loc "subroutines cannot have a type prefix";
+    let proc_name = ident st in
+    let params =
+      if Token.equal (peek st) Token.Lparen then begin
+        advance st;
+        let rec go acc =
+          if Token.equal (peek st) Token.Rparen then List.rev acc
+          else begin
+            let p = ident st in
+            if Token.equal (peek st) Token.Comma then begin
+              advance st;
+              go (p :: acc)
+            end
+            else List.rev (p :: acc)
+          end
+        in
+        let ps = go [] in
+        expect st Token.Rparen;
+        ps
+      end
+      else []
+    in
+    end_of_stmt st;
+    accept_implicit_none st;
+    let proc_decls = parse_decls st in
+    let proc_body = parse_block st ~stop:(fun st -> at_end_kw st "subroutine") in
+    consume_end_kw st "subroutine";
+    (match peek st with Token.Ident _ -> advance st | _ -> ());
+    end_of_stmt st;
+    { Ast.proc_id; proc_kind = Ast.Subroutine; proc_name; params; proc_decls; proc_body; proc_loc }
+  | "function" ->
+    let proc_name = ident st in
+    expect st Token.Lparen;
+    let rec go acc =
+      if Token.equal (peek st) Token.Rparen then List.rev acc
+      else begin
+        let p = ident st in
+        if Token.equal (peek st) Token.Comma then begin
+          advance st;
+          go (p :: acc)
+        end
+        else List.rev (p :: acc)
+      end
+    in
+    let params = go [] in
+    expect st Token.Rparen;
+    let result =
+      if is_kw st "result" then begin
+        advance st;
+        expect st Token.Lparen;
+        let r = ident st in
+        expect st Token.Rparen;
+        r
+      end
+      else proc_name
+    in
+    end_of_stmt st;
+    accept_implicit_none st;
+    let proc_decls = parse_decls st in
+    (* A type prefix declares the result variable implicitly. *)
+    let proc_decls =
+      match prefix with
+      | Some base when Ast.find_decl_for proc_decls result = None ->
+        { Ast.base; dims = []; parameter = false; intent = None; names = [ (result, None) ];
+          decl_loc = proc_loc }
+        :: proc_decls
+      | Some _ | None -> proc_decls
+    in
+    let proc_body = parse_block st ~stop:(fun st -> at_end_kw st "function") in
+    consume_end_kw st "function";
+    (match peek st with Token.Ident _ -> advance st | _ -> ());
+    end_of_stmt st;
+    { Ast.proc_id; proc_kind = Ast.Function { result }; proc_name; params; proc_decls; proc_body;
+      proc_loc }
+  | kw -> error proc_loc "expected 'subroutine' or 'function' but found %S" kw
+
+and parse_contains_procs st ~unit_kw =
+  skip_newlines st;
+  if is_kw st "contains" then begin
+    advance st;
+    end_of_stmt st;
+    let rec go acc =
+      skip_newlines st;
+      if at_end_kw st unit_kw then List.rev acc else go (parse_proc st :: acc)
+    in
+    go []
+  end
+  else []
+
+let parse_module st : Ast.module_unit =
+  expect_kw st "module";
+  let mod_name = ident st in
+  end_of_stmt st;
+  let mod_uses = parse_uses st in
+  accept_implicit_none st;
+  let mod_decls = parse_decls st in
+  let mod_procs = parse_contains_procs st ~unit_kw:"module" in
+  consume_end_kw st "module";
+  (match peek st with Token.Ident _ -> advance st | _ -> ());
+  end_of_stmt st;
+  { Ast.mod_name; mod_uses; mod_decls; mod_procs }
+
+let parse_main st : Ast.main_unit =
+  expect_kw st "program";
+  let main_name = ident st in
+  end_of_stmt st;
+  let main_uses = parse_uses st in
+  accept_implicit_none st;
+  let main_decls = parse_decls st in
+  let stop st = at_end_kw st "program" || is_kw st "contains" in
+  let main_body = parse_block st ~stop in
+  let main_procs = parse_contains_procs st ~unit_kw:"program" in
+  consume_end_kw st "program";
+  (match peek st with Token.Ident _ -> advance st | _ -> ());
+  end_of_stmt st;
+  { Ast.main_name; main_uses; main_decls; main_body; main_procs }
+
+let parse_tokens toks : Ast.program =
+  let st = { toks; pos = 0; next_loop_id = 0; next_proc_id = 0 } in
+  let rec go acc =
+    skip_newlines st;
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | Token.Ident "module" -> go (Ast.Module (parse_module st) :: acc)
+    | Token.Ident "program" -> go (Ast.Main (parse_main st) :: acc)
+    | t -> error (peek_loc st) "expected 'module' or 'program' but found %s" (Token.to_string t)
+  in
+  go []
+
+let parse ?(file = "<input>") src = parse_tokens (Lexer.tokenize ~file src)

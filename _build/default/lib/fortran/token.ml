@@ -1,0 +1,71 @@
+type real_kind = K4 | K8
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Real_lit of { text : string; value : float; kind : real_kind }
+  | Str_lit of string
+  | Logical_lit of bool
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Pow
+  | Concat
+  | Assign
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_op
+  | Or_op
+  | Not_op
+  | Lparen
+  | Rparen
+  | Comma
+  | Dcolon
+  | Colon
+  | Newline
+  | Eof
+
+let equal (a : t) (b : t) =
+  match a, b with
+  | Real_lit ra, Real_lit rb -> ra.text = rb.text
+  | _ -> a = b
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Real_lit { text; _ } -> text
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Logical_lit true -> ".true."
+  | Logical_lit false -> ".false."
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Pow -> "**"
+  | Concat -> "//"
+  | Assign -> "="
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And_op -> ".and."
+  | Or_op -> ".or."
+  | Not_op -> ".not."
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dcolon -> "::"
+  | Colon -> ":"
+  | Newline -> "<newline>"
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let kind_of_int = function 4 -> Some K4 | 8 -> Some K8 | _ -> None
+let int_of_kind = function K4 -> 4 | K8 -> 8

@@ -1,0 +1,48 @@
+(** Tokens produced by the free-form Fortran lexer.
+
+    Identifiers and keywords are lowercased by the lexer (Fortran is
+    case-insensitive); keywords are not distinguished from identifiers at
+    the token level — the parser matches keyword spellings contextually,
+    which mirrors how Fortran's grammar treats keywords as non-reserved. *)
+
+type real_kind = K4 | K8  (** [real(kind=4)] (binary32) and [real(kind=8)] (binary64) *)
+
+type t =
+  | Ident of string  (** lowercased identifier or keyword *)
+  | Int_lit of int
+  | Real_lit of { text : string; value : float; kind : real_kind }
+      (** [text] preserves the source spelling, e.g. ["1.0d0"]. *)
+  | Str_lit of string
+  | Logical_lit of bool  (** [.true.] / [.false.] *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Pow  (** [**] *)
+  | Concat  (** [//] *)
+  | Assign  (** [=] *)
+  | Eq  (** [==] or [.eq.] *)
+  | Ne  (** [/=] or [.ne.] *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And_op  (** [.and.] *)
+  | Or_op  (** [.or.] *)
+  | Not_op  (** [.not.] *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dcolon  (** [::] *)
+  | Colon
+  | Newline  (** end of statement: physical newline or [;] *)
+  | Eof
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val kind_of_int : int -> real_kind option
+(** [kind_of_int 4 = Some K4], [kind_of_int 8 = Some K8], otherwise [None]. *)
+
+val int_of_kind : real_kind -> int

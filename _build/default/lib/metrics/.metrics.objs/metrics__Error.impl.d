@@ -1,0 +1,1 @@
+lib/metrics/error.ml: Float List

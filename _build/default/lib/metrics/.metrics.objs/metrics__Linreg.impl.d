@@ -1,0 +1,1 @@
+lib/metrics/linreg.ml: Array Float List

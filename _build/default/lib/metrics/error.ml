@@ -1,0 +1,22 @@
+let rel_error ~baseline v =
+  if Float.is_nan baseline || Float.is_nan v then infinity
+  else if baseline = 0.0 then Float.abs v
+  else Float.abs ((baseline -. v) /. baseline)
+
+let l2 xs = sqrt (List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs)
+
+let series_rel_error_l2 ~baseline variant =
+  let nb = List.length baseline and nv = List.length variant in
+  if nb = 0 then if nv = 0 then 0.0 else infinity
+  else if nv < nb then infinity
+  else begin
+    let rec zip acc b v =
+      match b, v with
+      | [], _ -> List.rev acc
+      | bx :: b', vx :: v' -> zip (rel_error ~baseline:bx vx :: acc) b' v'
+      | _ :: _, [] -> List.rev acc
+    in
+    l2 (zip [] baseline variant)
+  end
+
+let within ~threshold e = (not (Float.is_nan e)) && e <= threshold

@@ -1,0 +1,25 @@
+(** Correctness metrics (Sec. III-D).
+
+    The paper's automated correctness check computes a scalar metric from
+    each model's output time series and compares it to the 64-bit
+    baseline via relative error [|(out_base - out_variant)/out_base|].
+    Each model prints one metric value per time step (kinetic energy for
+    MPAS-A, extreme surface elevation for ADCIRC, max CFL for MOM6); the
+    per-step relative errors are collapsed with an L2 norm over time, as
+    described in Sec. IV-A. *)
+
+val rel_error : baseline:float -> float -> float
+(** [|(b - v)/b|]; when [b = 0], [|v|]. NaN inputs yield [infinity] so a
+    corrupt metric always fails any threshold. *)
+
+val l2 : float list -> float
+(** Euclidean norm. *)
+
+val series_rel_error_l2 : baseline:float list -> float list -> float
+(** Per-step relative errors, L2-collapsed over time. The series are
+    compared up to the shorter length; a variant that produced {e fewer}
+    steps than the baseline (e.g. it died mid-run) contributes [infinity]
+    for each missing step. *)
+
+val within : threshold:float -> float -> bool
+(** [within ~threshold e] — the pass/fail test of Fig. 1. NaN fails. *)

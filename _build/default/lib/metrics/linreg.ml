@@ -1,0 +1,101 @@
+type model = { weights : float array }
+
+let with_intercept x =
+  let n = Array.length x in
+  let y = Array.make (n + 1) 1.0 in
+  Array.blit x 0 y 1 n;
+  y
+
+(* Gaussian elimination with partial pivoting; [a] is destroyed. *)
+let solve a b =
+  let n = Array.length b in
+  let singular = ref false in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if Float.abs a.(!piv).(col) < 1e-12 then singular := true
+    else begin
+      if !piv <> col then begin
+        let t = a.(col) in
+        a.(col) <- a.(!piv);
+        a.(!piv) <- t;
+        let t = b.(col) in
+        b.(col) <- b.(!piv);
+        b.(!piv) <- t
+      end;
+      for r = col + 1 to n - 1 do
+        let f = a.(r).(col) /. a.(col).(col) in
+        for c = col to n - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      done
+    end
+  done;
+  if !singular then None
+  else begin
+    let x = Array.make n 0.0 in
+    for r = n - 1 downto 0 do
+      let s = ref b.(r) in
+      for c = r + 1 to n - 1 do
+        s := !s -. (a.(r).(c) *. x.(c))
+      done;
+      x.(r) <- !s /. a.(r).(r)
+    done;
+    Some x
+  end
+
+let fit ~features ~targets =
+  match features with
+  | [] -> None
+  | f0 :: _ ->
+    let d = Array.length f0 + 1 in
+    if List.length features <> List.length targets || List.length features < d then None
+    else if List.exists (fun f -> Array.length f + 1 <> d) features then None
+    else begin
+      let xs = List.map with_intercept features in
+      (* ridge-regularized normal equations: (X^T X + lambda I) w = X^T y;
+         the tiny lambda keeps constant or collinear features from making
+         the system singular without noticeably biasing the fit *)
+      let lambda = 1e-6 in
+      let xtx = Array.init d (fun i -> Array.init d (fun j -> if i = j then lambda else 0.0)) in
+      let xty = Array.make d 0.0 in
+      List.iter2
+        (fun x y ->
+          for i = 0 to d - 1 do
+            for j = 0 to d - 1 do
+              xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+            done;
+            xty.(i) <- xty.(i) +. (x.(i) *. y)
+          done)
+        xs targets;
+      match solve xtx xty with
+      | Some w -> Some { weights = w }
+      | None -> None
+    end
+
+let predict m x =
+  let xi = with_intercept x in
+  let s = ref 0.0 in
+  Array.iteri (fun i w -> s := !s +. (w *. xi.(i))) m.weights;
+  !s
+
+let r_squared m ~features ~targets =
+  let n = List.length targets in
+  if n = 0 then 0.0
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 targets /. float_of_int n in
+    let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 targets in
+    let ss_res =
+      List.fold_left2
+        (fun acc x y ->
+          let e = y -. predict m x in
+          acc +. (e *. e))
+        0.0 features targets
+    in
+    if ss_tot <= 0.0 then if ss_res <= 1e-18 then 1.0 else 0.0
+    else 1.0 -. (ss_res /. ss_tot)
+  end

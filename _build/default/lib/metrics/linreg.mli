@@ -1,0 +1,21 @@
+(** Small-dimension ordinary least squares.
+
+    Solves the normal equations by Gaussian elimination with partial
+    pivoting — adequate for the handful of features used by the variant
+    performance predictor (the direction of Wang & Rubio-González [42],
+    which the paper cites as the way to avoid evaluating bad variants). *)
+
+type model = { weights : float array (* intercept first *) }
+
+val fit : features:float array list -> targets:float list -> model option
+(** [fit ~features ~targets] returns the least-squares linear model (with
+    an implicit intercept term prepended and a tiny ridge term keeping
+    constant/collinear features from breaking the solve), or [None] when
+    the sample count is below the parameter count or the lengths are
+    inconsistent. *)
+
+val predict : model -> float array -> float
+
+val r_squared : model -> features:float array list -> targets:float list -> float
+(** Coefficient of determination on a (possibly held-out) sample; can be
+    negative when the model is worse than predicting the mean. *)

@@ -1,0 +1,8 @@
+let of_times ~baseline ~variant =
+  match baseline, variant with
+  | _, [] | [], _ -> 0.0
+  | _, _ ->
+    let mv = Stats.median variant in
+    if mv = 0.0 then 0.0 else Stats.median baseline /. mv
+
+let choose_n ~rel_std = if rel_std < 0.05 then 1 else 7

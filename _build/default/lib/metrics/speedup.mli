@@ -1,0 +1,15 @@
+(** The noise-tolerant speedup metric of Eq. 1 (Sec. III-E):
+
+    {v Speedup = median(T_base_1..n) / median(T_var_1..n) v}
+
+    [n] is chosen from the observed relative standard deviation of a
+    baseline ensemble ([n = 1] for MPAS-A/ADCIRC at 1 % rsd, [n = 7] for
+    MOM6 at 9 % rsd in the paper). *)
+
+val of_times : baseline:float list -> variant:float list -> float
+(** Median-over-median speedup; [> 1] is improvement. Empty variant
+    times yield [0.]. *)
+
+val choose_n : rel_std:float -> int
+(** The paper's heuristic: [1] when the baseline ensemble's relative
+    standard deviation is below 5 %, [7] otherwise. *)

@@ -1,0 +1,1 @@
+lib/models/funarc.ml: Printf

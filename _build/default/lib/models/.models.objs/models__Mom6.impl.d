@@ -1,0 +1,1 @@
+lib/models/mom6.ml: Printf

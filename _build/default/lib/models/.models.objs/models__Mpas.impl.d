@@ -1,0 +1,1 @@
+lib/models/mpas.ml: Printf

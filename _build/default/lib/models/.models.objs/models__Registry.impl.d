@@ -1,0 +1,1 @@
+lib/models/registry.ml: Adcirc Funarc Lulesh Mom6 Mpas

@@ -1,0 +1,53 @@
+(** The funarc motivating example (Sec. II-B; Bailey).
+
+    Computes the arc length of [g(x) = x + Σ_k 2^-k sin(2^k x)] over
+    [0, π] by summation over [n] subintervals. Eight FP variable
+    declarations (the [result] output is excluded, as in the paper) give
+    the 2⁸ = 256-variant brute-force space of Fig. 2. *)
+
+let default_n = 1000
+
+let source ?(n = default_n) () =
+  Printf.sprintf
+    {|
+module funarc_mod
+  implicit none
+  integer, parameter :: nseg = %d
+contains
+  function fun(x) result(t1)
+    real(kind=8) :: x, t1, d1
+    integer :: k
+    d1 = 1.0
+    t1 = x
+    do k = 1, 5
+      d1 = 2.0 * d1
+      t1 = t1 + sin(d1 * x) / d1
+    end do
+  end function fun
+
+  subroutine funarc(res)
+    real(kind=8), intent(out) :: res
+    real(kind=8) :: s1, h, t1, t2, dppi
+    integer :: i
+    dppi = acos(-1.0)
+    s1 = 0.0
+    t1 = 0.0
+    h = dppi / nseg
+    do i = 1, nseg
+      t2 = fun(i * h)
+      s1 = s1 + sqrt(h * h + (t2 - t1) * (t2 - t1))
+      t1 = t2
+    end do
+    res = s1
+  end subroutine funarc
+end module funarc_mod
+
+program funarc_main
+  use funarc_mod
+  implicit none
+  real(kind=8) :: res
+  call funarc(res)
+  print *, 'result', res
+end program funarc_main
+|}
+    n

@@ -1,0 +1,120 @@
+(** LULESH-style proxy application — the contrast case of the paper's
+    introduction.
+
+    The paper motivates its study by noting that existing FPPT tools
+    target "programs restricted in size/complexity such as proxy
+    applications with just a few computational hotspots that consume the
+    majority of the runtime, e.g., LULESH" (Sec. I). This model provides
+    that contrast inside the same harness: a 1-D Lagrangian shock
+    hydrodynamics mini-app (Sedov-style blast in a closed tube) whose two
+    kernels — force/acceleration and equation-of-state update — consume
+    essentially the whole runtime, with clean vectorizable loops and no
+    interprocedural FP traffic to speak of.
+
+    Tuning it shows what the paper's intro claims: on a proxy app, the
+    canonical FPPT cycle works beautifully (high pass rates, near-uniform
+    32-bit winners); the pathologies only appear at weather/climate-model
+    scale. *)
+
+type params = {
+  nzones : int;
+  nsteps : int;
+}
+
+let default = { nzones = 64; nsteps = 40 }
+let small = { nzones = 16; nsteps = 10 }
+
+let source ?(p = default) () =
+  Printf.sprintf
+    {|
+module lulesh_mod
+  implicit none
+  integer, parameter :: nzones = %d
+  integer, parameter :: nsteps = %d
+  real(kind=8), dimension(nzones) :: e_s, rho_s, p_s, q_s
+  real(kind=8), dimension(nzones + 1) :: x_s, u_s
+  real(kind=8) :: dt_l
+contains
+  subroutine lulesh_init()
+    integer :: i
+    dt_l = 1.0e-3
+    do i = 1, nzones + 1
+      x_s(i) = (i - 1) * 1.0 / nzones
+      u_s(i) = 0.0
+    end do
+    do i = 1, nzones
+      rho_s(i) = 1.0
+      e_s(i) = 1.0e-6
+      p_s(i) = 0.0
+      q_s(i) = 0.0
+    end do
+    ! deposit the blast energy in the first zone
+    e_s(1) = 2.5
+  end subroutine lulesh_init
+
+  subroutine calc_force_for_nodes(accel, n)
+    ! pressure + artificial viscosity gradient at the nodes
+    integer, intent(in) :: n
+    real(kind=8), dimension(n + 1), intent(out) :: accel
+    integer :: i
+    real(kind=8) :: pl, pr
+    accel(1) = 0.0
+    accel(n + 1) = 0.0
+    do i = 2, n
+      pl = p_s(i - 1) + q_s(i - 1)
+      pr = p_s(i) + q_s(i)
+      accel(i) = (pl - pr) / (0.5 * (rho_s(i - 1) + rho_s(i)))
+    end do
+  end subroutine calc_force_for_nodes
+
+  subroutine calc_energy_for_elems(n)
+    ! EOS update: ideal gas with artificial viscosity
+    integer, intent(in) :: n
+    integer :: i
+    real(kind=8) :: dvol, gamma_l, cs, du
+    gamma_l = 1.6666666
+    do i = 1, n
+      du = u_s(i + 1) - u_s(i)
+      dvol = du * dt_l / (x_s(i + 1) - x_s(i))
+      e_s(i) = max(1.0e-12, e_s(i) - (p_s(i) + q_s(i)) * dvol)
+      rho_s(i) = rho_s(i) / (1.0 + dvol)
+      p_s(i) = (gamma_l - 1.0) * rho_s(i) * e_s(i)
+      cs = sqrt(gamma_l * p_s(i) / rho_s(i))
+      if (du < 0.0) then
+        q_s(i) = rho_s(i) * (0.25 * du * du - 0.5 * cs * du)
+      else
+        q_s(i) = 0.0
+      end if
+    end do
+  end subroutine calc_energy_for_elems
+
+  subroutine lagrange_leapfrog()
+    real(kind=8), dimension(nzones + 1) :: accel_w
+    integer :: i
+    call calc_force_for_nodes(accel_w, nzones)
+    do i = 1, nzones + 1
+      u_s(i) = u_s(i) + dt_l * accel_w(i)
+    end do
+    do i = 1, nzones + 1
+      x_s(i) = x_s(i) + dt_l * u_s(i)
+    end do
+    call calc_energy_for_elems(nzones)
+  end subroutine lagrange_leapfrog
+end module lulesh_mod
+
+program lulesh_main
+  use lulesh_mod
+  implicit none
+  integer :: istep
+  real(kind=8) :: etot
+  call lulesh_init()
+  do istep = 1, nsteps
+    call lagrange_leapfrog()
+    etot = sum(e_s) + 0.5d0 * dot_product(u_s, u_s) / nzones
+    print *, 'etot', etot
+  end do
+end program lulesh_main
+|}
+    p.nzones p.nsteps
+
+let target_procs = [ "calc_force_for_nodes"; "calc_energy_for_elems"; "lagrange_leapfrog" ]

@@ -1,0 +1,282 @@
+(** MOM6 proxy: layered zonal/meridional continuity with PPM
+    reconstruction — the [MOM_continuity_PPM] hotspot (Sec. IV-A/IV-B).
+
+    Reproduced structure, keyed to the paper's findings:
+    - MOM6-style {e dimensional rescaling}: thicknesses and velocities are
+      carried through intermediates scaled by powers of two up to 2⁷⁰
+      (real MOM6 rescales by up to 2¹⁴⁰ for dimensional-consistency
+      testing). Products of two rescaled quantities reach ~10⁴¹ — far
+      beyond binary32's 3.4 × 10³⁸ — so lowering any variable on the
+      rescaled path overflows and aborts: the dominant runtime-error
+      class of Table II (51.7 % in the paper);
+    - [zonal_flux_adjust] / [meridional_flux_adjust] are Newton
+      iterations matching layer transports to a barotropic target at a
+      tolerance chosen for 64-bit arithmetic; 32-bit residuals floor
+      above the tolerance and the loop runs to its iteration cap, 10–100×
+      more iterations (the Fig.-6 0.01–0.1× slowdowns);
+    - [zonal_mass_flux] passes whole layer arrays to its callees; mixing
+      kinds across that boundary forces element-wise wrapper copies whose
+      cost lands inside the hotspot (the paper's "40 % of CPU time spent
+      on casting overhead" variant 58);
+    - correctness: the max CFL number per step (a MOM6 regression
+      quantity), compared as L2-over-time relative error. *)
+
+type params = {
+  ni : int;  (** columns *)
+  nk : int;  (** layers *)
+  nsteps : int;
+  max_adjust : int;  (** flux-adjust iteration cap *)
+  nhost : int;  (** host sweeps per step *)
+}
+
+let default = { ni = 16; nk = 6; nsteps = 6; max_adjust = 30; nhost = 160 }
+let small = { ni = 6; nk = 3; nsteps = 3; max_adjust = 20; nhost = 3 }
+
+let source ?(p = default) () =
+  Printf.sprintf
+    {|
+module mom_framework
+  implicit none
+  integer, parameter :: ni = %d
+  integer, parameter :: nk = %d
+  integer, parameter :: nsteps = %d
+  real(kind=8), dimension(ni, nk) :: h_s, hv_s
+  real(kind=8), dimension(ni, nk) :: uh_s, vh_s
+  real(kind=8), dimension(ni) :: u_s, v_s, uhbt_s, vhbt_s, cfl_s
+  real(kind=8), dimension(ni) :: bt_work_s
+  real(kind=8) :: dt_m, dx_m
+contains
+  subroutine mom_init()
+    integer :: i, k
+    real(kind=8) :: x
+    dt_m = 0.05d0
+    dx_m = 1.0d0
+    do i = 1, ni
+      x = 6.283185307179586d0 * (i - 1) / ni
+      u_s(i) = 0.4d0 * sin(x) + 0.1d0 * cos(3.0d0 * x)
+      v_s(i) = 0.3d0 * cos(x)
+      uhbt_s(i) = 0.0d0
+      vhbt_s(i) = 0.0d0
+      cfl_s(i) = 0.0d0
+      bt_work_s(i) = 0.0d0
+      do k = 1, nk
+        h_s(i, k) = 5.0d0 + 2.0d0 * sin(x + 0.3d0 * k) + 0.1d0 * k
+        hv_s(i, k) = 5.0d0 + 1.5d0 * cos(x - 0.2d0 * k)
+        uh_s(i, k) = 0.0d0
+        vh_s(i, k) = 0.0d0
+      end do
+    end do
+  end subroutine mom_init
+
+  subroutine mom_barotropic_host()
+    ! barotropic solver / EOS / diagnostics stand-in: the untargeted
+    ! majority of CPU time, a scalar recurrence per sweep
+    integer :: i, s
+    real(kind=8) :: acc, wgt
+    do s = 1, %d
+      acc = 0.0d0
+      do i = 2, ni
+        wgt = exp(-0.01d0 * abs(u_s(i)) - 0.002d0 * s)
+        acc = 0.8d0 * acc + wgt * sin(0.05d0 * u_s(i) + 0.01d0 * i)
+        bt_work_s(i) = bt_work_s(i - 1) * 0.25d0 + acc
+      end do
+    end do
+  end subroutine mom_barotropic_host
+
+  subroutine mom_apply_continuity()
+    ! thin the layers with the converged transports and refresh velocity
+    integer :: i, k, im1
+    do i = 1, ni
+      im1 = mod(i + ni - 2, ni) + 1
+      do k = 1, nk
+        h_s(i, k) = h_s(i, k) - dt_m * (uh_s(i, k) - uh_s(im1, k)) / dx_m
+        hv_s(i, k) = hv_s(i, k) - 0.5d0 * dt_m * (vh_s(i, k) - vh_s(im1, k)) / dx_m
+      end do
+      u_s(i) = 0.98d0 * u_s(i) + 0.01d0 * sin(0.3d0 * i)
+      v_s(i) = 0.98d0 * v_s(i) - 0.01d0 * cos(0.2d0 * i)
+    end do
+  end subroutine mom_apply_continuity
+end module mom_framework
+
+module mom_continuity_ppm
+  use mom_framework
+  implicit none
+  ! MOM6-style dimensional rescaling factors (powers of two; real MOM6
+  ! uses up to 2**140). Products of two rescaled quantities overflow
+  ! binary32.
+  real(kind=8) :: h_to_z = 1180591620717411303424.0  ! 2**70
+  real(kind=8) :: z_to_h = 8.470329472543003e-22       ! 2**(-70)
+  real(kind=8) :: l_to_z = 1180591620717411303424.0  ! 2**70
+  real(kind=8) :: z_to_l = 8.470329472543003e-22       ! 2**(-70)
+  real(kind=8), dimension(nk) :: e_l_w, e_r_w, duc_w
+contains
+  subroutine ppm_reconstruction(hcol, n)
+    ! PPM edge values for one column of layer thicknesses
+    integer, intent(in) :: n
+    real(kind=8), dimension(n), intent(in) :: hcol
+    integer :: k, km1, kp1
+    real(kind=8) :: slope
+    do k = 1, n
+      km1 = max(1, k - 1)
+      kp1 = min(n, k + 1)
+      slope = 0.5 * (hcol(kp1) - hcol(km1))
+      e_l_w(k) = hcol(k) - 0.5 * slope
+      e_r_w(k) = hcol(k) + 0.5 * slope
+    end do
+  end subroutine ppm_reconstruction
+
+  function zonal_flux_layer(uvel, hl, hr, dt_in) result(fl)
+    ! upwind PPM face transport for one layer (inlinable kernel)
+    real(kind=8) :: uvel, hl, hr, dt_in, fl
+    real(kind=8) :: cfl_loc
+    cfl_loc = uvel * dt_in
+    fl = uvel * (0.5 * (hl + hr) - 0.16666666666666666 * cfl_loc * (hr - hl))
+  end function zonal_flux_layer
+
+  subroutine zonal_flux_adjust(ucol, hcol, uhcol, n, uh_tot, du)
+    ! Newton iteration matching the column transport to the barotropic
+    ! target; the tolerance is sized for 64-bit arithmetic, so 32-bit
+    ! residuals floor above it and the loop runs to its cap
+    integer, intent(in) :: n
+    real(kind=8), dimension(n) :: ucol, hcol, uhcol
+    real(kind=8), intent(in) :: uh_tot
+    real(kind=8), intent(out) :: du
+    real(kind=8) :: err, dsum, hsum, tol
+    integer :: k, it
+    tol = 1.0e-11 * (abs(uh_tot) + 1.0)
+    du = 0.0
+    it = 0
+    err = 1.0e30
+    do while (abs(err) > tol .and. it < %d)
+      it = it + 1
+      dsum = 0.0
+      hsum = 0.0
+      do k = 1, n
+        dsum = dsum + zonal_flux_layer(ucol(k) + du, e_l_w(k), e_r_w(k), dt_m)
+        hsum = hsum + 0.5 * (e_l_w(k) + e_r_w(k))
+      end do
+      err = dsum - uh_tot
+      du = du - err / hsum
+    end do
+    do k = 1, n
+      uhcol(k) = zonal_flux_layer(ucol(k) + du, e_l_w(k), e_r_w(k), dt_m)
+    end do
+  end subroutine zonal_flux_adjust
+
+  subroutine zonal_mass_flux(n)
+    ! per-column driver: PPM reconstruction, rescaled volume fluxes,
+    ! flux adjustment to the barotropic target
+    integer, intent(in) :: n
+    integer :: i, k
+    real(kind=8), dimension(nk) :: ucol_w, hcol_w, uhcol_w
+    real(kind=8) :: htot, uscaled, vol, du, target_uh, cflmax
+    do i = 1, n
+      do k = 1, nk
+        hcol_w(k) = h_s(i, k)
+        ucol_w(k) = u_s(i) * (1.0 + 0.02 * k)
+      end do
+      call ppm_reconstruction(hcol_w, nk)
+      target_uh = 0.0
+      do k = 1, nk
+        ! dimensionally rescaled volume transport: overflows binary32
+        htot = hcol_w(k) * h_to_z
+        uscaled = ucol_w(k) * l_to_z
+        vol = htot * uscaled
+        target_uh = target_uh + vol * z_to_h * z_to_l
+      end do
+      call zonal_flux_adjust(ucol_w, hcol_w, uhcol_w, nk, target_uh, du)
+      cflmax = 0.0
+      do k = 1, nk
+        uh_s(i, k) = uhcol_w(k)
+        cflmax = max(cflmax, abs(ucol_w(k) + du) * dt_m / dx_m)
+      end do
+      cfl_s(i) = cflmax
+    end do
+  end subroutine zonal_mass_flux
+
+  subroutine meridional_flux_adjust(vcol, hcol, vhcol, n, vh_tot, dv)
+    integer, intent(in) :: n
+    real(kind=8), dimension(n) :: vcol, hcol, vhcol
+    real(kind=8), intent(in) :: vh_tot
+    real(kind=8), intent(out) :: dv
+    real(kind=8) :: errv, dsumv, hsumv, tolv
+    integer :: k, it
+    tolv = 1.0e-11 * (abs(vh_tot) + 1.0)
+    dv = 0.0
+    it = 0
+    errv = 1.0e30
+    do while (abs(errv) > tolv .and. it < %d)
+      it = it + 1
+      dsumv = 0.0
+      hsumv = 0.0
+      do k = 1, n
+        dsumv = dsumv + zonal_flux_layer(vcol(k) + dv, e_l_w(k), e_r_w(k), dt_m)
+        hsumv = hsumv + 0.5 * (e_l_w(k) + e_r_w(k))
+      end do
+      errv = dsumv - vh_tot
+      dv = dv - errv / hsumv
+    end do
+    do k = 1, n
+      vhcol(k) = zonal_flux_layer(vcol(k) + dv, e_l_w(k), e_r_w(k), dt_m)
+    end do
+  end subroutine meridional_flux_adjust
+
+  subroutine meridional_mass_flux(n)
+    integer, intent(in) :: n
+    integer :: i, k
+    real(kind=8), dimension(nk) :: vcol_w, hvcol_w, vhcol_w
+    real(kind=8) :: hvtot, vscaled, volv, dv, target_vh
+    do i = 1, n
+      do k = 1, nk
+        hvcol_w(k) = hv_s(i, k)
+        vcol_w(k) = v_s(i) * (1.0 + 0.015 * k)
+      end do
+      call ppm_reconstruction(hvcol_w, nk)
+      target_vh = 0.0
+      do k = 1, nk
+        hvtot = hvcol_w(k) * h_to_z
+        vscaled = vcol_w(k) * l_to_z
+        volv = hvtot * vscaled
+        target_vh = target_vh + volv * z_to_h * z_to_l
+      end do
+      call meridional_flux_adjust(vcol_w, hvcol_w, vhcol_w, nk, target_vh, dv)
+      do k = 1, nk
+        vh_s(i, k) = vhcol_w(k)
+      end do
+    end do
+  end subroutine meridional_mass_flux
+
+  subroutine continuity_ppm()
+    call zonal_mass_flux(ni)
+    call meridional_mass_flux(ni)
+  end subroutine continuity_ppm
+end module mom_continuity_ppm
+
+program mom6_main
+  use mom_framework
+  use mom_continuity_ppm
+  implicit none
+  integer :: istep
+  real(kind=8) :: cflmax_step
+  call mom_init()
+  do istep = 1, nsteps
+    call continuity_ppm()
+    call mom_apply_continuity()
+    call mom_barotropic_host()
+    cflmax_step = maxval(cfl_s)
+    print *, 'cfl', cflmax_step
+  end do
+end program mom6_main
+|}
+    p.ni p.nk p.nsteps p.nhost p.max_adjust p.max_adjust
+
+let target_procs =
+  [
+    "ppm_reconstruction";
+    "zonal_flux_layer";
+    "zonal_flux_adjust";
+    "zonal_mass_flux";
+    "meridional_flux_adjust";
+    "meridional_mass_flux";
+    "continuity_ppm";
+  ]

@@ -1,0 +1,69 @@
+(** The tuning targets of the case study.
+
+    Each entry bundles what the paper's experimental setup specifies per
+    model (Sec. IV-A): the program, the representative workload, the
+    targeted hotspot (module and procedures), the scalar correctness
+    metric and its threshold, the observed run-to-run noise level and the
+    Eq.-1 [n] derived from it — plus the paper's own numbers for
+    side-by-side reporting in Table I/II and EXPERIMENTS.md.
+
+    The four models are synthetic proxies (substitution rule; see
+    DESIGN.md §1): each reproduces its original's {e tunability profile} —
+    which of the paper's three hotspot criteria it satisfies and which
+    failure modes its variants exhibit — at a laptop-scale grid. *)
+
+type threshold =
+  | Fixed of float
+      (** absolute threshold on the L2-over-time relative error *)
+  | From_uniform32 of float
+      (** multiplier on the error observed for the uniform 32-bit variant —
+          how the paper set MPAS-A's threshold *)
+
+type paper_numbers = {
+  p_cpu_share : float;  (** Table I "% CPU time" *)
+  p_fp_vars : int;  (** Table I "# FP vars" *)
+  p_variants : int;  (** Table II "Total" *)
+  p_pass_pct : float;
+  p_fail_pct : float;
+  p_timeout_pct : float;
+  p_error_pct : float;
+  p_best_speedup : float;  (** Table II "Speedup" *)
+}
+
+type t = {
+  name : string;  (** CLI identifier: "funarc", "mpas", "adcirc", "mom6" *)
+  title : string;  (** display name, e.g. "MPAS-A" *)
+  description : string;
+  source : string;  (** the Fortran program *)
+  target_module : string;  (** hotspot module (Table I "Targeted Module") *)
+  target_procs : string list;
+      (** procedures whose variables form the search space and whose
+          exclusive time is the hotspot time; MPAS-A targets the work
+          routines, not the [atm_srk3] driver, so data passed from driver
+          to work routine crosses the tuning boundary as in the paper *)
+  exclude_atoms : string list;  (** variables excluded from the search space *)
+  metric_key : string;  (** record key of the per-step correctness metric *)
+  metric_desc : string;
+  threshold : threshold;
+  noise_rel_std : float;  (** injected run-to-run jitter (1 % / 1 % / 9 %) *)
+  timeout_factor : float;  (** variant budget = factor × baseline cost (3.0) *)
+  fig6_procs : string list;  (** procedures plotted in Fig. 6 *)
+  max_variants : int option;  (** simulated 12-hour cap (MOM6's truncation) *)
+  paper : paper_numbers option;  (** None for funarc (not in Table I/II) *)
+}
+
+val funarc : t
+val mpas : t
+val adcirc : t
+val mom6 : t
+
+val lulesh : t
+(** The Sec.-I contrast case: a hotspot-dominated proxy application where
+    the canonical FPPT cycle works cleanly — not part of Table I/II. *)
+
+val all : t list
+(** The three weather/climate models, in paper order ([lulesh] and
+    [funarc] are separate). *)
+
+val find : string -> t
+(** Lookup by [name] (funarc included). Raises [Not_found]. *)

@@ -1,0 +1,1 @@
+lib/runtime/fp32.ml: Float Fortran Int32

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Analysis Array Ast Builtins Float Format Fortran Fp32 Hashtbl List Machine Option String Symtab Timers Token Typecheck Value

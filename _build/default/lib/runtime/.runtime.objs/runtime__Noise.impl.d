@@ -1,0 +1,1 @@
+lib/runtime/noise.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/runtime/timers.ml: Hashtbl List

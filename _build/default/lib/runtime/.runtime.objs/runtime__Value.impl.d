@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Format Fortran List Printf

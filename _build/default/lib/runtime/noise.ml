@@ -1,0 +1,24 @@
+(* SplitMix64, seeded from (seed, index); gives a well-mixed uniform. *)
+let splitmix64 state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let uniform ~seed idx =
+  let h = splitmix64 (Int64.add (Int64.of_int seed) (Int64.mul 0x100000001B3L (Int64.of_int idx))) in
+  let mantissa = Int64.to_float (Int64.shift_right_logical h 11) in
+  mantissa /. 9007199254740992.0 (* 2^53 *)
+
+let gaussian ~seed idx =
+  (* Box–Muller on two deterministic uniforms *)
+  let u1 = Float.max 1e-12 (uniform ~seed (2 * idx)) in
+  let u2 = uniform ~seed ((2 * idx) + 1) in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let factor ~seed ~run ~rel_std =
+  if rel_std <= 0.0 then 1.0
+  else
+    let z = gaussian ~seed run in
+    Float.min 2.0 (Float.max 0.5 (1.0 +. (rel_std *. z)))

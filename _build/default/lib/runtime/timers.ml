@@ -1,0 +1,52 @@
+type acc = { mutable calls : int; mutable exclusive : float; mutable inclusive : float }
+
+type t = {
+  table : (string, acc) Hashtbl.t;
+  mutable stack : (string * float) list;  (* (name, cost mark at entry) *)
+}
+
+type entry = { name : string; calls : int; exclusive : float; inclusive : float }
+
+let create () = { table = Hashtbl.create 32; stack = [] }
+
+let acc_of t name =
+  match Hashtbl.find_opt t.table name with
+  | Some a -> a
+  | None ->
+    let a = { calls = 0; exclusive = 0.0; inclusive = 0.0 } in
+    Hashtbl.add t.table name a;
+    a
+
+let enter t name ~now =
+  let a = acc_of t name in
+  a.calls <- a.calls + 1;
+  t.stack <- (name, now) :: t.stack
+
+let exit_ t ~now =
+  match t.stack with
+  | [] -> invalid_arg "Timers.exit_: empty stack"
+  | (name, mark) :: rest ->
+    let a = acc_of t name in
+    a.inclusive <- a.inclusive +. (now -. mark);
+    t.stack <- rest
+
+let charge t cost =
+  match t.stack with
+  | [] -> ()
+  | (name, _) :: _ ->
+    let a = acc_of t name in
+    a.exclusive <- a.exclusive +. cost
+
+let current t = match t.stack with [] -> None | (name, _) :: _ -> Some name
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name (a : acc) l ->
+      { name; calls = a.calls; exclusive = a.exclusive; inclusive = a.inclusive } :: l)
+    t.table []
+  |> List.sort (fun a b -> compare b.inclusive a.inclusive)
+
+let find entries name = List.find_opt (fun e -> e.name = name) entries
+let inclusive_of entries name = match find entries name with Some e -> e.inclusive | None -> 0.0
+let exclusive_of entries name = match find entries name with Some e -> e.exclusive | None -> 0.0
+let calls_of entries name = match find entries name with Some e -> e.calls | None -> 0

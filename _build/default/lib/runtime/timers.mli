@@ -1,0 +1,50 @@
+(** GPTL-style per-procedure timers.
+
+    The paper measures hotspot CPU time with the GPTL library, excluding
+    non-targeted model procedures but including intrinsic/library time
+    (Sec. III-E). The interpreter reproduces that attribution:
+
+    - every modeled cost charge is attributed to the procedure currently
+      on top of the attribution stack (intrinsics do not push, so their
+      cost lands on the caller, as with GPTL);
+    - generated wrappers get no timer of their own: their conversion cost
+      is attributed to the procedure containing the call site. Casting at
+      an {e intra-hotspot} boundary therefore counts against the hotspot
+      (the paper's MPAS-A flux and MOM6 findings), while casting at the
+      hotspot's {e outer} boundary counts against the surrounding model
+      only — which is exactly why the whole-model-guided search of
+      Sec. IV-C sees slowdowns that hotspot timing does not;
+    - inclusive time (callees included) and call counts are kept per
+      procedure; Fig. 6 plots average inclusive time per call. *)
+
+type t
+
+type entry = {
+  name : string;
+  calls : int;
+  exclusive : float;  (** cost charged while this procedure was on top *)
+  inclusive : float;  (** cost between entry and exit, callees included *)
+}
+
+val create : unit -> t
+
+val enter : t -> string -> now:float -> unit
+(** Push procedure [name]; [now] is the global cost accumulator. *)
+
+val exit_ : t -> now:float -> unit
+(** Pop the top procedure, folding [now - entry_mark] into its inclusive
+    time. Calls must nest properly. *)
+
+val charge : t -> float -> unit
+(** Attribute cost to the procedure on top (no-op on an empty stack). *)
+
+val current : t -> string option
+
+val snapshot : t -> entry list
+(** Per-procedure totals, sorted by descending inclusive time. Only valid
+    once the stack has fully unwound (recursion would double-count
+    inclusive time; the models are non-recursive). *)
+
+val inclusive_of : entry list -> string -> float
+val exclusive_of : entry list -> string -> float
+val calls_of : entry list -> string -> int

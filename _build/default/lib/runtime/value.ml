@@ -1,0 +1,49 @@
+(** Runtime values and storage cells.
+
+    [real(kind=4)] scalars and array elements hold binary64 floats that
+    are exactly representable in binary32 (see {!Fp32}); the invariant is
+    maintained by every store and arithmetic operation in {!Interp}. *)
+
+type v =
+  | Vint of int
+  | Vreal of float * Fortran.Ast.real_kind
+  | Vlog of bool
+  | Vstr of string
+
+type cell =
+  | Scalar of v ref
+  | Real_array of { kind : Fortran.Ast.real_kind; data : float array; dims : int array }
+  | Int_array of { data : int array; dims : int array }
+  | Log_array of { data : bool array; dims : int array }
+
+exception Bounds of string
+
+(* Fortran column-major order, all lower bounds 1. *)
+let offset ~name ~dims indices =
+  let rank = Array.length dims in
+  if List.length indices <> rank then
+    raise (Bounds (Printf.sprintf "%s: rank %d but %d subscripts" name rank (List.length indices)));
+  let off = ref 0 in
+  let stride = ref 1 in
+  List.iteri
+    (fun d i ->
+      if i < 1 || i > dims.(d) then
+        raise
+          (Bounds
+             (Printf.sprintf "%s: subscript %d of dimension %d out of range [1,%d]" name i (d + 1)
+                dims.(d)));
+      off := !off + ((i - 1) * !stride);
+      stride := !stride * dims.(d))
+    indices;
+  !off
+
+let elements dims = Array.fold_left ( * ) 1 dims
+
+let pp_v ppf = function
+  | Vint i -> Format.fprintf ppf "%d" i
+  | Vreal (x, _) -> Format.fprintf ppf "%.17g" x
+  | Vlog true -> Format.pp_print_string ppf "T"
+  | Vlog false -> Format.pp_print_string ppf "F"
+  | Vstr s -> Format.pp_print_string ppf s
+
+let to_string v = Format.asprintf "%a" pp_v v

@@ -1,0 +1,1 @@
+lib/search/brute_force.ml: Array List Printf Trace Transform

@@ -1,0 +1,1 @@
+lib/search/brute_force.mli: Trace Transform Variant

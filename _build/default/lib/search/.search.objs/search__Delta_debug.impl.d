@@ -1,0 +1,1 @@
+lib/search/delta_debug.ml: Ddmin List Trace Transform Variant

@@ -1,0 +1,1 @@
+lib/search/delta_debug.mli: Trace Transform Variant

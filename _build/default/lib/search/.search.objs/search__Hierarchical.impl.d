@@ -1,0 +1,1 @@
+lib/search/hierarchical.ml: Ddmin Delta_debug List Trace Transform

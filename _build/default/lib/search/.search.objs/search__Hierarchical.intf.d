@@ -1,0 +1,1 @@
+lib/search/hierarchical.mli: Delta_debug Trace Transform Variant

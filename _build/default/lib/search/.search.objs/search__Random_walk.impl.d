@@ -1,0 +1,1 @@
+lib/search/random_walk.ml: List Trace Transform

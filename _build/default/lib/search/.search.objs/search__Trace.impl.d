@@ -1,0 +1,1 @@
+lib/search/trace.ml: Hashtbl List Transform Variant

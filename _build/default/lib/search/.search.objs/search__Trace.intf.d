@@ -1,0 +1,1 @@
+lib/search/trace.mli: Transform Variant

@@ -1,0 +1,1 @@
+lib/search/variant.ml: Float Format List Transform

@@ -1,0 +1,1 @@
+lib/search/variant.mli: Format Transform

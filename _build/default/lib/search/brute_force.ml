@@ -1,0 +1,13 @@
+let search ~atoms ~trace ~evaluate () =
+  let n = List.length atoms in
+  if n > 20 then invalid_arg (Printf.sprintf "Brute_force.search: 2^%d variants is too many" n);
+  let arr = Array.of_list atoms in
+  for mask = 0 to (1 lsl n) - 1 do
+    let lowered = ref [] in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then lowered := arr.(i) :: !lowered
+    done;
+    let asg = Transform.Assignment.of_lowered atoms ~lowered:!lowered in
+    ignore (Trace.evaluate trace ~f:evaluate asg)
+  done;
+  Trace.records trace

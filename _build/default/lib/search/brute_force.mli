@@ -1,0 +1,15 @@
+(** Exhaustive search over the full [2^n] design space (Sec. II-B).
+
+    Only feasible for small atom counts; used for the funarc motivating
+    example (2⁸ = 256 variants, Fig. 2) and as ground truth in tests of
+    the delta-debugging search's 1-minimality. *)
+
+val search :
+  atoms:Transform.Assignment.atom list ->
+  trace:Trace.t ->
+  evaluate:(Transform.Assignment.t -> Variant.measurement) ->
+  unit ->
+  Variant.record list
+(** Evaluates every subset of atoms lowered to 32 bits, in subset-mask
+    order (the baseline — nothing lowered — first). Raises
+    [Invalid_argument] above 20 atoms. *)

@@ -1,0 +1,39 @@
+let partition n xs =
+  let len = List.length xs in
+  let n = max 1 (min n len) in
+  let base = len / n and extra = len mod n in
+  let rec take k xs acc =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) rest (x :: acc)
+  in
+  let rec go i xs acc =
+    if i = n then List.rev acc
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs [] in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  List.filter (fun c -> c <> []) (go 0 xs [])
+
+let minimize ~test xs =
+  if test [] then []
+  else begin
+    let diff big small = List.filter (fun x -> not (List.memq x small)) big in
+    let rec ddmin cur n =
+      let chunks = partition n cur in
+      match List.find_opt test chunks with
+      | Some chunk -> if List.length chunk = 1 then chunk else ddmin chunk 2
+      | None -> (
+        let complements = List.map (fun c -> diff cur c) chunks in
+        match List.find_opt (fun comp -> comp <> [] && comp <> cur && test comp) complements with
+        | Some comp -> ddmin comp (max (n - 1) 2)
+        | None ->
+          if n < List.length cur then ddmin cur (min (List.length cur) (2 * n))
+          else cur (* singleton granularity exhausted: 1-minimal *))
+    in
+    ddmin xs 2
+  end

@@ -1,0 +1,20 @@
+(** Generic ddmin (Zeller & Hildebrandt [33]).
+
+    [minimize ~test xs] returns a 1-minimal subset [m] of [xs] with
+    [test m = true]: removing any single element of [m] makes [test]
+    fail. Requires [test xs = true]; [test []] is tried first (the empty
+    set is trivially 1-minimal when it passes).
+
+    The classic algorithm: partition the current set into [n] chunks, try
+    each chunk and each complement, recurse on success with adjusted
+    granularity, double [n] when stuck, and stop at singleton granularity.
+    Average O(k log k) tests, worst case O(k²).
+
+    Exceptions raised by [test] (e.g. {!Trace.Budget_exhausted})
+    propagate to the caller. *)
+
+val minimize : test:('a list -> bool) -> 'a list -> 'a list
+
+val partition : int -> 'a list -> 'a list list
+(** [partition n xs] splits [xs] into at most [n] non-empty chunks of
+    near-equal size, preserving order. Exposed for tests. *)

@@ -1,0 +1,47 @@
+type config = {
+  error_threshold : float;
+  perf_floor : float;
+}
+
+type result = {
+  minimal : Transform.Assignment.t;
+  high_set : Transform.Assignment.atom list;
+  finished : bool;
+  evaluations : int;
+}
+
+let accepted cfg (m : Variant.measurement) =
+  m.Variant.status = Variant.Pass
+  && m.Variant.rel_error <= cfg.error_threshold
+  && m.Variant.speedup >= cfg.perf_floor
+
+let search ~atoms ~trace ~evaluate cfg =
+  let module A = Transform.Assignment in
+  let diff big small = List.filter (fun a -> not (List.memq a small)) big in
+  let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
+  (* best accepted assignment seen so far, for budget-exhausted returns *)
+  let best_high = ref atoms in
+  let test high =
+    let m = Trace.evaluate trace ~f:evaluate (variant_of high) in
+    let ok = accepted cfg m in
+    if ok && List.length high < List.length !best_high then best_high := high;
+    ok
+  in
+  let finished = ref true in
+  let final_high =
+    try
+      if not (test atoms) then
+        (* the baseline itself fails the oracle (can happen when the perf
+           floor exceeds 1): fall back to reporting it *)
+        atoms
+      else Ddmin.minimize ~test atoms
+    with Trace.Budget_exhausted ->
+      finished := false;
+      !best_high
+  in
+  {
+    minimal = variant_of final_high;
+    high_set = final_high;
+    finished = !finished;
+    evaluations = Trace.count trace;
+  }

@@ -1,0 +1,45 @@
+(** The delta-debugging search for precision tuning (Sec. III-B).
+
+    This is the Precimonious adaptation of Zeller-Hildebrandt ddmin
+    [2, 33], the most canonical FPPT search strategy, used as a baseline
+    or core component throughout the literature. It searches for a
+    {e 1-minimal} variant: one possessing the smallest set of 64-bit
+    variables for which lowering any one of them violates the correctness
+    criteria or produces a variant less performant than required.
+
+    The algorithm minimizes the {e high-precision} set [H] (initially all
+    atoms, i.e. the baseline). A candidate [H] "passes" when the variant
+    lowering everything outside [H] finishes, meets the error threshold
+    and clears the performance floor. ddmin partitions [H] into [n]
+    chunks, tries each chunk and each complement, doubles granularity
+    when stuck, and stops when [H] is 1-minimal: every single-atom
+    removal has been tried and fails. Average-case O(n log n) evaluations,
+    worst-case O(n²). *)
+
+type config = {
+  error_threshold : float;  (** correctness criterion (model-specific, Sec. IV-A) *)
+  perf_floor : float;
+      (** acceptance floor for Eq.-1 speedup; [1.0] = "not less performant
+          than the baseline". A value slightly below 1 tolerates noise. *)
+}
+
+type result = {
+  minimal : Transform.Assignment.t;  (** the 1-minimal variant found *)
+  high_set : Transform.Assignment.atom list;  (** atoms left at 64 bits *)
+  finished : bool;  (** [false] when the variant budget ran out first *)
+  evaluations : int;  (** distinct variants dynamically evaluated *)
+}
+
+val search :
+  atoms:Transform.Assignment.atom list ->
+  trace:Trace.t ->
+  evaluate:(Transform.Assignment.t -> Variant.measurement) ->
+  config ->
+  result
+(** All evaluations go through [trace] (memoized); pass a
+    [?max_variants]-bounded trace to emulate the paper's 12-hour job
+    limit. On {!Trace.Budget_exhausted} the best accepted assignment seen
+    so far is returned with [finished = false]. *)
+
+val accepted : config -> Variant.measurement -> bool
+(** The oracle: passes, error within threshold, speedup above the floor. *)

@@ -1,0 +1,39 @@
+let search ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_debug.result =
+  let module A = Transform.Assignment in
+  (* groups must partition the atom list *)
+  let grouped = List.concat groups in
+  if
+    List.length grouped <> List.length atoms
+    || not (List.for_all (fun a -> List.memq a grouped) atoms)
+  then invalid_arg "Hierarchical.search: groups must partition the atoms";
+  let diff big small = List.filter (fun a -> not (List.memq a small)) big in
+  let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
+  let best_high = ref atoms in
+  let test high =
+    let m = Trace.evaluate trace ~f:evaluate (variant_of high) in
+    let ok = Delta_debug.accepted cfg m in
+    if ok && List.length high < List.length !best_high then best_high := high;
+    ok
+  in
+  let finished = ref true in
+  let final_high =
+    try
+      if not (test atoms) then atoms
+      else begin
+        (* phase 1: 1-minimal set of GROUPS kept at 64 bits *)
+        let high_groups =
+          Ddmin.minimize ~test:(fun gs -> test (List.concat gs)) groups
+        in
+        (* phase 2: refine the surviving groups atom by atom *)
+        Ddmin.minimize ~test (List.concat high_groups)
+      end
+    with Trace.Budget_exhausted ->
+      finished := false;
+      !best_high
+  in
+  {
+    Delta_debug.minimal = variant_of final_high;
+    high_set = final_high;
+    finished = !finished;
+    evaluations = Trace.count trace;
+  }

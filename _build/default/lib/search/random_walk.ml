@@ -1,0 +1,21 @@
+(* deterministic xorshift over the seed; no global Random state *)
+let next_state s =
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  s land max_int
+
+let search ~atoms ~trace ~evaluate ~samples ~seed () =
+  let state = ref (max 1 (abs seed)) in
+  let bit () =
+    state := next_state !state;
+    !state land 1 = 1
+  in
+  (try
+     for _ = 1 to samples do
+       let lowered = List.filter (fun _ -> bit ()) atoms in
+       let asg = Transform.Assignment.of_lowered atoms ~lowered in
+       ignore (Trace.evaluate trace ~f:evaluate asg)
+     done
+   with Trace.Budget_exhausted -> ());
+  Trace.records trace

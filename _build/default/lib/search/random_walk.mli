@@ -1,0 +1,17 @@
+(** Random-subset sampling baseline.
+
+    Not part of the paper's methodology (which deliberately adopts the
+    single canonical strategy); provided for the ablation benchmark that
+    contrasts the delta-debugging search against naive exploration at an
+    equal variant budget. Deterministic for a given seed. *)
+
+val search :
+  atoms:Transform.Assignment.atom list ->
+  trace:Trace.t ->
+  evaluate:(Transform.Assignment.t -> Variant.measurement) ->
+  samples:int ->
+  seed:int ->
+  unit ->
+  Variant.record list
+(** Evaluates [samples] random lowered-subsets (duplicates are served from
+    the trace cache and do not consume budget). *)

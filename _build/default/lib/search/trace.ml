@@ -1,0 +1,32 @@
+type t = {
+  mutable recs : Variant.record list;  (* reversed *)
+  mutable n : int;
+  cache : (string, Variant.measurement) Hashtbl.t;
+  max_variants : int option;
+}
+
+exception Budget_exhausted
+
+let create ?max_variants () = { recs = []; n = 0; cache = Hashtbl.create 64; max_variants }
+
+let evaluate t ~f asg =
+  let key = Transform.Assignment.signature asg in
+  match Hashtbl.find_opt t.cache key with
+  | Some m -> m
+  | None ->
+    (match t.max_variants with
+    | Some cap when t.n >= cap -> raise Budget_exhausted
+    | Some _ | None -> ());
+    let m = f asg in
+    t.n <- t.n + 1;
+    Hashtbl.add t.cache key m;
+    t.recs <- { Variant.index = t.n; asg; meas = m } :: t.recs;
+    m
+
+let records t = List.rev t.recs
+let count t = t.n
+
+let clear t =
+  t.recs <- [];
+  t.n <- 0;
+  Hashtbl.reset t.cache

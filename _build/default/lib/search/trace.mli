@@ -1,0 +1,25 @@
+(** Evaluation trace: memoization plus the exploration log.
+
+    The search algorithms call {!evaluate}; identical assignments (same
+    signature) are served from cache without recording a new variant, so
+    the trace's record list is exactly the set of {e distinct} variants
+    dynamically evaluated — the "Total" column of Table II. *)
+
+type t
+
+val create : ?max_variants:int -> unit -> t
+
+exception Budget_exhausted
+(** Raised by {!evaluate} when [max_variants] distinct evaluations have
+    been spent (the searches catch it and report an unfinished search, as
+    with MOM6's 12-hour cut-off). *)
+
+val evaluate :
+  t -> f:(Transform.Assignment.t -> Variant.measurement) -> Transform.Assignment.t ->
+  Variant.measurement
+
+val records : t -> Variant.record list
+(** In evaluation order. *)
+
+val count : t -> int
+val clear : t -> unit

@@ -1,0 +1,84 @@
+type status = Pass | Fail | Timeout | Error
+
+let status_to_string = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Timeout -> "timeout"
+  | Error -> "error"
+
+let pp_status ppf s = Format.pp_print_string ppf (status_to_string s)
+
+type measurement = {
+  status : status;
+  speedup : float;
+  rel_error : float;
+  hotspot_time : float;
+  model_time : float;
+  proc_stats : (string * float * int) list;
+  casting_share : float;
+  detail : string;
+}
+
+type record = {
+  index : int;
+  asg : Transform.Assignment.t;
+  meas : measurement;
+}
+
+let fraction_lowered r = Transform.Assignment.fraction_lowered r.asg
+
+type summary = {
+  total : int;
+  pass_pct : float;
+  fail_pct : float;
+  timeout_pct : float;
+  error_pct : float;
+  best_speedup : float;
+}
+
+let summarize records =
+  let total = List.length records in
+  let pct s =
+    if total = 0 then 0.0
+    else
+      100.0
+      *. float_of_int (List.length (List.filter (fun r -> r.meas.status = s) records))
+      /. float_of_int total
+  in
+  let best_speedup =
+    List.fold_left
+      (fun acc r -> if r.meas.status = Pass then Float.max acc r.meas.speedup else acc)
+      0.0 records
+  in
+  {
+    total;
+    pass_pct = pct Pass;
+    fail_pct = pct Fail;
+    timeout_pct = pct Timeout;
+    error_pct = pct Error;
+    best_speedup;
+  }
+
+let frontier records =
+  let passing = List.filter (fun r -> r.meas.status = Pass) records in
+  let dominated r =
+    List.exists
+      (fun r' ->
+        r' != r
+        && r'.meas.speedup >= r.meas.speedup
+        && r'.meas.rel_error <= r.meas.rel_error
+        && (r'.meas.speedup > r.meas.speedup || r'.meas.rel_error < r.meas.rel_error))
+      passing
+  in
+  List.filter (fun r -> not (dominated r)) passing
+  |> List.sort (fun a b -> compare a.meas.rel_error b.meas.rel_error)
+
+let best records =
+  List.fold_left
+    (fun acc r ->
+      if r.meas.status <> Pass then acc
+      else
+        match acc with
+        | Some b when b.meas.speedup >= r.meas.speedup -> acc
+        | Some _ | None -> Some r)
+    None records

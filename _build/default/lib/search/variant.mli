@@ -1,0 +1,55 @@
+(** Evaluated mixed-precision variants and Table-II accounting.
+
+    Every dynamically evaluated variant lands in one of the four outcome
+    classes of Table II: it {e passed} (ran to completion, met the error
+    threshold), {e failed} the correctness check, {e timed out} (3 × the
+    baseline budget), or died with a {e runtime error}. *)
+
+type status = Pass | Fail | Timeout | Error
+
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+type measurement = {
+  status : status;
+  speedup : float;  (** Eq. 1, against the 64-bit baseline; 0 when not measurable *)
+  rel_error : float;  (** the model's scalar correctness metric vs baseline *)
+  hotspot_time : float;  (** modeled CPU time inside the targeted module *)
+  model_time : float;  (** modeled CPU time of the whole run *)
+  proc_stats : (string * float * int) list;
+      (** per-procedure (inclusive time, call count) — Fig. 6's raw data *)
+  casting_share : float;
+      (** fraction of the run's modeled cost spent on kind conversions —
+          the paper's "40 % of the CPU time is spent on casting overhead"
+          quantity (Sec. IV-B, MOM6 variant 58) *)
+  detail : string;  (** diagnostic message (trap reason, ...) *)
+}
+
+type record = {
+  index : int;  (** evaluation order, 1-based ("variant 42 of 74") *)
+  asg : Transform.Assignment.t;
+  meas : measurement;
+}
+
+val fraction_lowered : record -> float
+(** Convenience projection for the Fig.-5 x-clustering. *)
+
+type summary = {
+  total : int;
+  pass_pct : float;
+  fail_pct : float;
+  timeout_pct : float;
+  error_pct : float;
+  best_speedup : float;  (** best Eq.-1 speedup among passing variants *)
+}
+
+val summarize : record list -> summary
+(** One Table-II row. *)
+
+val frontier : record list -> record list
+(** The optimal (Pareto) frontier in speedup–error space among passing
+    variants: variants not dominated by another with both higher speedup
+    and lower error. Sorted by increasing error. *)
+
+val best : record list -> record option
+(** Highest-speedup passing variant. *)

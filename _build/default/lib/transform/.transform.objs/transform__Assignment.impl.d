@@ -1,0 +1,1 @@
+lib/transform/assignment.ml: Ast Format Fortran List Map String Symtab

@@ -1,0 +1,1 @@
+lib/transform/assignment.mli: Format Fortran

@@ -1,0 +1,1 @@
+lib/transform/diff.ml: Array Assignment Buffer Fortran Hashtbl List Option Printf String Symtab Token

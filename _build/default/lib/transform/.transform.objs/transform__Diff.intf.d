@@ -1,0 +1,1 @@
+lib/transform/diff.mli: Assignment Fortran

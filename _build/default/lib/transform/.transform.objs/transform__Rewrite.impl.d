@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Assignment Ast Fortran List Symtab Unparse

@@ -1,0 +1,1 @@
+lib/transform/rewrite.mli: Assignment Fortran

@@ -1,0 +1,1 @@
+lib/transform/wrappers.ml: Ast Builtins Fortran Hashtbl List Loc Option Printf String Symtab Typecheck

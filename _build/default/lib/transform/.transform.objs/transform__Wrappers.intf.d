@@ -1,0 +1,1 @@
+lib/transform/wrappers.mli: Fortran

@@ -1,0 +1,59 @@
+open Fortran
+
+(* Split one declaration record into per-kind groups in original entity
+   order (stable), retyping entities the assignment targets. *)
+let rewrite_decl asg scope (d : Ast.decl) : Ast.decl list =
+  match d.base with
+  | Ast.Tinteger | Ast.Tlogical -> [ d ]
+  | Ast.Treal declared ->
+    if d.parameter then [ d ]
+    else begin
+      let entity_kind (name, _) =
+        match Assignment.lookup asg ~scope name with
+        | Some k -> k
+        | None -> declared
+      in
+      let kinds = List.sort_uniq compare (List.map entity_kind d.names) in
+      List.map
+        (fun k ->
+          {
+            d with
+            base = Ast.Treal k;
+            names = List.filter (fun e -> entity_kind e = k) d.names;
+          })
+        kinds
+    end
+
+let apply st asg : Ast.program =
+  let prog = Symtab.program st in
+  let rewrite_decls scope decls = List.concat_map (rewrite_decl asg scope) decls in
+  List.map
+    (fun u ->
+      match u with
+      | Ast.Module m ->
+        Ast.Module
+          {
+            m with
+            mod_decls = rewrite_decls (Symtab.Unit_scope m.mod_name) m.mod_decls;
+            mod_procs =
+              List.map
+                (fun (p : Ast.proc) ->
+                  { p with
+                    proc_decls = rewrite_decls (Symtab.Proc_scope p.proc_name) p.proc_decls })
+                m.mod_procs;
+          }
+      | Ast.Main m ->
+        Ast.Main
+          {
+            m with
+            main_decls = rewrite_decls (Symtab.Unit_scope m.main_name) m.main_decls;
+            main_procs =
+              List.map
+                (fun (p : Ast.proc) ->
+                  { p with
+                    proc_decls = rewrite_decls (Symtab.Proc_scope p.proc_name) p.proc_decls })
+                m.main_procs;
+          })
+    prog
+
+let apply_source st asg = Unparse.program (apply st asg)

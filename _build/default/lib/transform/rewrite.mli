@@ -1,0 +1,15 @@
+(** Source-to-source application of a precision assignment.
+
+    Retypes the targeted variable declarations ([real(kind=8)] ↔
+    [real(kind=4)]), splitting multi-entity declarations whose entities
+    receive different kinds — exactly the Fig.-3 transformation. Nothing
+    else changes: call sites, literals and expressions are untouched, so
+    the result may violate Fortran's argument-association rule until
+    {!Wrappers.insert} repairs it. *)
+
+val apply : Fortran.Symtab.t -> Assignment.t -> Fortran.Ast.program
+(** A new program with declarations retyped per the assignment. Statement
+    and loop ids are preserved. *)
+
+val apply_source : Fortran.Symtab.t -> Assignment.t -> string
+(** [apply] followed by unparsing — the variant's source text. *)

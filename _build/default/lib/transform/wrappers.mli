@@ -1,0 +1,33 @@
+(** Wrapper synthesis for mixed-precision parameter passing (Fig. 4).
+
+    Fortran performs implicit kind conversion only through assignment, so
+    after {!Rewrite.apply} any call site whose actual argument kind no
+    longer matches the dummy's is illegal. For each such site this pass:
+
+    - synthesizes (once per [callee × actual-kind-signature]) a wrapper
+      procedure in the callee's module, taking arguments at the {e actual}
+      kinds, converting into temporaries of the {e dummy} kinds through
+      assignments (element-wise copy loops for arrays — the source of the
+      MOM6 array-boundary casting overhead), calling the callee, and
+      copying back out for writable dummies;
+    - redirects the call site to the wrapper.
+
+    On the flow graph this replaces each mismatching edge with matching
+    edges through the temporary node, restoring the invariant that
+    adjacent nodes carry equal annotations; {!Analysis.Flowgraph.violations}
+    on the result is empty and {!Fortran.Typecheck.check_program} passes
+    (both are asserted by the test suite). *)
+
+type result = {
+  program : Fortran.Ast.program;  (** wrapped program *)
+  wrapper_map : (string * string) list;  (** wrapper name → wrapped procedure *)
+}
+
+val insert : Fortran.Ast.program -> result
+(** Idempotent: a program with no kind mismatches is returned unchanged
+    (with an empty [wrapper_map]). Raises {!Fortran.Typecheck.Error} if a
+    mismatch cannot be repaired (e.g. an array actual that is not a whole
+    variable). *)
+
+val owner_fn : result -> string -> string option
+(** [owner_fn r] is the [wrapper_owner] callback for {!Runtime.Interp.run}. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Fortran List Option Parser Printf String Symtab

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Char Float Fortran Lexer List Loc Printf QCheck QCheck_alcotest String Token

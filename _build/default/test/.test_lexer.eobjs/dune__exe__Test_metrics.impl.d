@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Float List Metrics Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Ast Float Fortran List Metrics Models Parser Runtime String Symtab Transform Typecheck Unparse

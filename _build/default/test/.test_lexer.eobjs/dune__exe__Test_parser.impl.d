@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Fortran Lexer List Option Parser Printf

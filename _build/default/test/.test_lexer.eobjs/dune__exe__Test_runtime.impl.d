@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ast Float Fortran List Metrics Models Parser Printf QCheck QCheck_alcotest Runtime String Symtab Typecheck

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Brute_force Ddmin Delta_debug Fortran Hierarchical List Option Printf QCheck QCheck_alcotest Random_walk Search Trace Transform Variant

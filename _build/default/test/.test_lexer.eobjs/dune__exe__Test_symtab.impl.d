@@ -1,0 +1,1 @@
+test/test_symtab.ml: Alcotest Ast Fortran List Option Parser Symtab

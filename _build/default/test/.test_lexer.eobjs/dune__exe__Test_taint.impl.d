@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Analysis Ast Fortran List Models Option Parser Symtab Transform Unparse

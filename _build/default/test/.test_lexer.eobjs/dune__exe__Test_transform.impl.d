@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Analysis Ast Float Fortran List Option Parser Runtime String Symtab Transform Typecheck Unparse

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Array Core Float Fortran List Models Search String Transform

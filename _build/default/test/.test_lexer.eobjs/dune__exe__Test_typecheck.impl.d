@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Format Fortran List Models Option Parser Printf Symtab Typecheck

@@ -1,0 +1,1 @@
+test/test_unparse.ml: Alcotest Ast Fortran Models Parser Printf QCheck QCheck_alcotest Unparse

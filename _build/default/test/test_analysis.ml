@@ -1,0 +1,391 @@
+(* Analysis tests: call graph, vectorization/dependence analysis, FP flow
+   graph, static cost model, def-use summaries. *)
+
+open Fortran
+
+let t name f = Alcotest.test_case name `Quick f
+let st_of src = Symtab.build (Parser.parse src)
+
+(* first-occurrence textual substitution for fixture tweaking *)
+module Str_replace = struct
+  let replace haystack needle replacement =
+    let nl = String.length needle in
+    let hl = String.length haystack in
+    let rec find i =
+      if i + nl > hl then None
+      else if String.sub haystack i nl = needle then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.failf "fixture does not contain %S" needle
+    | Some i ->
+      String.sub haystack 0 i ^ replacement ^ String.sub haystack (i + nl) (hl - i - nl)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+
+let callgraph_src =
+  {|
+module m
+  implicit none
+contains
+  subroutine a()
+    call b
+    call b
+    call c
+  end subroutine a
+  subroutine b()
+    real(kind=8) :: x
+    x = helper(1.0d0)
+  end subroutine b
+  subroutine c()
+    call c
+  end subroutine c
+  function helper(v) result(w)
+    real(kind=8) :: v, w
+    w = v
+  end function helper
+end module m
+program p
+  use m
+  implicit none
+  call a
+end program p
+|}
+
+let callgraph_tests =
+  [
+    t "callees with static counts" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check (list (pair string int)))
+          "a calls" [ ("b", 2); ("c", 1) ]
+          (Analysis.Callgraph.callees g (Some "a")));
+    t "function references are edges" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check (list (pair string int)))
+          "b calls" [ ("helper", 1) ]
+          (Analysis.Callgraph.callees g (Some "b")));
+    t "main body edges" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check (list (pair string int))) "main" [ ("a", 1) ]
+          (Analysis.Callgraph.callees g None));
+    t "callers reverse edges" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check int) "b has one caller" 1
+          (List.length (Analysis.Callgraph.callers g "b")));
+    t "reachable closure" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check (list string)) "from a" [ "a"; "b"; "c"; "helper" ]
+          (List.sort compare (Analysis.Callgraph.reachable g ~roots:[ "a" ])));
+    t "recursion detection" (fun () ->
+        let g = Analysis.Callgraph.build (st_of callgraph_src) in
+        Alcotest.(check bool) "c recursive" true (Analysis.Callgraph.is_recursive g "c");
+        Alcotest.(check bool) "a not recursive" false (Analysis.Callgraph.is_recursive g "a"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Vectorization analysis                                              *)
+
+let vec_report src =
+  let st = st_of src in
+  match Analysis.Vectorize.analyze st with
+  | r :: _ -> r
+  | [] -> Alcotest.fail "no loops analyzed"
+
+let mk_loop body_decls body =
+  Printf.sprintf
+    "program p\n implicit none\n integer :: i\n%s\n do i = 1, 10\n%s\n end do\nend program p\n"
+    body_decls body
+
+let has_blocker pred r = List.exists pred r.Analysis.Vectorize.blockers
+
+let vectorize_tests =
+  [
+    t "clean stencil loop vectorizes" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8), dimension(12) :: a, b" "  b(i) = a(i) * 2.0d0 + a(i + 1)")
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "array recurrence blocks" (fun () ->
+        let r = vec_report (mk_loop "real(kind=8), dimension(12) :: a" "  a(i + 1) = a(i) * 0.5d0") in
+        Alcotest.(check bool) "carried" true
+          (has_blocker
+             (function Analysis.Vectorize.Carried_array_dependence "a" -> true | _ -> false)
+             r));
+    t "same-index read+write is fine" (fun () ->
+        let r = vec_report (mk_loop "real(kind=8), dimension(12) :: a" "  a(i) = a(i) * 0.5d0") in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "scalar recurrence blocks" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8) :: prev\n real(kind=8), dimension(12) :: a"
+               "  a(i) = prev * 0.5d0\n  prev = a(i)")
+        in
+        Alcotest.(check bool) "carried scalar" true
+          (has_blocker
+             (function Analysis.Vectorize.Carried_scalar_dependence "prev" -> true | _ -> false)
+             r));
+    t "privatizable temporary is fine" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8) :: tmp\n real(kind=8), dimension(12) :: a"
+               "  tmp = a(i) * 2.0d0\n  a(i) = tmp + 1.0d0")
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "sum reduction recognized" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8) :: s\n real(kind=8), dimension(12) :: a" "  s = s + a(i)")
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r);
+        Alcotest.(check (list string)) "reduction" [ "s" ] r.Analysis.Vectorize.reductions);
+    t "max reduction recognized" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8) :: m\n real(kind=8), dimension(12) :: a" "  m = max(m, a(i))")
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "accumulator read elsewhere disqualifies (funarc d1)" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8) :: d1, t1" "  d1 = 2.0d0 * d1\n  t1 = t1 + sin(d1) / d1")
+        in
+        Alcotest.(check bool) "not vectorizable" false (Analysis.Vectorize.vectorizable r));
+    t "do while never vectorizes" (fun () ->
+        let src =
+          "program p\n implicit none\n real(kind=8) :: x\n x = 0.0d0\n do while (x < 1.0d0)\n  x = x + 0.25d0\n end do\nend program p\n"
+        in
+        let r = vec_report src in
+        Alcotest.(check bool) "blocked" true
+          (has_blocker (function Analysis.Vectorize.Do_while_loop -> true | _ -> false) r));
+    t "exit blocks vectorization" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8), dimension(12) :: a" "  a(i) = 1.0d0\n  if (a(i) > 0.5d0) exit")
+        in
+        Alcotest.(check bool) "blocked" true
+          (has_blocker (function Analysis.Vectorize.Irregular_control_flow -> true | _ -> false) r));
+    t "nested loop blocks the outer loop" (fun () ->
+        let src =
+          "program p\n implicit none\n integer :: i, j\n real(kind=8), dimension(4, 4) :: a\n do i = 1, 4\n  do j = 1, 4\n   a(i, j) = 1.0d0\n  end do\n end do\nend program p\n"
+        in
+        let st = st_of src in
+        let reports = Analysis.Vectorize.analyze st in
+        Alcotest.(check int) "two loops" 2 (List.length reports);
+        let outer = Option.get (Analysis.Vectorize.report_for reports 0) in
+        let inner = Option.get (Analysis.Vectorize.report_for reports 1) in
+        Alcotest.(check bool) "outer blocked" true
+          (has_blocker (function Analysis.Vectorize.Nested_loop -> true | _ -> false) outer);
+        Alcotest.(check bool) "inner ok" true (Analysis.Vectorize.vectorizable inner));
+    t "intrinsic calls keep vectorization" (fun () ->
+        let r =
+          vec_report (mk_loop "real(kind=8), dimension(12) :: a" "  a(i) = sqrt(abs(a(i)))")
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "kind-uniform inlinable call keeps vectorization" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n function lin(x) result(y)\n  real(kind=8) :: x, y\n  y = 2.0d0 * x + 1.0d0\n end function lin\n subroutine work(a, n)\n  integer :: n, i\n  real(kind=8), dimension(n) :: a\n  do i = 1, n\n   a(i) = lin(a(i))\n  end do\n end subroutine work\nend module m\n"
+        in
+        let st = st_of src in
+        let loop =
+          List.find
+            (fun r -> r.Analysis.Vectorize.proc = Some "work")
+            (Analysis.Vectorize.analyze st)
+        in
+        Alcotest.(check bool) "vectorizable" true (Analysis.Vectorize.vectorizable loop);
+        Alcotest.(check (list string)) "inlined" [ "lin" ] loop.Analysis.Vectorize.inlined_calls);
+    t "kind-mismatched call boundary blocks vectorization" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n function lin(x) result(y)\n  real(kind=4) :: x, y\n  y = 2.0 * x + 1.0\n end function lin\n subroutine work(a, n)\n  integer :: n, i\n  real(kind=8), dimension(n) :: a\n  do i = 1, n\n   a(i) = lin(a(i))\n  end do\n end subroutine work\nend module m\n"
+        in
+        let st = st_of src in
+        let loop =
+          List.find
+            (fun r -> r.Analysis.Vectorize.proc = Some "work")
+            (Analysis.Vectorize.analyze st)
+        in
+        Alcotest.(check bool) "blocked" true
+          (has_blocker
+             (function Analysis.Vectorize.Non_inlinable_call "lin" -> true | _ -> false)
+             loop));
+    t "mixed-kind operations counted as conversion sites" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=4), dimension(12) :: a\n real(kind=8) :: w"
+               "  a(i) = w * a(i)")
+        in
+        Alcotest.(check bool) "has conv sites" true (r.Analysis.Vectorize.conv_sites >= 1);
+        Alcotest.(check bool) "still vectorizable" true (Analysis.Vectorize.vectorizable r));
+    t "select case in a loop body blocks vectorization" (fun () ->
+        let r =
+          vec_report
+            (mk_loop "real(kind=8), dimension(12) :: a\n integer :: k"
+               "  k = mod(i, 2)\n  select case (k)\n  case (0)\n   a(i) = 1.0d0\n  case default\n   a(i) = 2.0d0\n  end select")
+        in
+        Alcotest.(check bool) "blocked" true
+          (has_blocker (function Analysis.Vectorize.Irregular_control_flow -> true | _ -> false) r));
+    t "calls inside select arms are seen by the call graph" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n subroutine a(k)\n  integer :: k\n  select case (k)\n  case (1)\n   call b\n  case default\n   call c\n  end select\n end subroutine a\n subroutine b()\n  return\n end subroutine b\n subroutine c()\n  return\n end subroutine c\nend module m\n"
+        in
+        let g = Analysis.Callgraph.build (st_of src) in
+        Alcotest.(check (list (pair string int))) "edges" [ ("b", 1); ("c", 1) ]
+          (Analysis.Callgraph.callees g (Some "a")));
+    t "literal operands are free conversions" (fun () ->
+        (* a k4 literal with a k4 array: no mixing at all *)
+        let r =
+          vec_report (mk_loop "real(kind=4), dimension(12) :: a" "  a(i) = 2.0 * a(i)")
+        in
+        Alcotest.(check int) "no conv sites" 0 r.Analysis.Vectorize.conv_sites;
+        (* assigning a k8 literal to a k4 element folds at compile time *)
+        let r2 = vec_report (mk_loop "real(kind=4), dimension(12) :: a" "  a(i) = 2.0d0") in
+        Alcotest.(check int) "literal store free" 0 r2.Analysis.Vectorize.conv_sites;
+        (* but a k8-promoted expression stored to k4 is a real conversion *)
+        let r3 =
+          vec_report (mk_loop "real(kind=4), dimension(12) :: a" "  a(i) = 2.0d0 * a(i)")
+        in
+        Alcotest.(check bool) "promoted store counted" true
+          (r3.Analysis.Vectorize.conv_sites >= 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flow graph                                                          *)
+
+let flow_src =
+  {|
+module m
+  implicit none
+  real(kind=8), dimension(8) :: buf
+contains
+  subroutine consume(v, s)
+    real(kind=8), dimension(8) :: v
+    real(kind=4) :: s
+    v(1) = s
+  end subroutine consume
+  subroutine drive()
+    real(kind=4) :: scale
+    integer :: i
+    scale = 2.0
+    do i = 1, 3
+      call consume(buf, scale)
+    end do
+  end subroutine drive
+end module m
+program p
+  use m
+  implicit none
+  call drive
+end program p
+|}
+
+let flowgraph_tests =
+  [
+    t "nodes cover every FP declaration" (fun () ->
+        let g = Analysis.Flowgraph.build (st_of flow_src) in
+        let names = List.sort compare (List.map (fun n -> n.Analysis.Flowgraph.n_var) (Analysis.Flowgraph.nodes g)) in
+        Alcotest.(check (list string)) "names" [ "buf"; "s"; "scale"; "v" ] names);
+    t "edges record parameter passing with loop depth" (fun () ->
+        let g = Analysis.Flowgraph.build (st_of flow_src) in
+        let edges = Analysis.Flowgraph.edges g in
+        Alcotest.(check int) "two real dummies" 2 (List.length edges);
+        List.iter
+          (fun e -> Alcotest.(check int) "depth 1" 1 e.Analysis.Flowgraph.e_loop_depth)
+          edges);
+    t "matching kinds: no violations" (fun () ->
+        let g = Analysis.Flowgraph.build (st_of flow_src) in
+        Alcotest.(check int) "violations" 0 (List.length (Analysis.Flowgraph.violations g)));
+    t "array element counts on nodes" (fun () ->
+        let g = Analysis.Flowgraph.build (st_of flow_src) in
+        let buf = Option.get (Analysis.Flowgraph.node_of_var g ~scope:(Symtab.Unit_scope "m") "buf") in
+        Alcotest.(check (option int)) "8 elements" (Some 8) buf.Analysis.Flowgraph.n_elements;
+        Alcotest.(check bool) "is array" true buf.Analysis.Flowgraph.n_is_array);
+    t "kind mismatch shows as violation" (fun () ->
+        (* retype the scale variable to kind 8: consume's s stays kind 4 *)
+        let mismatched = Str_replace.replace flow_src "real(kind=4) :: scale" "real(kind=8) :: scale" in
+        let g = Analysis.Flowgraph.build (st_of mismatched) in
+        Alcotest.(check int) "one violation" 1 (List.length (Analysis.Flowgraph.violations g)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Static cost model                                                   *)
+
+let static_cost_tests =
+  [
+    t "clean program has zero penalty" (fun () ->
+        let v = Analysis.Static_cost.evaluate (st_of flow_src) in
+        Alcotest.(check (float 0.0)) "penalty" 0.0 v.Analysis.Static_cost.penalty);
+    t "mismatch penalty scales with loop depth" (fun () ->
+        let shallow =
+          Str_replace.replace flow_src "real(kind=4) :: scale" "real(kind=8) :: scale"
+        in
+        let deep =
+          Str_replace.replace shallow "do i = 1, 3\n      call consume(buf, scale)\n    end do"
+            "do i = 1, 3\n      do j = 1, 3\n        call consume(buf, scale)\n      end do\n    end do"
+        in
+        let deep = Str_replace.replace deep "integer :: i" "integer :: i, j" in
+        let vs = Analysis.Static_cost.evaluate (st_of shallow) in
+        let vd = Analysis.Static_cost.evaluate (st_of deep) in
+        Alcotest.(check bool) "deeper costs more" true
+          (vd.Analysis.Static_cost.penalty > vs.Analysis.Static_cost.penalty));
+    t "array mismatch penalized by elements" (fun () ->
+        let arr_mismatch =
+          Str_replace.replace flow_src "real(kind=8), dimension(8) :: v"
+            "real(kind=4), dimension(8) :: v"
+        in
+        let scalar_mismatch =
+          Str_replace.replace flow_src "real(kind=4) :: s" "real(kind=8) :: s"
+        in
+        let va = Analysis.Static_cost.evaluate (st_of arr_mismatch) in
+        let vs = Analysis.Static_cost.evaluate (st_of scalar_mismatch) in
+        Alcotest.(check bool) "array mismatch costs more" true
+          (va.Analysis.Static_cost.penalty > vs.Analysis.Static_cost.penalty));
+    t "predicts_worse on lost vectorization" (fun () ->
+        let base = { Analysis.Static_cost.penalty = 0.0; vector_loops = 5; mismatched_edges = 0 } in
+        let cand = { Analysis.Static_cost.penalty = 0.0; vector_loops = 4; mismatched_edges = 0 } in
+        Alcotest.(check bool) "rejected" true
+          (Analysis.Static_cost.predicts_worse ~baseline:base ~candidate:cand ~penalty_budget:1e9));
+    t "predicts_worse on penalty budget" (fun () ->
+        let base = { Analysis.Static_cost.penalty = 0.0; vector_loops = 5; mismatched_edges = 0 } in
+        let cand = { Analysis.Static_cost.penalty = 100.0; vector_loops = 5; mismatched_edges = 2 } in
+        Alcotest.(check bool) "rejected" true
+          (Analysis.Static_cost.predicts_worse ~baseline:base ~candidate:cand ~penalty_budget:50.0);
+        Alcotest.(check bool) "accepted under budget" false
+          (Analysis.Static_cost.predicts_worse ~baseline:base ~candidate:cand ~penalty_budget:500.0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Def-use                                                             *)
+
+let defuse_tests =
+  [
+    t "defs and uses with loop depth" (fun () ->
+        let src =
+          "program p\n implicit none\n integer :: i\n real(kind=8) :: acc\n real(kind=8), dimension(4) :: a\n acc = 0.0d0\n do i = 1, 4\n  acc = acc + a(i)\n end do\n print *, 'acc', acc\nend program p\n"
+        in
+        let st = st_of src in
+        let summaries = Analysis.Defuse.analyze st in
+        let acc =
+          Option.get (Analysis.Defuse.for_var summaries ~scope:(Symtab.Unit_scope "p") "acc")
+        in
+        Alcotest.(check int) "two defs" 2 (List.length acc.Analysis.Defuse.defs);
+        Alcotest.(check int) "deepest use" 1 (Analysis.Defuse.max_use_depth acc));
+    t "call arguments count as defs" (fun () ->
+        let st = st_of flow_src in
+        let summaries = Analysis.Defuse.analyze st in
+        let buf =
+          Option.get (Analysis.Defuse.for_var summaries ~scope:(Symtab.Unit_scope "m") "buf")
+        in
+        Alcotest.(check bool) "buf has defs" true (buf.Analysis.Defuse.defs <> []));
+  ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("callgraph", callgraph_tests);
+      ("vectorize", vectorize_tests);
+      ("flowgraph", flowgraph_tests);
+      ("static cost", static_cost_tests);
+      ("defuse", defuse_tests);
+    ]

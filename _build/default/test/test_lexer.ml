@@ -1,0 +1,157 @@
+(* Lexer unit and property tests. *)
+
+open Fortran
+
+let toks src = Array.to_list (Array.map fst (Lexer.tokenize src))
+
+let strip_trailing l =
+  (* drop the trailing Newline/Eof for compact comparisons *)
+  List.filter (function Token.Newline | Token.Eof -> false | _ -> true) l
+
+let check_tokens name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = strip_trailing (toks src) in
+      Alcotest.(check (list string))
+        name
+        (List.map Token.to_string expected)
+        (List.map Token.to_string got))
+
+let expect_error name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Lexer.tokenize src with
+      | _ -> Alcotest.failf "expected Lexer.Error for %S" src
+      | exception Lexer.Error _ -> ())
+
+let real ?(kind = Token.K4) text value = Token.Real_lit { text; value; kind }
+
+let basic_tests =
+  [
+    check_tokens "identifiers lowercase" "Foo BAR_9 z"
+      [ Token.Ident "foo"; Token.Ident "bar_9"; Token.Ident "z" ];
+    check_tokens "integer literal" "42" [ Token.Int_lit 42 ];
+    check_tokens "simple real" "1.5" [ real "1.5" 1.5 ];
+    check_tokens "real no fraction digits" "1." [ real "1." 1.0 ];
+    check_tokens "real leading dot" ".5" [ real ".5" 0.5 ];
+    check_tokens "exponent e" "2e3" [ real "2e3" 2000.0 ];
+    check_tokens "exponent with sign" "1.5e-3" [ real "1.5e-3" 0.0015 ];
+    check_tokens "d exponent is kind 8" "1.5d0" [ real ~kind:Token.K8 "1.5d0" 1.5 ];
+    check_tokens "d exponent negative" "2.5d-2" [ real ~kind:Token.K8 "2.5d-2" 0.025 ];
+    check_tokens "kind suffix 8" "1.0_8" [ real ~kind:Token.K8 "1.0d0" 1.0 ];
+    check_tokens "kind suffix 4" "1.25_4" [ real "1.25" 1.25 ];
+    check_tokens "operators" "a + b - c * d / e ** f"
+      [ Token.Ident "a"; Token.Plus; Token.Ident "b"; Token.Minus; Token.Ident "c"; Token.Star;
+        Token.Ident "d"; Token.Slash; Token.Ident "e"; Token.Pow; Token.Ident "f" ];
+    check_tokens "relational symbols" "a == b /= c < d <= e > f >= g"
+      [ Token.Ident "a"; Token.Eq; Token.Ident "b"; Token.Ne; Token.Ident "c"; Token.Lt;
+        Token.Ident "d"; Token.Le; Token.Ident "e"; Token.Gt; Token.Ident "f"; Token.Ge;
+        Token.Ident "g" ];
+    check_tokens "dot operators" "a .and. b .or. .not. c"
+      [ Token.Ident "a"; Token.And_op; Token.Ident "b"; Token.Or_op; Token.Not_op; Token.Ident "c" ];
+    check_tokens "dot relational forms" "a .eq. b .ne. c .lt. d .le. e .gt. f .ge. g"
+      [ Token.Ident "a"; Token.Eq; Token.Ident "b"; Token.Ne; Token.Ident "c"; Token.Lt;
+        Token.Ident "d"; Token.Le; Token.Ident "e"; Token.Gt; Token.Ident "f"; Token.Ge;
+        Token.Ident "g" ];
+    check_tokens "logical literals" ".true. .false."
+      [ Token.Logical_lit true; Token.Logical_lit false ];
+    check_tokens "case-insensitive dot ops" "A .AND. B"
+      [ Token.Ident "a"; Token.And_op; Token.Ident "b" ];
+    check_tokens "string single quotes" "'hello'" [ Token.Str_lit "hello" ];
+    check_tokens "string double quotes" "\"world\"" [ Token.Str_lit "world" ];
+    check_tokens "doubled quote escape" "'it''s'" [ Token.Str_lit "it's" ];
+    check_tokens "punctuation" "( ) , :: :"
+      [ Token.Lparen; Token.Rparen; Token.Comma; Token.Dcolon; Token.Colon ];
+    check_tokens "assignment vs equality" "a = b == c"
+      [ Token.Ident "a"; Token.Assign; Token.Ident "b"; Token.Eq; Token.Ident "c" ];
+    check_tokens "comment skipped" "a ! the rest is noise + * /" [ Token.Ident "a" ];
+    check_tokens "concat operator" "a // b" [ Token.Ident "a"; Token.Concat; Token.Ident "b" ];
+    check_tokens "number then dot-op" "1.and.2"
+      [ Token.Int_lit 1; Token.And_op; Token.Int_lit 2 ];
+  ]
+
+let newline_tests =
+  [
+    Alcotest.test_case "statements separated by newline" `Quick (fun () ->
+        let got = toks "a\nb" in
+        Alcotest.(check int) "token count" 5 (List.length got);
+        match got with
+        | [ Token.Ident "a"; Token.Newline; Token.Ident "b"; Token.Newline; Token.Eof ] -> ()
+        | _ -> Alcotest.fail "unexpected token stream");
+    Alcotest.test_case "blank lines collapse" `Quick (fun () ->
+        let got = toks "a\n\n\n\nb" in
+        Alcotest.(check int) "token count" 5 (List.length got));
+    Alcotest.test_case "semicolon acts as newline" `Quick (fun () ->
+        match toks "a; b" with
+        | [ Token.Ident "a"; Token.Newline; Token.Ident "b"; Token.Newline; Token.Eof ] -> ()
+        | _ -> Alcotest.fail "unexpected token stream");
+    Alcotest.test_case "continuation suppresses newline" `Quick (fun () ->
+        match toks "a + &\n  b" with
+        | [ Token.Ident "a"; Token.Plus; Token.Ident "b"; Token.Newline; Token.Eof ] -> ()
+        | _ -> Alcotest.fail "unexpected token stream");
+    Alcotest.test_case "continuation with leading ampersand" `Quick (fun () ->
+        match toks "a + &\n  & b" with
+        | [ Token.Ident "a"; Token.Plus; Token.Ident "b"; Token.Newline; Token.Eof ] -> ()
+        | _ -> Alcotest.fail "unexpected token stream");
+    Alcotest.test_case "locations track lines" `Quick (fun () ->
+        let arr = Lexer.tokenize ~file:"t.f90" "a\nbb" in
+        let _, loc = arr.(2) in
+        Alcotest.(check int) "line of bb" 2 loc.Loc.line;
+        Alcotest.(check string) "file" "t.f90" loc.Loc.file);
+    Alcotest.test_case "leading newline produces no token" `Quick (fun () ->
+        match toks "\n\na" with
+        | [ Token.Ident "a"; Token.Newline; Token.Eof ] -> ()
+        | _ -> Alcotest.fail "unexpected token stream");
+  ]
+
+let error_tests =
+  [
+    expect_error "unterminated string" "'abc";
+    expect_error "newline in string" "'ab\nc'";
+    expect_error "unknown character" "a $ b";
+    expect_error "lone dot" "a . b";
+    expect_error "unknown dot word" "a .xor. b";
+  ]
+
+(* property: every valid identifier survives lexing as a single token *)
+let ident_roundtrip =
+  QCheck.Test.make ~name:"identifier lexes to itself" ~count:200
+    QCheck.(
+      map
+        (fun (c, rest) ->
+          String.make 1 (Char.chr (Char.code 'a' + (abs c mod 26)))
+          ^ String.concat ""
+              (List.map
+                 (fun i ->
+                   let i = abs i mod 37 in
+                   if i < 26 then String.make 1 (Char.chr (Char.code 'a' + i))
+                   else if i < 36 then string_of_int (i - 26)
+                   else "_")
+                 rest))
+        (pair int (small_list int)))
+    (fun name ->
+      match toks name with
+      | [ Token.Ident n; Token.Newline; Token.Eof ] -> n = name
+      | _ -> false)
+
+let float_literal_value =
+  QCheck.Test.make ~name:"positive float literal value parses exactly" ~count:300
+    QCheck.(map Float.abs (float_bound_exclusive 1e30))
+    (fun f ->
+      QCheck.assume (Float.is_finite f && f > 1e-30);
+      let text = Printf.sprintf "%.17g" f in
+      (* only decimal or e-notation spellings are valid Fortran *)
+      QCheck.assume (String.contains text '.' || String.contains text 'e');
+      match toks text with
+      | [ Token.Real_lit { value; _ }; Token.Newline; Token.Eof ] -> value = f
+      | [ Token.Int_lit _; Token.Newline; Token.Eof ] -> not (String.contains text '.')
+      | _ -> false)
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ("tokens", basic_tests);
+      ("newlines", newline_tests);
+      ("errors", error_tests);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest ident_roundtrip;
+          QCheck_alcotest.to_alcotest float_literal_value ] );
+    ]

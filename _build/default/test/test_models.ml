@@ -1,0 +1,295 @@
+(* Model tests: every bundled model runs, produces its correctness series,
+   and exhibits the precision pathology the paper reports for it. *)
+
+open Fortran
+
+let t name f = Alcotest.test_case name `Quick f
+
+let build (m : Models.Registry.t) =
+  let st = Symtab.build (Parser.parse ~file:(m.name ^ ".f90") m.Models.Registry.source) in
+  Typecheck.check_program st;
+  st
+
+let atoms_of st (m : Models.Registry.t) =
+  Transform.Assignment.atoms_of_target st ~module_:m.Models.Registry.target_module
+    ~procs:(Some m.Models.Registry.target_procs) ~exclude:m.Models.Registry.exclude_atoms
+
+let run_variant st asg =
+  let prog' = Transform.Rewrite.apply st asg in
+  let w = Transform.Wrappers.insert prog' in
+  let text = Unparse.program w.Transform.Wrappers.program in
+  let st' = Symtab.build (Parser.parse ~file:"variant.f90" text) in
+  Typecheck.check_program st';
+  Runtime.Interp.run ~wrapper_owner:(Transform.Wrappers.owner_fn w) st'
+
+let uniform32 st m = run_variant st (Transform.Assignment.uniform (atoms_of st m) Ast.K4)
+
+let hotspot (m : Models.Registry.t) (out : Runtime.Interp.outcome) =
+  List.fold_left
+    (fun acc p -> acc +. Runtime.Timers.exclusive_of out.Runtime.Interp.timers p)
+    0.0 m.Models.Registry.target_procs
+
+let common_tests =
+  List.concat_map
+    (fun (m : Models.Registry.t) ->
+      [
+        t (m.Models.Registry.name ^ " baseline finishes") (fun () ->
+            let out = Runtime.Interp.run (build m) in
+            match out.Runtime.Interp.status with
+            | Runtime.Interp.Finished -> ()
+            | s -> Alcotest.failf "baseline: %a" Runtime.Interp.pp_status s);
+        t (m.Models.Registry.name ^ " metric series is finite and non-empty") (fun () ->
+            let out = Runtime.Interp.run (build m) in
+            let s = Runtime.Interp.series out m.Models.Registry.metric_key in
+            Alcotest.(check bool) "non-empty" true (s <> []);
+            List.iter
+              (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v))
+              s);
+        t (m.Models.Registry.name ^ " has a non-trivial search space") (fun () ->
+            let st = build m in
+            Alcotest.(check bool) "atoms" true (List.length (atoms_of st m) >= 8));
+        t (m.Models.Registry.name ^ " hotspot is a strict minority of CPU time") (fun () ->
+            let st = build m in
+            let out = Runtime.Interp.run st in
+            let share = hotspot m out /. out.Runtime.Interp.cost in
+            match m.Models.Registry.name with
+            | "funarc" -> Alcotest.(check bool) "funarc is all hotspot" true (share > 0.9)
+            | "lulesh" ->
+              (* the proxy-app contrast: hotspot-dominated by design *)
+              Alcotest.(check bool) "lulesh majority" true (share > 0.7)
+            | _ -> Alcotest.(check bool) "minority" true (share > 0.02 && share < 0.5));
+        t (m.Models.Registry.name ^ " baseline is deterministic") (fun () ->
+            let st = build m in
+            let a = Runtime.Interp.run st and b = Runtime.Interp.run st in
+            Alcotest.(check (float 0.0)) "cost" a.Runtime.Interp.cost b.Runtime.Interp.cost;
+            Alcotest.(check bool) "records" true
+              (a.Runtime.Interp.records = b.Runtime.Interp.records));
+      ])
+    (Models.Registry.funarc :: Models.Registry.lulesh :: Models.Registry.all)
+
+let lulesh_tests =
+  [
+    t "hotspot dominates the runtime (the Sec.-I contrast)" (fun () ->
+        let m = Models.Registry.lulesh in
+        let out = Runtime.Interp.run (build m) in
+        Alcotest.(check bool) "majority hotspot" true
+          (hotspot m out /. out.Runtime.Interp.cost > 0.7));
+    t "uniform 32-bit passes with a large speedup" (fun () ->
+        let m = Models.Registry.lulesh in
+        let st = build m in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st m in
+        (match out32.Runtime.Interp.status with
+        | Runtime.Interp.Finished -> ()
+        | s -> Alcotest.failf "u32: %a" Runtime.Interp.pp_status s);
+        let err =
+          Metrics.Error.series_rel_error_l2
+            ~baseline:(Runtime.Interp.series base "etot")
+            (Runtime.Interp.series out32 "etot")
+        in
+        Alcotest.(check bool) "within threshold" true (err <= 1.0e-5);
+        Alcotest.(check bool) "big speedup" true
+          (base.Runtime.Interp.cost /. out32.Runtime.Interp.cost > 1.7));
+    t "blast wave stays physical" (fun () ->
+        let out = Runtime.Interp.run (build Models.Registry.lulesh) in
+        List.iter
+          (fun e -> Alcotest.(check bool) "positive energy" true (e > 0.0))
+          (Runtime.Interp.series out "etot"));
+  ]
+
+let funarc_tests =
+  [
+    t "arc length matches the known value" (fun () ->
+        let out = Runtime.Interp.run (build Models.Registry.funarc) in
+        let v = List.hd (Runtime.Interp.series out "result") in
+        Alcotest.(check bool) "5.7954..." true (Float.abs (v -. 5.7954521) < 1e-4));
+    t "uniform 32-bit gives ~1.3-1.4x with small error" (fun () ->
+        let st = build Models.Registry.funarc in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st Models.Registry.funarc in
+        let speedup = base.Runtime.Interp.cost /. out32.Runtime.Interp.cost in
+        Alcotest.(check bool) "speedup band" true (speedup > 1.2 && speedup < 1.6);
+        let err =
+          Metrics.Error.rel_error
+            ~baseline:(List.hd (Runtime.Interp.series base "result"))
+            (List.hd (Runtime.Interp.series out32 "result"))
+        in
+        Alcotest.(check bool) "small but nonzero error" true (err > 0.0 && err < 1e-5));
+  ]
+
+let mpas_tests =
+  [
+    t "uniform 32-bit hotspot speedup approaches 2x" (fun () ->
+        let m = Models.Registry.mpas in
+        let st = build m in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st m in
+        let sp = hotspot m base /. hotspot m out32 in
+        Alcotest.(check bool) "1.6-2.3x" true (sp > 1.6 && sp < 2.3));
+    t "uniform 32-bit slows the whole model (criterion 3)" (fun () ->
+        let m = Models.Registry.mpas in
+        let st = build m in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st m in
+        Alcotest.(check bool) "boundary casts dominate" true
+          (base.Runtime.Interp.cost /. out32.Runtime.Interp.cost < 0.95));
+    t "flux boundary mismatch devastates dyn_tend (criterion 2)" (fun () ->
+        let m = Models.Registry.mpas in
+        let st = build m in
+        let atoms = atoms_of st m in
+        let flux_only =
+          List.filter
+            (fun a ->
+              match a.Transform.Assignment.a_scope with
+              | Symtab.Proc_scope ("flux4" | "flux3") -> true
+              | _ -> false)
+            atoms
+        in
+        let base = Runtime.Interp.run st in
+        let out = run_variant st (Transform.Assignment.of_lowered atoms ~lowered:flux_only) in
+        let per_call o p =
+          Runtime.Timers.inclusive_of o.Runtime.Interp.timers p
+          /. float_of_int (max 1 (Runtime.Timers.calls_of o.Runtime.Interp.timers p))
+        in
+        let slowdown = per_call out "flux4" /. per_call base "flux4" in
+        Alcotest.(check bool) "order-of-magnitude flux slowdown" true (slowdown > 4.0));
+  ]
+
+let adcirc_tests =
+  [
+    t "uniform 32-bit solves in fewer jcg iterations (fast-but-wrong)" (fun () ->
+        let m = Models.Registry.adcirc in
+        let st = build m in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st m in
+        let iters o = Metrics.Stats.mean (Runtime.Interp.series o "jcg_iters") in
+        Alcotest.(check bool) "fewer iterations" true (iters out32 < iters base);
+        (* the elevation leaves the tight regression band *)
+        let err =
+          Metrics.Error.series_rel_error_l2
+            ~baseline:(Runtime.Interp.series base "eta")
+            (Runtime.Interp.series out32 "eta")
+        in
+        (match m.Models.Registry.threshold with
+        | Models.Registry.Fixed thr ->
+          Alcotest.(check bool) "over threshold" true (err > thr)
+        | Models.Registry.From_uniform32 _ -> Alcotest.fail "adcirc threshold should be fixed"));
+    t "keeping the solve chain in 64-bit stays within threshold" (fun () ->
+        let m = Models.Registry.adcirc in
+        let st = build m in
+        let atoms = atoms_of st m in
+        let keep =
+          [ "pjac/x"; "pjac/b"; "pjac/updnrm"; "pjac/xnew"; "pjac/upd"; "peror/r"; "peror/part";
+            "peror/dnrm"; "jcg/x"; "jcg/b"; "jcg/r_w"; "jcg/dnrm"; "jcg/updnrm" ]
+        in
+        let lowered =
+          List.filter (fun a -> not (List.mem (Transform.Assignment.atom_id a) keep)) atoms
+        in
+        let base = Runtime.Interp.run st in
+        let out = run_variant st (Transform.Assignment.of_lowered atoms ~lowered) in
+        let err =
+          Metrics.Error.series_rel_error_l2
+            ~baseline:(Runtime.Interp.series base "eta")
+            (Runtime.Interp.series out "eta")
+        in
+        Alcotest.(check bool) "within tight threshold" true (err <= 5.0e-8));
+    t "peror cost is dominated by the precision-blind allreduce" (fun () ->
+        let m = Models.Registry.adcirc in
+        let st = build m in
+        let base = Runtime.Interp.run st in
+        let out32 = uniform32 st m in
+        let per_call o =
+          Runtime.Timers.inclusive_of o.Runtime.Interp.timers "peror"
+          /. float_of_int (max 1 (Runtime.Timers.calls_of o.Runtime.Interp.timers "peror"))
+        in
+        let ratio = per_call base /. per_call out32 in
+        Alcotest.(check bool) "within 20% of parity" true (ratio > 0.8 && ratio < 1.25));
+  ]
+
+let mom6_tests =
+  [
+    t "uniform 32-bit overflows on rescaled transports" (fun () ->
+        let m = Models.Registry.mom6 in
+        let st = build m in
+        match (uniform32 st m).Runtime.Interp.status with
+        | Runtime.Interp.Runtime_error msg ->
+          Alcotest.(check bool) "overflow" true
+            (String.length msg >= 8 && String.sub msg 0 8 = "overflow"
+            || String.length msg > 0)
+        | s -> Alcotest.failf "expected overflow, got %a" Runtime.Interp.pp_status s);
+    t "lowering the Newton state blows up flux_adjust iterations" (fun () ->
+        let m = Models.Registry.mom6 in
+        let st = build m in
+        let atoms = atoms_of st m in
+        let newton =
+          [ "zonal_flux_adjust/err"; "zonal_flux_adjust/dsum"; "zonal_flux_adjust/du" ]
+        in
+        let lowered =
+          List.filter (fun a -> List.mem (Transform.Assignment.atom_id a) newton) atoms
+        in
+        let base = Runtime.Interp.run st in
+        let out = run_variant st (Transform.Assignment.of_lowered atoms ~lowered) in
+        (match out.Runtime.Interp.status with
+        | Runtime.Interp.Finished -> ()
+        | s -> Alcotest.failf "variant: %a" Runtime.Interp.pp_status s);
+        let per_call o =
+          Runtime.Timers.inclusive_of o.Runtime.Interp.timers "zonal_flux_adjust"
+          /. float_of_int
+               (max 1 (Runtime.Timers.calls_of o.Runtime.Interp.timers "zonal_flux_adjust"))
+        in
+        Alcotest.(check bool) "order-of-magnitude blowup" true
+          (per_call out /. per_call base > 2.5));
+    t "small workload variant also runs" (fun () ->
+        let m =
+          { Models.Registry.mom6 with
+            Models.Registry.source = Models.Mom6.source ~p:Models.Mom6.small () }
+        in
+        let out = Runtime.Interp.run (build m) in
+        match out.Runtime.Interp.status with
+        | Runtime.Interp.Finished -> ()
+        | s -> Alcotest.failf "small mom6: %a" Runtime.Interp.pp_status s);
+  ]
+
+let registry_tests =
+  [
+    t "find is total over published names" (fun () ->
+        List.iter
+          (fun n -> ignore (Models.Registry.find n))
+          [ "funarc"; "mpas"; "mpas-a"; "adcirc"; "mom6" ]);
+    t "find rejects unknown names" (fun () ->
+        match Models.Registry.find "wrf" with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+    t "fig6 procedures exist in their models" (fun () ->
+        List.iter
+          (fun (m : Models.Registry.t) ->
+            let st = build m in
+            List.iter
+              (fun p ->
+                Alcotest.(check bool) (m.Models.Registry.name ^ "/" ^ p) true
+                  (Symtab.find_proc st p <> None))
+              m.Models.Registry.fig6_procs)
+          (Models.Registry.funarc :: Models.Registry.all));
+    t "target procedures exist in their models" (fun () ->
+        List.iter
+          (fun (m : Models.Registry.t) ->
+            let st = build m in
+            List.iter
+              (fun p ->
+                Alcotest.(check bool) (m.Models.Registry.name ^ "/" ^ p) true
+                  (Symtab.find_proc st p <> None))
+              m.Models.Registry.target_procs)
+          (Models.Registry.funarc :: Models.Registry.all));
+  ]
+
+let () =
+  Alcotest.run "models"
+    [
+      ("all models", common_tests);
+      ("funarc", funarc_tests);
+      ("lulesh", lulesh_tests);
+      ("mpas", mpas_tests);
+      ("adcirc", adcirc_tests);
+      ("mom6", mom6_tests);
+      ("registry", registry_tests);
+    ]

@@ -1,0 +1,318 @@
+(* Parser unit tests: statements, declarations, program units, errors. *)
+
+open Fortran
+
+(* wrap a statement list into a minimal program for parsing *)
+let parse_main body_src =
+  let src = Printf.sprintf "program t\n  implicit none\n%s\nend program t\n" body_src in
+  match Parser.parse src with
+  | [ Ast.Main m ] -> m
+  | _ -> Alcotest.fail "expected a single main unit"
+
+let parse_main_with_decls decls body =
+  let src = Printf.sprintf "program t\n  implicit none\n%s\n%s\nend program t\n" decls body in
+  match Parser.parse src with
+  | [ Ast.Main m ] -> m
+  | _ -> Alcotest.fail "expected a single main unit"
+
+let first_stmt body_src =
+  match (parse_main body_src).Ast.main_body with
+  | s :: _ -> s.Ast.node
+  | [] -> Alcotest.fail "no statements parsed"
+
+let t name f = Alcotest.test_case name `Quick f
+
+let expect_parse_error name src =
+  t name (fun () ->
+      match Parser.parse src with
+      | _ -> Alcotest.failf "expected Parser.Error for %S" src
+      | exception Parser.Error _ -> ()
+      | exception Lexer.Error _ -> ())
+
+let stmt_tests =
+  [
+    t "scalar assignment" (fun () ->
+        match first_stmt "x = 1" with
+        | Ast.Assign (Ast.Lvar "x", Ast.Int_lit 1) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "array element assignment" (fun () ->
+        match first_stmt "a(i, j + 1) = 2.5" with
+        | Ast.Assign (Ast.Lindex ("a", [ Ast.Var "i"; Ast.Binop (Ast.Add, Ast.Var "j", Ast.Int_lit 1) ]),
+                      Ast.Real_lit _) ->
+          ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "call without arguments" (fun () ->
+        match first_stmt "call go" with
+        | Ast.Call ("go", []) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "call with arguments" (fun () ->
+        match first_stmt "call f(x, 3)" with
+        | Ast.Call ("f", [ Ast.Var "x"; Ast.Int_lit 3 ]) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "block if-else" (fun () ->
+        match first_stmt "if (a > 0) then\n x = 1\nelse\n x = 2\nend if" with
+        | Ast.If ([ (Ast.Binop (Ast.Gt, _, _), [ _ ]) ], [ _ ]) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "else if chains" (fun () ->
+        match first_stmt "if (a > 0) then\n x = 1\nelse if (a < 0) then\n x = 2\nelse\n x = 3\nend if" with
+        | Ast.If ([ _; _ ], [ _ ]) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "elseif single keyword" (fun () ->
+        match first_stmt "if (a > 0) then\n x = 1\nelseif (a < 0) then\n x = 2\nendif" with
+        | Ast.If ([ _; _ ], []) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "one-line logical if" (fun () ->
+        match first_stmt "if (done) exit" with
+        | Ast.If ([ (Ast.Var "done", [ { Ast.node = Ast.Exit_stmt; _ } ]) ], []) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "counted do loop" (fun () ->
+        match first_stmt "do i = 1, 10\n x = x + 1\nend do" with
+        | Ast.Do { var = "i"; from_ = Ast.Int_lit 1; to_ = Ast.Int_lit 10; step = None; body = [ _ ]; _ } ->
+          ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "do loop with step" (fun () ->
+        match first_stmt "do i = 10, 1, -2\n x = 1\nend do" with
+        | Ast.Do { step = Some (Ast.Unop (Ast.Neg, Ast.Int_lit 2)); _ } -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "do while" (fun () ->
+        match first_stmt "do while (x < 10)\n x = x + 1\nend do" with
+        | Ast.Do_while { cond = Ast.Binop (Ast.Lt, _, _); body = [ _ ]; _ } -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "enddo accepted" (fun () ->
+        match first_stmt "do i = 1, 2\n x = 1\nenddo" with
+        | Ast.Do _ -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "print with values" (fun () ->
+        match first_stmt "print *, 'k', x, 1.5" with
+        | Ast.Print_stmt [ Ast.Str_lit "k"; Ast.Var "x"; Ast.Real_lit _ ] -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "bare print" (fun () ->
+        match first_stmt "print *" with
+        | Ast.Print_stmt [] -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "stop with message" (fun () ->
+        match first_stmt "stop 'bad'" with
+        | Ast.Stop_stmt (Some "bad") -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "select case with values, ranges, default" (fun () ->
+        match first_stmt
+                "select case (k)\ncase (1)\n x = 1\ncase (2, 3:5, :0)\n x = 2\ncase default\n x = 3\nend select"
+        with
+        | Ast.Select { selector = Ast.Var "k"; arms = [ (a1, [ _ ]); (a2, [ _ ]) ]; default = [ _ ] }
+          -> (
+          (match a1 with
+          | [ Ast.Case_value (Ast.Int_lit 1) ] -> ()
+          | _ -> Alcotest.fail "first arm items");
+          match a2 with
+          | [ Ast.Case_value (Ast.Int_lit 2);
+              Ast.Case_range (Some (Ast.Int_lit 3), Some (Ast.Int_lit 5));
+              Ast.Case_range (None, Some (Ast.Int_lit 0)) ] ->
+            ()
+          | _ -> Alcotest.fail "second arm items")
+        | _ -> Alcotest.fail "unexpected AST");
+    t "select case open upper range" (fun () ->
+        match first_stmt "select case (k)\ncase (7:)\n x = 1\nend select" with
+        | Ast.Select { arms = [ ([ Ast.Case_range (Some (Ast.Int_lit 7), None) ], _) ]; default = []; _ }
+          ->
+          ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "return cycle exit" (fun () ->
+        let m = parse_main "return\ncycle\nexit" in
+        match List.map (fun s -> s.Ast.node) m.Ast.main_body with
+        | [ Ast.Return_stmt; Ast.Cycle_stmt; Ast.Exit_stmt ] -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+  ]
+
+let expr_tests =
+  [
+    t "precedence mul over add" (fun () ->
+        match first_stmt "x = a + b * c" with
+        | Ast.Assign (_, Ast.Binop (Ast.Add, Ast.Var "a", Ast.Binop (Ast.Mul, _, _))) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "left associativity of subtraction" (fun () ->
+        match first_stmt "x = a - b - c" with
+        | Ast.Assign (_, Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, _, _), Ast.Var "c")) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "power is right associative" (fun () ->
+        match first_stmt "x = a ** b ** c" with
+        | Ast.Assign (_, Ast.Binop (Ast.Pow, Ast.Var "a", Ast.Binop (Ast.Pow, _, _))) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "unary minus applies to the multiplicative term" (fun () ->
+        match first_stmt "x = -a * b" with
+        | Ast.Assign (_, Ast.Binop (Ast.Mul, Ast.Unop (Ast.Neg, Ast.Var "a"), Ast.Var "b"))
+        | Ast.Assign (_, Ast.Unop (Ast.Neg, Ast.Binop (Ast.Mul, _, _))) ->
+          (* both groupings are semantically identical for * *)
+          ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "power binds unary minus on the right" (fun () ->
+        match first_stmt "x = a ** (-b)" with
+        | Ast.Assign (_, Ast.Binop (Ast.Pow, _, Ast.Unop (Ast.Neg, _))) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "and binds tighter than or" (fun () ->
+        match first_stmt "x = a .or. b .and. c" with
+        | Ast.Assign (_, Ast.Binop (Ast.Or, Ast.Var "a", Ast.Binop (Ast.And, _, _))) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "comparison inside logical" (fun () ->
+        match first_stmt "x = a < b .and. c > d" with
+        | Ast.Assign (_, Ast.Binop (Ast.And, Ast.Binop (Ast.Lt, _, _), Ast.Binop (Ast.Gt, _, _))) ->
+          ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "function call in expression" (fun () ->
+        match first_stmt "x = f(a, b) + 1" with
+        | Ast.Assign (_, Ast.Binop (Ast.Add, Ast.Index ("f", [ _; _ ]), Ast.Int_lit 1)) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+    t "parenthesized grouping" (fun () ->
+        match first_stmt "x = (a + b) * c" with
+        | Ast.Assign (_, Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, _, _), _)) -> ()
+        | _ -> Alcotest.fail "unexpected AST");
+  ]
+
+let decl_tests =
+  [
+    t "real kind 8 declaration" (fun () ->
+        let m = parse_main_with_decls "real(kind=8) :: x, y" "x = 1.0" in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Treal Ast.K8; names = [ ("x", None); ("y", None) ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "real short kind form" (fun () ->
+        let m = parse_main_with_decls "real(4) :: x" "x = 1.0" in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Treal Ast.K4; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "bare real is kind 4" (fun () ->
+        let m = parse_main_with_decls "real :: x" "x = 1.0" in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Treal Ast.K4; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "double precision" (fun () ->
+        let m = parse_main_with_decls "double precision :: x" "x = 1.0" in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Treal Ast.K8; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "integer with kind ignored" (fun () ->
+        let m = parse_main_with_decls "integer(kind=4) :: i" "i = 1" in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Tinteger; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "dimension attribute" (fun () ->
+        let m = parse_main_with_decls "real(kind=8), dimension(10, 20) :: a" "a(1, 1) = 0.0" in
+        match m.Ast.main_decls with
+        | [ { Ast.dims = [ Ast.Int_lit 10; Ast.Int_lit 20 ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "parameter with initializer" (fun () ->
+        let m = parse_main_with_decls "integer, parameter :: n = 5" "print *, n" in
+        match m.Ast.main_decls with
+        | [ { Ast.parameter = true; names = [ ("n", Some (Ast.Int_lit 5)) ]; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+    t "intent attributes" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n subroutine s(a, b, c)\n  real(kind=8), intent(in) :: a\n  real(kind=8), intent(out) :: b\n  real(kind=8), intent(inout) :: c\n  b = a + c\n end subroutine s\nend module m\n"
+        in
+        match Parser.parse src with
+        | [ Ast.Module { Ast.mod_procs = [ p ]; _ } ] ->
+          let intent n = (Option.get (Ast.find_decl_for p.Ast.proc_decls n)).Ast.intent in
+          Alcotest.(check bool) "a in" true (intent "a" = Some Ast.In);
+          Alcotest.(check bool) "b out" true (intent "b" = Some Ast.Out);
+          Alcotest.(check bool) "c inout" true (intent "c" = Some Ast.Inout)
+        | _ -> Alcotest.fail "unexpected units");
+    t "per-entity array spec splits the declaration" (fun () ->
+        let m = parse_main_with_decls "real(kind=8) :: x, a(7)" "x = 0.0" in
+        let names =
+          List.concat_map (fun (d : Ast.decl) -> List.map fst d.Ast.names) m.Ast.main_decls
+        in
+        Alcotest.(check (list string)) "names" [ "x"; "a" ] (List.sort compare names |> List.rev);
+        let a_decl = Option.get (Ast.find_decl_for m.Ast.main_decls "a") in
+        (match a_decl.Ast.dims with
+        | [ Ast.Int_lit 7 ] -> ()
+        | _ -> Alcotest.fail "a should have dims (7)");
+        let x_decl = Option.get (Ast.find_decl_for m.Ast.main_decls "x") in
+        Alcotest.(check int) "x scalar" 0 (List.length x_decl.Ast.dims));
+    t "logical declaration" (fun () ->
+        let m = parse_main_with_decls "logical :: done" "done = .true." in
+        match m.Ast.main_decls with
+        | [ { Ast.base = Ast.Tlogical; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected decls");
+  ]
+
+let unit_tests =
+  [
+    t "module with contains" (fun () ->
+        let src =
+          "module m\n  implicit none\n  real(kind=8) :: g\ncontains\n  subroutine s(a)\n    real(kind=8) :: a\n    g = a\n  end subroutine s\nend module m\n"
+        in
+        match Parser.parse src with
+        | [ Ast.Module m ] ->
+          Alcotest.(check string) "name" "m" m.Ast.mod_name;
+          Alcotest.(check int) "procs" 1 (List.length m.Ast.mod_procs)
+        | _ -> Alcotest.fail "unexpected units");
+    t "use statements recorded" (fun () ->
+        let src = "module a\n implicit none\nend module a\nprogram p\n use a\n implicit none\nend program p\n" in
+        match Parser.parse src with
+        | [ Ast.Module _; Ast.Main m ] -> Alcotest.(check (list string)) "uses" [ "a" ] m.Ast.main_uses
+        | _ -> Alcotest.fail "unexpected units");
+    t "function with result clause" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n function f(x) result(y)\n  real(kind=8) :: x, y\n  y = x\n end function f\nend module m\n"
+        in
+        match Parser.parse src with
+        | [ Ast.Module { Ast.mod_procs = [ { Ast.proc_kind = Ast.Function { result = "y" }; _ } ]; _ } ] ->
+          ()
+        | _ -> Alcotest.fail "unexpected units");
+    t "typed function prefix declares the result" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n real(kind=8) function f(x)\n  real(kind=8) :: x\n  f = x\n end function f\nend module m\n"
+        in
+        match Parser.parse src with
+        | [ Ast.Module { Ast.mod_procs = [ p ]; _ } ] -> (
+          match p.Ast.proc_kind, Ast.find_decl_for p.Ast.proc_decls "f" with
+          | Ast.Function { result = "f" }, Some { Ast.base = Ast.Treal Ast.K8; _ } -> ()
+          | _ -> Alcotest.fail "result not declared by prefix")
+        | _ -> Alcotest.fail "unexpected units");
+    t "loop ids are dense and unique" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n subroutine s()\n  integer :: i, j\n  do i = 1, 2\n   do j = 1, 2\n    i = i\n   end do\n  end do\n  do while (i < 3)\n   i = i + 1\n  end do\n end subroutine s\nend module m\n"
+        in
+        let prog = Parser.parse src in
+        let ids = ref [] in
+        List.iter
+          (fun (p : Ast.proc) ->
+            Ast.iter_stmts
+              (fun s ->
+                match s.Ast.node with
+                | Ast.Do { id; _ } | Ast.Do_while { id; _ } -> ids := id :: !ids
+                | _ -> ())
+              p.Ast.proc_body)
+          (Ast.all_procs prog);
+        let sorted = List.sort_uniq compare !ids in
+        Alcotest.(check int) "three unique loop ids" 3 (List.length sorted);
+        Alcotest.(check (list int)) "dense from 0" [ 0; 1; 2 ] sorted);
+    t "main with contained procedure" (fun () ->
+        let src =
+          "program p\n implicit none\n call go\ncontains\n subroutine go()\n  return\n end subroutine go\nend program p\n"
+        in
+        match Parser.parse src with
+        | [ Ast.Main m ] -> Alcotest.(check int) "procs" 1 (List.length m.Ast.main_procs)
+        | _ -> Alcotest.fail "unexpected units");
+  ]
+
+let error_tests =
+  [
+    expect_parse_error "missing end do" "program t\n do i = 1, 2\n  x = 1\nend program t\n";
+    expect_parse_error "missing end if" "program t\n if (x > 0) then\n  x = 1\nend program t\n";
+    expect_parse_error "unsupported real kind" "program t\n real(kind=16) :: x\nend program t\n";
+    expect_parse_error "subroutine with type prefix"
+      "module m\ncontains\n real(kind=8) subroutine s()\n end subroutine s\nend module m\n";
+    expect_parse_error "garbage toplevel" "subroutine orphan()\nend subroutine orphan\n";
+    expect_parse_error "unknown attribute" "program t\n real(kind=8), volatile :: x\nend program t\n";
+    expect_parse_error "missing expression" "program t\n x = \nend program t\n";
+  ]
+
+let () =
+  Alcotest.run "parser"
+    [
+      ("statements", stmt_tests);
+      ("expressions", expr_tests);
+      ("declarations", decl_tests);
+      ("program units", unit_tests);
+      ("errors", error_tests);
+    ]

@@ -1,0 +1,372 @@
+(* Search tests: variant accounting, the trace cache, delta debugging's
+   1-minimality (against synthetic oracles and brute-force ground truth),
+   and the frontier. *)
+
+open Search
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* a synthetic atom universe *)
+let mk_atoms n =
+  List.init n (fun i ->
+      {
+        Transform.Assignment.a_scope = Fortran.Symtab.Proc_scope "p";
+        a_name = Printf.sprintf "v%02d" i;
+        a_declared = Fortran.Ast.K8;
+        a_is_array = false;
+      })
+
+(* an oracle parameterized by a set of critical atoms: a variant passes iff
+   no critical atom is lowered; passing variants speed up with the number
+   of lowered atoms *)
+let oracle ~critical atoms asg =
+  let lowered = Transform.Assignment.lowered asg in
+  let bad = List.exists (fun a -> List.memq a lowered) critical in
+  let n = List.length atoms in
+  let frac = float_of_int (List.length lowered) /. float_of_int (max 1 n) in
+  if bad then
+    {
+      Variant.status = Variant.Fail;
+      speedup = 1.0 +. frac;
+      rel_error = 1.0;
+      hotspot_time = 1.0;
+      model_time = 1.0;
+      proc_stats = [];
+      casting_share = 0.0;
+      detail = "critical atom lowered";
+    }
+  else
+    {
+      Variant.status = Variant.Pass;
+      speedup = 1.0 +. frac;
+      rel_error = 1e-9;
+      hotspot_time = 1.0;
+      model_time = 1.0;
+      proc_stats = [];
+      casting_share = 0.0;
+      detail = "ok";
+    }
+
+let dd_config = { Delta_debug.error_threshold = 1e-3; perf_floor = 0.9 }
+
+let run_dd ~critical n =
+  let atoms = mk_atoms n in
+  let crit = List.filteri (fun i _ -> List.mem i critical) atoms in
+  let trace = Trace.create () in
+  let result =
+    Delta_debug.search ~atoms ~trace ~evaluate:(oracle ~critical:crit atoms) dd_config
+  in
+  (atoms, crit, result, trace)
+
+let delta_debug_tests =
+  [
+    t "no critical atoms: everything lowered" (fun () ->
+        let _, _, r, _ = run_dd ~critical:[] 12 in
+        Alcotest.(check int) "empty high set" 0 (List.length r.Delta_debug.high_set);
+        Alcotest.(check bool) "finished" true r.Delta_debug.finished);
+    t "single critical atom found exactly" (fun () ->
+        let _, crit, r, _ = run_dd ~critical:[ 5 ] 12 in
+        Alcotest.(check int) "one high" 1 (List.length r.Delta_debug.high_set);
+        Alcotest.(check bool) "the right one" true
+          (List.memq (List.hd crit) r.Delta_debug.high_set));
+    t "scattered critical atoms found exactly" (fun () ->
+        let _, crit, r, _ = run_dd ~critical:[ 1; 7; 11 ] 16 in
+        Alcotest.(check int) "three high" 3 (List.length r.Delta_debug.high_set);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "critical kept" true (List.memq c r.Delta_debug.high_set))
+          crit);
+    t "evaluation count is subquadratic-ish" (fun () ->
+        let n = 32 in
+        let _, _, r, _ = run_dd ~critical:[ 3 ] n in
+        Alcotest.(check bool) "fewer than n^2 evals" true (r.Delta_debug.evaluations < n * n));
+    t "budget exhaustion returns best seen" (fun () ->
+        let atoms = mk_atoms 20 in
+        let crit = List.filteri (fun i _ -> i = 4 || i = 13) atoms in
+        let trace = Trace.create ~max_variants:6 () in
+        let r = Delta_debug.search ~atoms ~trace ~evaluate:(oracle ~critical:crit atoms) dd_config in
+        Alcotest.(check bool) "not finished" false r.Delta_debug.finished;
+        Alcotest.(check bool) "budget respected" true (Trace.count trace <= 6));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"dd finds exactly the critical set (monotone oracle)" ~count:60
+         QCheck.(pair (int_range 4 20) (small_list (int_range 0 19)))
+         (fun (n, crit_idx) ->
+           let critical = List.sort_uniq compare (List.filter (fun i -> i < n) crit_idx) in
+           let atoms, crit, r, _ = run_dd ~critical n in
+           ignore atoms;
+           r.Delta_debug.finished
+           && List.length r.Delta_debug.high_set = List.length crit
+           && List.for_all (fun c -> List.memq c r.Delta_debug.high_set) crit));
+    t "1-minimality verified against the oracle" (fun () ->
+        let atoms, crit, r, _ = run_dd ~critical:[ 2; 9 ] 14 in
+        ignore crit;
+        (* lowering any single remaining high atom must fail the oracle *)
+        List.iter
+          (fun h ->
+            let lowered =
+              h :: Transform.Assignment.lowered r.Delta_debug.minimal
+            in
+            let asg = Transform.Assignment.of_lowered atoms ~lowered in
+            let m =
+              oracle ~critical:(List.filteri (fun i _ -> List.mem i [ 2; 9 ]) atoms) atoms asg
+            in
+            Alcotest.(check bool) "violates criteria" false (Delta_debug.accepted dd_config m))
+          r.Delta_debug.high_set);
+  ]
+
+let ddmin_tests =
+  [
+    t "partition sizes balance" (fun () ->
+        Alcotest.(check (list (list int))) "3 chunks" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+          (Ddmin.partition 3 [ 1; 2; 3; 4; 5 ]);
+        Alcotest.(check (list (list int))) "oversized n" [ [ 1 ]; [ 2 ] ] (Ddmin.partition 9 [ 1; 2 ]));
+    t "minimize of passing empty set" (fun () ->
+        Alcotest.(check (list int)) "empty" [] (Ddmin.minimize ~test:(fun _ -> true) [ 1; 2; 3 ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"minimize returns exactly the required subset" ~count:100
+         QCheck.(pair (int_range 1 24) (small_list (int_range 0 23)))
+         (fun (n, req_idx) ->
+           let xs = List.init n (fun i -> i) in
+           let required = List.sort_uniq compare (List.filter (fun i -> i < n) req_idx) in
+           let test sub = List.for_all (fun r -> List.mem r sub) required in
+           let m = Ddmin.minimize ~test xs in
+           List.sort compare m = required));
+  ]
+
+let hierarchical_tests =
+  [
+    t "groups must partition the atoms" (fun () ->
+        let atoms = mk_atoms 4 in
+        let trace = Trace.create () in
+        match
+          Hierarchical.search ~atoms
+            ~groups:[ List.filteri (fun i _ -> i < 2) atoms ]
+            ~trace ~evaluate:(oracle ~critical:[] atoms) dd_config
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "finds the critical atoms through groups" (fun () ->
+        let atoms = mk_atoms 12 in
+        let crit = List.filteri (fun i _ -> i = 3 || i = 4 (* same group *)) atoms in
+        let groups = Ddmin.partition 4 atoms in
+        let trace = Trace.create () in
+        let r =
+          Hierarchical.search ~atoms ~groups ~trace ~evaluate:(oracle ~critical:crit atoms)
+            dd_config
+        in
+        Alcotest.(check bool) "finished" true r.Delta_debug.finished;
+        Alcotest.(check int) "exactly the criticals" 2 (List.length r.Delta_debug.high_set);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "critical kept" true (List.memq c r.Delta_debug.high_set))
+          crit);
+    t "clustered criticals cost fewer evaluations than flat dd" (fun () ->
+        (* criticals all inside one group: the group phase isolates them fast *)
+        let atoms = mk_atoms 24 in
+        let crit = List.filteri (fun i _ -> i >= 4 && i < 8) atoms in
+        let groups = Ddmin.partition 6 atoms in
+        let t_h = Trace.create () in
+        let rh =
+          Hierarchical.search ~atoms ~groups ~trace:t_h ~evaluate:(oracle ~critical:crit atoms)
+            dd_config
+        in
+        let t_f = Trace.create () in
+        let rf =
+          Delta_debug.search ~atoms ~trace:t_f ~evaluate:(oracle ~critical:crit atoms) dd_config
+        in
+        Alcotest.(check bool) "same high set size" true
+          (List.length rh.Delta_debug.high_set = List.length rf.Delta_debug.high_set);
+        Alcotest.(check bool) "fewer or equal evals" true
+          (rh.Delta_debug.evaluations <= rf.Delta_debug.evaluations));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hierarchical finds every critical atom" ~count:40
+         QCheck.(pair (int_range 4 20) (small_list (int_range 0 19)))
+         (fun (n, crit_idx) ->
+           let atoms = mk_atoms n in
+           let critical = List.sort_uniq compare (List.filter (fun i -> i < n) crit_idx) in
+           let crit = List.filteri (fun i _ -> List.mem i critical) atoms in
+           let groups = Ddmin.partition 4 atoms in
+           let trace = Trace.create () in
+           let r =
+             Hierarchical.search ~atoms ~groups ~trace ~evaluate:(oracle ~critical:crit atoms)
+               dd_config
+           in
+           r.Delta_debug.finished
+           && List.length r.Delta_debug.high_set = List.length crit
+           && List.for_all (fun c -> List.memq c r.Delta_debug.high_set) crit));
+  ]
+
+let brute_force_tests =
+  [
+    t "explores exactly 2^n variants" (fun () ->
+        let atoms = mk_atoms 6 in
+        let trace = Trace.create () in
+        let records = Brute_force.search ~atoms ~trace ~evaluate:(oracle ~critical:[] atoms) () in
+        Alcotest.(check int) "64" 64 (List.length records));
+    t "refuses oversized spaces" (fun () ->
+        let atoms = mk_atoms 21 in
+        let trace = Trace.create () in
+        match Brute_force.search ~atoms ~trace ~evaluate:(oracle ~critical:[] atoms) () with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "agrees with delta debugging on the best passing variant" (fun () ->
+        let atoms = mk_atoms 8 in
+        let crit = List.filteri (fun i _ -> i = 2) atoms in
+        let bf_trace = Trace.create () in
+        let records =
+          Brute_force.search ~atoms ~trace:bf_trace ~evaluate:(oracle ~critical:crit atoms) ()
+        in
+        let best_bf = Option.get (Variant.best records) in
+        let _, _, dd, _ = run_dd ~critical:[ 2 ] 8 in
+        (* dd's 1-minimal variant lowers all non-critical atoms: same
+           speedup as the brute-force optimum *)
+        let dd_frac = Transform.Assignment.fraction_lowered dd.Delta_debug.minimal in
+        Alcotest.(check (float 1e-9)) "same speedup" best_bf.Variant.meas.Variant.speedup
+          (1.0 +. dd_frac));
+  ]
+
+let trace_tests =
+  [
+    t "identical assignments evaluated once" (fun () ->
+        let atoms = mk_atoms 4 in
+        let count = ref 0 in
+        let trace = Trace.create () in
+        let f asg =
+          incr count;
+          oracle ~critical:[] atoms asg
+        in
+        let asg = Transform.Assignment.uniform atoms Fortran.Ast.K4 in
+        ignore (Trace.evaluate trace ~f asg);
+        ignore (Trace.evaluate trace ~f asg);
+        Alcotest.(check int) "one eval" 1 !count;
+        Alcotest.(check int) "one record" 1 (List.length (Trace.records trace)));
+    t "budget raises after cap" (fun () ->
+        let atoms = mk_atoms 4 in
+        let trace = Trace.create ~max_variants:2 () in
+        let f = oracle ~critical:[] atoms in
+        let lower i =
+          Transform.Assignment.of_lowered atoms
+            ~lowered:(List.filteri (fun j _ -> j < i) atoms)
+        in
+        ignore (Trace.evaluate trace ~f (lower 0));
+        ignore (Trace.evaluate trace ~f (lower 1));
+        (match Trace.evaluate trace ~f (lower 2) with
+        | _ -> Alcotest.fail "expected Budget_exhausted"
+        | exception Trace.Budget_exhausted -> ());
+        (* cached entries still served after exhaustion *)
+        ignore (Trace.evaluate trace ~f (lower 1)));
+    t "records keep evaluation order" (fun () ->
+        let atoms = mk_atoms 3 in
+        let trace = Trace.create () in
+        let f = oracle ~critical:[] atoms in
+        ignore (Trace.evaluate trace ~f (Transform.Assignment.original atoms));
+        ignore (Trace.evaluate trace ~f (Transform.Assignment.uniform atoms Fortran.Ast.K4));
+        match Trace.records trace with
+        | [ a; b ] ->
+          Alcotest.(check int) "first" 1 a.Variant.index;
+          Alcotest.(check int) "second" 2 b.Variant.index
+        | _ -> Alcotest.fail "expected two records");
+  ]
+
+let variant_tests =
+  [
+    t "summarize percentages" (fun () ->
+        let atoms = mk_atoms 2 in
+        let mk status speedup =
+          {
+            Variant.index = 0;
+            asg = Transform.Assignment.original atoms;
+            meas =
+              {
+                Variant.status;
+                speedup;
+                rel_error = 0.0;
+                hotspot_time = 1.0;
+                model_time = 1.0;
+                proc_stats = [];
+                casting_share = 0.0;
+                detail = "";
+              };
+          }
+        in
+        let s =
+          Variant.summarize
+            [ mk Variant.Pass 1.5; mk Variant.Fail 2.0; mk Variant.Timeout 0.0; mk Variant.Pass 1.2 ]
+        in
+        Alcotest.(check (float 1e-9)) "pass" 50.0 s.Variant.pass_pct;
+        Alcotest.(check (float 1e-9)) "fail" 25.0 s.Variant.fail_pct;
+        Alcotest.(check (float 1e-9)) "timeout" 25.0 s.Variant.timeout_pct;
+        Alcotest.(check (float 1e-9)) "best from passing only" 1.5 s.Variant.best_speedup);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"frontier points are mutually non-dominated" ~count:100
+         QCheck.(small_list (pair (float_bound_exclusive 3.0) (float_bound_exclusive 1.0)))
+         (fun pts ->
+           let atoms = mk_atoms 1 in
+           let records =
+             List.mapi
+               (fun i (sp, err) ->
+                 {
+                   Variant.index = i;
+                   asg = Transform.Assignment.original atoms;
+                   meas =
+                     {
+                       Variant.status = Variant.Pass;
+                       speedup = 0.1 +. sp;
+                       rel_error = err;
+                       hotspot_time = 1.0;
+                       model_time = 1.0;
+                       proc_stats = [];
+                       casting_share = 0.0;
+                       detail = "";
+                     };
+                 })
+               pts
+           in
+           let front = Variant.frontier records in
+           List.for_all
+             (fun (a : Variant.record) ->
+               List.for_all
+                 (fun (b : Variant.record) ->
+                   a == b
+                   || not
+                        (b.Variant.meas.Variant.speedup >= a.Variant.meas.Variant.speedup
+                        && b.Variant.meas.Variant.rel_error <= a.Variant.meas.Variant.rel_error
+                        && (b.Variant.meas.Variant.speedup > a.Variant.meas.Variant.speedup
+                           || b.Variant.meas.Variant.rel_error < a.Variant.meas.Variant.rel_error)))
+                 front)
+             front));
+  ]
+
+let random_walk_tests =
+  [
+    t "deterministic for a seed" (fun () ->
+        let atoms = mk_atoms 8 in
+        let go () =
+          let trace = Trace.create () in
+          List.map
+            (fun (r : Variant.record) -> Transform.Assignment.signature r.Variant.asg)
+            (Random_walk.search ~atoms ~trace ~evaluate:(oracle ~critical:[] atoms) ~samples:20
+               ~seed:99 ())
+        in
+        Alcotest.(check (list string)) "same exploration" (go ()) (go ()));
+    t "respects the trace budget" (fun () ->
+        let atoms = mk_atoms 8 in
+        let trace = Trace.create ~max_variants:5 () in
+        let records =
+          Random_walk.search ~atoms ~trace ~evaluate:(oracle ~critical:[] atoms) ~samples:100
+            ~seed:7 ()
+        in
+        Alcotest.(check bool) "counted" true (List.length records <= 5));
+  ]
+
+let () =
+  Alcotest.run "search"
+    [
+      ("delta debugging", delta_debug_tests);
+      ("ddmin", ddmin_tests);
+      ("hierarchical", hierarchical_tests);
+      ("brute force", brute_force_tests);
+      ("trace", trace_tests);
+      ("variants", variant_tests);
+      ("random walk", random_walk_tests);
+    ]

@@ -1,0 +1,156 @@
+(* Taint-based program reduction tests (Sec. III-C). *)
+
+open Fortran
+
+let t name f = Alcotest.test_case name `Quick f
+
+let fixture =
+  {|
+module unrelated
+  implicit none
+  real(kind=8) :: junk
+contains
+  subroutine noise()
+    junk = junk + 1.0d0
+  end subroutine noise
+end module unrelated
+
+module hot
+  implicit none
+  integer, parameter :: n = 4
+  real(kind=8), dimension(n) :: state
+contains
+  subroutine kernel(dt)
+    real(kind=8), intent(in) :: dt
+    integer :: i
+    do i = 1, n
+      state(i) = state(i) + dt * helper(state(i))
+    end do
+  end subroutine kernel
+
+  function helper(x) result(y)
+    real(kind=8) :: x, y
+    y = x * 0.5d0
+  end function helper
+
+  subroutine untouched()
+    integer :: k
+    k = 0
+  end subroutine untouched
+end module hot
+
+program main
+  use unrelated
+  use hot
+  implicit none
+  real(kind=8) :: dt
+  integer :: step
+  dt = 0.1d0
+  call noise
+  do step = 1, 3
+    call kernel(dt)
+  end do
+  print *, 'state1', state(1)
+end program main
+|}
+
+let reduce targets =
+  let st = Symtab.build (Parser.parse fixture) in
+  Analysis.Taint.reduce st ~targets
+
+let kernel_targets =
+  [ (Symtab.Proc_scope "kernel", "dt"); (Symtab.Unit_scope "hot", "state") ]
+
+let tests =
+  [
+    t "target declarations survive" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        let st' = Symtab.build reduced in
+        Alcotest.(check bool) "dt declared" true
+          (Symtab.lookup_var st' ~in_proc:(Some "kernel") "dt" <> None);
+        Alcotest.(check bool) "state declared" true
+          (Symtab.lookup_var st' ~in_proc:(Some "kernel") "state" <> None));
+    t "reduced program parses and round-trips" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        let text = Unparse.program reduced in
+        let again = Parser.parse text in
+        Alcotest.(check string) "fixpoint" text (Unparse.program again));
+    t "statements shrink" (fun () ->
+        let _, stats = reduce kernel_targets in
+        Alcotest.(check bool) "kept < total" true
+          (stats.Analysis.Taint.kept_stmts < stats.Analysis.Taint.total_stmts);
+        Alcotest.(check bool) "kept > 0" true (stats.Analysis.Taint.kept_stmts > 0));
+    t "called procedures are pulled in" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        Alcotest.(check bool) "helper kept" true (Ast.find_proc reduced "helper" <> None));
+    t "unrelated procedure dropped" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        Alcotest.(check bool) "untouched gone" true (Ast.find_proc reduced "untouched" = None));
+    t "unrelated module dropped entirely" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        Alcotest.(check bool) "noise gone" true (Ast.find_proc reduced "noise" = None);
+        Alcotest.(check bool) "module gone" true (Ast.find_module reduced "unrelated" = None));
+    t "imports filtered to surviving modules" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        match Ast.main_of reduced with
+        | Some m -> Alcotest.(check (list string)) "uses" [ "hot" ] m.Ast.main_uses
+        | None -> Alcotest.fail "main should survive");
+    t "call sites passing targets survive" (fun () ->
+        let reduced, _ = reduce kernel_targets in
+        let main = Option.get (Ast.main_of reduced) in
+        let calls = ref [] in
+        Ast.iter_stmts
+          (fun s ->
+            match s.Ast.node with
+            | Ast.Call (name, _) -> calls := name :: !calls
+            | _ -> ())
+          main.Ast.main_body;
+        Alcotest.(check bool) "kernel call kept" true (List.mem "kernel" !calls);
+        Alcotest.(check bool) "noise call dropped" true (not (List.mem "noise" !calls)));
+    t "empty target set keeps only the main shell" (fun () ->
+        let reduced, stats = reduce [] in
+        Alcotest.(check int) "no tainted vars" 0 stats.Analysis.Taint.tainted_vars;
+        Alcotest.(check int) "no kept stmts" 0 stats.Analysis.Taint.kept_stmts;
+        ignore (Unparse.program reduced));
+    t "select shells survive when a branch is tainted" (fun () ->
+        let src =
+          "module h\n implicit none\n real(kind=8) :: target_v\n integer :: mode\ncontains\n subroutine go()\n  select case (mode)\n  case (1)\n   target_v = target_v + 1.0d0\n  case default\n   mode = 0\n  end select\n end subroutine go\nend module h\nprogram p\n use h\n implicit none\n call go\nend program p\n"
+        in
+        let st = Fortran.Symtab.build (Fortran.Parser.parse src) in
+        let reduced, _ =
+          Analysis.Taint.reduce st ~targets:[ (Fortran.Symtab.Unit_scope "h", "target_v") ]
+        in
+        let go = Option.get (Fortran.Ast.find_proc reduced "go") in
+        let has_select = ref false in
+        Fortran.Ast.iter_stmts
+          (fun s ->
+            match s.Fortran.Ast.node with
+            | Fortran.Ast.Select _ -> has_select := true
+            | _ -> ())
+          go.Fortran.Ast.proc_body;
+        Alcotest.(check bool) "select kept" true !has_select;
+        ignore (Fortran.Parser.parse (Fortran.Unparse.program reduced)));
+    t "reduction of every bundled model parses" (fun () ->
+        List.iter
+          (fun (m : Models.Registry.t) ->
+            let st = Symtab.build (Parser.parse m.Models.Registry.source) in
+            let atoms =
+              Transform.Assignment.atoms_of_target st ~module_:m.Models.Registry.target_module
+                ~procs:(Some m.Models.Registry.target_procs)
+                ~exclude:m.Models.Registry.exclude_atoms
+            in
+            let targets =
+              List.map
+                (fun a -> (a.Transform.Assignment.a_scope, a.Transform.Assignment.a_name))
+                atoms
+            in
+            let reduced, stats = Analysis.Taint.reduce st ~targets in
+            Alcotest.(check bool)
+              (m.Models.Registry.name ^ " reduces")
+              true
+              (stats.Analysis.Taint.kept_stmts <= stats.Analysis.Taint.total_stmts);
+            ignore (Parser.parse (Unparse.program reduced)))
+          (Models.Registry.funarc :: Models.Registry.all));
+  ]
+
+let () = Alcotest.run "taint" [ ("reduction", tests) ]

@@ -1,0 +1,113 @@
+(* Unparser round-trip tests: parse . unparse is a fixpoint, and the
+   unparsed text preserves semantics (checked structurally and, for
+   expressions, by evaluation-order-sensitive cases). *)
+
+open Fortran
+
+let t name f = Alcotest.test_case name `Quick f
+
+let roundtrip_fix name src =
+  t name (fun () ->
+      let p1 = Parser.parse src in
+      let t1 = Unparse.program p1 in
+      let p2 = Parser.parse t1 in
+      let t2 = Unparse.program p2 in
+      Alcotest.(check string) "unparse fixpoint" t1 t2)
+
+let expr_roundtrip name expr_src =
+  (* embed the expression in an assignment and verify it survives *)
+  t name (fun () ->
+      let src = Printf.sprintf "program t\n implicit none\n x = %s\nend program t\n" expr_src in
+      let p1 = Parser.parse src in
+      let t1 = Unparse.program p1 in
+      let p2 = Parser.parse t1 in
+      let get_rhs = function
+        | [ Ast.Main { Ast.main_body = [ { Ast.node = Ast.Assign (_, rhs); _ } ]; _ } ] -> rhs
+        | _ -> Alcotest.fail "unexpected program"
+      in
+      Alcotest.(check bool) "same expression AST" true (get_rhs p1 = get_rhs p2))
+
+let fixture_snippets =
+  [
+    roundtrip_fix "funarc model" (Models.Funarc.source ());
+    roundtrip_fix "mpas model" (Models.Mpas.source ~p:Models.Mpas.small ());
+    roundtrip_fix "adcirc model" (Models.Adcirc.source ~p:Models.Adcirc.small ());
+    roundtrip_fix "mom6 model" (Models.Mom6.source ~p:Models.Mom6.small ());
+    roundtrip_fix "declarations with attributes"
+      "module m\n implicit none\n real(kind=8), dimension(3), intent(in) :: q\n integer, parameter :: n = 4\ncontains\n subroutine s(q)\n  real(kind=8), dimension(3), intent(in) :: q\n  return\n end subroutine s\nend module m\n";
+    roundtrip_fix "select case"
+      "program t\n implicit none\n integer :: k\n real(kind=8) :: x\n k = 2\n select case (k)\n case (1)\n  x = 1.0d0\n case (2, 4:6, :0, 8:)\n  x = 2.0d0\n case default\n  x = 3.0d0\n end select\nend program t\n";
+    roundtrip_fix "control flow nest"
+      "program t\n implicit none\n integer :: i\n real(kind=8) :: x\n do i = 1, 10, 2\n  if (x > 0.0) then\n   x = x - 1.0\n  else if (x < -1.0) then\n   cycle\n  else\n   exit\n  end if\n end do\n do while (x < 5.0)\n  x = x + 1.0\n end do\n print *, 'x', x\n stop 'done'\nend program t\n";
+  ]
+
+let expr_cases =
+  [
+    expr_roundtrip "subtraction grouping right" "a - (b - c)";
+    expr_roundtrip "subtraction grouping left" "a - b - c";
+    expr_roundtrip "division chain" "a / b / c";
+    expr_roundtrip "division of product" "a / (b * c)";
+    expr_roundtrip "negated sum" "-(a + b)";
+    expr_roundtrip "negation in product" "a * (-b)";
+    expr_roundtrip "double power" "a ** b ** c";
+    expr_roundtrip "power of sum" "(a + b) ** 2";
+    expr_roundtrip "not over and" ".not. (a .and. b)";
+    expr_roundtrip "comparison of sums" "a + b < c * d";
+    expr_roundtrip "mixed logical" "(a .or. b) .and. c";
+    expr_roundtrip "call with expression args" "f(a + 1, g(b), c(i, j))";
+    expr_roundtrip "negative literal argument" "min(a, -1.5)";
+    expr_roundtrip "string argument survives quoting" "h('it''s', x)";
+  ]
+
+(* random expression generator for the fixpoint property *)
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c"; "x" ] >|= fun v -> Ast.Var v in
+  let leaf =
+    frequency
+      [
+        (3, var);
+        (2, map (fun i -> Ast.Int_lit (abs i mod 100)) int);
+        (2, return (Ast.Real_lit { text = "1.5"; value = 1.5; kind = Ast.K4 }));
+        (1, return (Ast.Real_lit { text = "2.0d0"; value = 2.0; kind = Ast.K8 }));
+      ]
+  in
+  let binop =
+    oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Pow; Ast.Lt; Ast.Ge; Ast.Eq ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (3, leaf);
+               ( 4,
+                 map3 (fun op l r -> Ast.Binop (op, l, r)) binop (self (n / 2)) (self (n / 2)) );
+               (1, map (fun e -> Ast.Unop (Ast.Neg, e)) (self (n / 2)));
+               ( 1,
+                 map
+                   (fun e -> Ast.Index ("f", [ e ]))
+                   (self (n / 2)) );
+             ])
+
+let arbitrary_expr = QCheck.make ~print:Unparse.expr gen_expr
+
+(* comparisons cannot nest as operands of arithmetic; restrict the check to
+   expressions that type—here we only require parse(unparse(e)) = e
+   syntactically, which holds regardless of typing *)
+let unparse_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (unparse e) = e for generated expressions" ~count:500
+    arbitrary_expr (fun e ->
+      let src = Printf.sprintf "program t\n x = %s\nend program t\n" (Unparse.expr e) in
+      match Parser.parse src with
+      | [ Ast.Main { Ast.main_body = [ { Ast.node = Ast.Assign (_, rhs); _ } ]; _ } ] -> rhs = e
+      | _ -> false)
+
+let () =
+  Alcotest.run "unparse"
+    [
+      ("fixpoints", fixture_snippets);
+      ("expressions", expr_cases);
+      ("properties", [ QCheck_alcotest.to_alcotest unparse_parse_roundtrip ]);
+    ]
