@@ -10,7 +10,13 @@
      main.exe --checks        only the validation checklists
      main.exe --ablation      only the ablations
      main.exe --bechamel      only the micro-benchmarks
-     main.exe --quick         small workloads everywhere (CI mode)        *)
+     main.exe --quick         small workloads everywhere (CI mode)
+     main.exe --workers N     evaluation worker domains (0 = sequential;
+                              default: cores - 1); results are identical
+                              across N, only wall clock changes
+     main.exe --json PATH     write per-campaign wall clock, evaluation
+                              counts and summaries as JSON (forces the
+                              five campaigns)                             *)
 
 let pf = Printf.printf
 
@@ -22,12 +28,14 @@ type selection = {
   mutable bechamel : bool;
   mutable all : bool;
   mutable quick : bool;
+  mutable workers : int option;
+  mutable json : string option;
 }
 
 let parse_args () =
   let sel =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
-      quick = false }
+      quick = false; workers = None; json = None }
   in
   let rec go = function
     | [] -> ()
@@ -54,6 +62,13 @@ let parse_args () =
     | "--quick" :: rest ->
       sel.quick <- true;
       go rest
+    | "--workers" :: n :: rest ->
+      sel.workers <- Some (int_of_string n);
+      go rest
+    | "--json" :: path :: rest ->
+      sel.json <- Some path;
+      sel.all <- false;  (* `--json` alone = the five campaigns, no extras *)
+      go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -65,10 +80,14 @@ let want_figure sel n = sel.all || List.mem n sel.figures
 (* ------------------------------------------------------------------ *)
 (* The campaigns (computed lazily so partial selections stay cheap)    *)
 
-let timed label f =
+let wall_clocks : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let timed ?key label f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  pf "  [%s: %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  Option.iter (fun k -> Hashtbl.replace wall_clocks k dt) key;
+  pf "  [%s: %.1fs]\n%!" label dt;
   r
 
 let rec main () =
@@ -77,12 +96,29 @@ let rec main () =
     if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
     else Core.Config.default
   in
-  let funarc = lazy (timed "funarc brute force" (fun () -> Core.Experiments.funarc_campaign ~config ())) in
-  let mpas = lazy (timed "MPAS-A search" (fun () -> Core.Experiments.hotspot_campaign ~config "mpas")) in
-  let adcirc = lazy (timed "ADCIRC search" (fun () -> Core.Experiments.hotspot_campaign ~config "adcirc")) in
-  let mom6 = lazy (timed "MOM6 search" (fun () -> Core.Experiments.hotspot_campaign ~config "mom6")) in
+  let workers = sel.workers in
+  let funarc =
+    lazy (timed ~key:"funarc" "funarc brute force" (fun () -> Core.Experiments.funarc_campaign ~config ()))
+  in
+  let mpas =
+    lazy
+      (timed ~key:"mpas" "MPAS-A search" (fun () ->
+           Core.Experiments.hotspot_campaign ~config ?workers "mpas"))
+  in
+  let adcirc =
+    lazy
+      (timed ~key:"adcirc" "ADCIRC search" (fun () ->
+           Core.Experiments.hotspot_campaign ~config ?workers "adcirc"))
+  in
+  let mom6 =
+    lazy
+      (timed ~key:"mom6" "MOM6 search" (fun () ->
+           Core.Experiments.hotspot_campaign ~config ?workers "mom6"))
+  in
   let mpas_whole =
-    lazy (timed "MPAS-A whole-model search" (fun () -> Core.Experiments.whole_model_campaign ~config ()))
+    lazy
+      (timed ~key:"mpas_whole" "MPAS-A whole-model search" (fun () ->
+           Core.Experiments.whole_model_campaign ~config ?workers ()))
   in
   let hotspot_campaigns () = [ Lazy.force mpas; Lazy.force adcirc; Lazy.force mom6 ] in
 
@@ -174,7 +210,26 @@ let rec main () =
     pf "\n"
   end;
 
-  if sel.all || sel.bechamel then bechamel_suite ()
+  if sel.all || sel.bechamel then bechamel_suite ();
+
+  (* perf trajectory: per-campaign wall clock + evaluation counts (forces
+     the five campaigns, so `--json` alone is a meaningful selection) *)
+  Option.iter
+    (fun path ->
+      let effective =
+        match sel.workers with Some w -> w | None -> Core.Tuner.default_workers ()
+      in
+      let entries =
+        List.map
+          (fun (key, c) ->
+            let c = Lazy.force c in
+            (key, Option.value ~default:0.0 (Hashtbl.find_opt wall_clocks key), c))
+          [ ("funarc", funarc); ("mpas", mpas); ("adcirc", adcirc); ("mom6", mom6);
+            ("mpas_whole", mpas_whole) ]
+      in
+      Core.Export.write_file ~path (Core.Export.bench_json ~workers:effective entries);
+      pf "wrote %s\n%!" path)
+    sel.json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the

@@ -54,6 +54,15 @@ let max_variants_arg =
     & opt (some int) None
     & info [ "max-variants" ] ~doc:"Override the model's dynamic-evaluation budget.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel variant evaluation (default: cores - 1; 0 = \
+           sequential). Results are identical for every N; only wall clock changes.")
+
 let whole_model_arg =
   Arg.(
     value & flag
@@ -87,7 +96,7 @@ let hierarchical_arg =
 
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json =
+  let run m seed max_variants whole static brute hierarchical csv json workers =
     let config =
       {
         Core.Config.default with
@@ -99,8 +108,8 @@ let tune_cmd =
     in
     let campaign =
       if brute then Core.Tuner.run_brute_force ~config m
-      else if hierarchical then Core.Tuner.run_hierarchical ~config m
-      else Core.Tuner.run_delta_debug ~config m
+      else if hierarchical then Core.Tuner.run_hierarchical ~config ?workers m
+      else Core.Tuner.run_delta_debug ~config ?workers m
     in
     print_string (Core.Report.campaign_header campaign);
     print_newline ();
@@ -125,7 +134,7 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
-      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg)
+      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -179,9 +188,9 @@ let analyze_cmd =
 
 let report_cmd =
   let doc = "Run every campaign and print all tables, figures and validation checks" in
-  let run seed =
+  let run seed workers =
     let config = { Core.Config.default with Core.Config.seed } in
-    let suite = Core.Experiments.run_suite ~config () in
+    let suite = Core.Experiments.run_suite ~config ?workers () in
     let hotspots = [ suite.Core.Experiments.mpas; suite.Core.Experiments.adcirc; suite.Core.Experiments.mom6 ] in
     print_string (Core.Report.table1 hotspots);
     print_newline ();
@@ -202,7 +211,7 @@ let report_cmd =
     pf "MPAS-A (whole-model):\n%s"
       (Core.Checks.render (Core.Checks.mpas_whole_model suite.Core.Experiments.mpas_whole))
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ seed_arg)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ seed_arg $ workers_arg)
 
 let () =
   let doc = "automated performance-guided floating-point precision tuning" in

@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test suite, then a quick
+# benchmark pass that records per-campaign wall clock and evaluation counts.
+set -eux
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- --quick --json BENCH_ci.json

@@ -8,21 +8,21 @@ type suite = {
 
 let funarc_campaign ?config () = Tuner.run_brute_force ?config Models.Registry.funarc
 
-let hotspot_campaign ?config name =
-  Tuner.run_delta_debug ?config (Models.Registry.find name)
+let hotspot_campaign ?config ?workers name =
+  Tuner.run_delta_debug ?config ?workers (Models.Registry.find name)
 
-let whole_model_campaign ?(config = Config.default) () =
+let whole_model_campaign ?(config = Config.default) ?workers () =
   Tuner.run_delta_debug
     ~config:{ config with Config.mode = Config.Whole_model_guided }
-    Models.Registry.mpas
+    ?workers Models.Registry.mpas
 
-let run_suite ?config () =
+let run_suite ?config ?workers () =
   {
     funarc = funarc_campaign ?config ();
-    mpas = hotspot_campaign ?config "mpas";
-    adcirc = hotspot_campaign ?config "adcirc";
-    mom6 = hotspot_campaign ?config "mom6";
-    mpas_whole = whole_model_campaign ?config ();
+    mpas = hotspot_campaign ?config ?workers "mpas";
+    adcirc = hotspot_campaign ?config ?workers "adcirc";
+    mom6 = hotspot_campaign ?config ?workers "mom6";
+    mpas_whole = whole_model_campaign ?config ?workers ();
   }
 
 type ablation = {

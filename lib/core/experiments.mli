@@ -17,15 +17,18 @@ type suite = {
   mpas_whole : Tuner.campaign;
 }
 
-val run_suite : ?config:Config.t -> unit -> suite
+val run_suite : ?config:Config.t -> ?workers:int -> unit -> suite
 (** Runs everything (minutes of CPU). The same [config] seeds every
-    campaign, so a suite is reproducible. *)
+    campaign, so a suite is reproducible. [workers] (default: one per
+    spare core; [0] = sequential) parallelizes each delta-debug
+    campaign's variant evaluations without changing any result — see
+    {!Tuner.run_delta_debug}. *)
 
 val funarc_campaign : ?config:Config.t -> unit -> Tuner.campaign
-val hotspot_campaign : ?config:Config.t -> string -> Tuner.campaign
+val hotspot_campaign : ?config:Config.t -> ?workers:int -> string -> Tuner.campaign
 (** By model name ("mpas", "adcirc", "mom6"). *)
 
-val whole_model_campaign : ?config:Config.t -> unit -> Tuner.campaign
+val whole_model_campaign : ?config:Config.t -> ?workers:int -> unit -> Tuner.campaign
 (** MPAS-A guided by whole-model time (Sec. IV-C). *)
 
 type ablation = {

@@ -73,6 +73,18 @@ let summary_json (c : Tuner.campaign) =
     (jfloat s.Variant.error_pct) (jfloat s.Variant.best_speedup) (jfloat c.Tuner.simulated_hours)
     minimal
 
+let bench_json ~workers entries =
+  let entry (name, wall_seconds, c) =
+    let summary = String.trim (summary_json c) in
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"wall_seconds\": %s, \"evaluations\": %d, \"summary\": %s}"
+      (json_escape name) (jfloat wall_seconds)
+      (List.length c.Tuner.records)
+      summary
+  in
+  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]\n}\n" workers
+    (String.concat ",\n" (List.map entry entries))
+
 let write_file ~path content =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)

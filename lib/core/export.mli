@@ -13,4 +13,9 @@ val summary_json : Tuner.campaign -> string
 (** Model, search-space size, threshold, Table-II row, 1-minimal variant,
     simulated cluster hours, as a JSON object. *)
 
+val bench_json : workers:int -> (string * float * Tuner.campaign) list -> string
+(** The bench harness's perf-trajectory record ([BENCH_*.json]): worker
+    count plus, per campaign, its label, measured wall-clock seconds,
+    number of dynamic evaluations, and the full {!summary_json} object. *)
+
 val write_file : path:string -> string -> unit

@@ -271,19 +271,33 @@ let max_variants_of p =
   | Some _ as v -> v
   | None -> p.model.Models.Registry.max_variants
 
-let run_delta_debug ?config model =
+let default_workers = Pool.default_workers
+
+(* [workers]: None = one per spare core, 0 = sequential. The pool lives
+   for exactly one campaign. *)
+let with_pool_opt workers f =
+  let w = match workers with Some w -> w | None -> default_workers () in
+  if w <= 0 then f None else Pool.with_pool ~workers:w (fun pool -> f (Some pool))
+
+let run_delta_debug ?config ?workers model =
   let p = prepare ?config model in
   let trace = Trace.create ?max_variants:(max_variants_of p) () in
   let dd_config =
     { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
   in
-  let result = Delta_debug.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) dd_config in
+  let result =
+    with_pool_opt workers (fun pool ->
+        Delta_debug.search ?pool ~atoms:p.atoms ~trace ~evaluate:(evaluate p) dd_config)
+  in
   finish_campaign p trace (Some result)
 
 let run_brute_force ?config model =
   let p = prepare ?config model in
   let trace = Trace.create ?max_variants:(max_variants_of p) () in
-  let _records = Brute_force.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) () in
+  (* a budget truncates the enumeration rather than aborting the campaign,
+     mirroring the delta-debug searches *)
+  (try ignore (Brute_force.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) ())
+   with Trace.Budget_exhausted -> ());
   finish_campaign p trace None
 
 (* Atoms grouped by connected components of the interprocedural FP flow
@@ -329,15 +343,16 @@ let flow_groups p =
            (List.map Transform.Assignment.atom_id a)
            (List.map Transform.Assignment.atom_id b))
 
-let run_hierarchical ?config model =
+let run_hierarchical ?config ?workers model =
   let p = prepare ?config model in
   let trace = Trace.create ?max_variants:(max_variants_of p) () in
   let dd_config =
     { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
   in
   let result =
-    Hierarchical.search ~atoms:p.atoms ~groups:(flow_groups p) ~trace ~evaluate:(evaluate p)
-      dd_config
+    with_pool_opt workers (fun pool ->
+        Hierarchical.search ?pool ~atoms:p.atoms ~groups:(flow_groups p) ~trace
+          ~evaluate:(evaluate p) dd_config)
   in
   finish_campaign p trace (Some result)
 

@@ -39,7 +39,12 @@ val evaluate : prepared -> Transform.Assignment.t -> Search.Variant.measurement
 (** One dynamic evaluation. Never raises: transformation or execution
     failures become [Error]-status measurements. When the static filter
     is enabled, statically-rejected variants return a zero-cost [Fail]
-    measurement with detail ["static-filter"]. *)
+    measurement with detail ["static-filter"].
+
+    Re-entrant: the whole transform → unparse → reparse → interp pipeline
+    allocates its state per call (the interpreter's frames, globals and
+    timers are per-run Hashtbls) and only reads the shared [prepared]
+    value, so concurrent calls from pool workers are safe. *)
 
 type campaign = {
   prepared : prepared;
@@ -49,9 +54,20 @@ type campaign = {
   simulated_hours : float;  (** Sec.-IV-A cluster accounting *)
 }
 
-val run_delta_debug : ?config:Config.t -> Models.Registry.t -> campaign
+val default_workers : unit -> int
+(** The default evaluation parallelism: one worker domain per spare core
+    ([Domain.recommended_domain_count () - 1], never negative). *)
+
+val run_delta_debug : ?config:Config.t -> ?workers:int -> Models.Registry.t -> campaign
 (** The paper's search (Sec. III-B) on the model's search space, bounded
-    by the model's variant budget (the simulated 12-hour limit). *)
+    by the model's variant budget (the simulated 12-hour limit).
+
+    [workers] (default {!default_workers}; [0] = sequential) spreads each
+    ddmin round's candidate evaluations over a {!Search.Pool} of domains
+    — the laptop analogue of the paper's one-node-per-variant cluster
+    fan-out. The search trajectory, [records] and the Table-II summary
+    are bit-identical across worker counts; only wall clock changes
+    ([simulated_hours] stays variant-count-based). *)
 
 val run_brute_force : ?config:Config.t -> Models.Registry.t -> campaign
 (** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B. *)
@@ -64,10 +80,10 @@ val flow_groups : prepared -> Transform.Assignment.atom list list
     interprocedural FP flow graph: atoms linked by parameter passing land
     in one group. Singleton groups for unconnected atoms. *)
 
-val run_hierarchical : ?config:Config.t -> Models.Registry.t -> campaign
+val run_hierarchical : ?config:Config.t -> ?workers:int -> Models.Registry.t -> campaign
 (** The community-structure search ({!Search.Hierarchical}) over the
     flow-graph groups — the clustering approach the paper's Sec. V points
-    to for scaling FPPT. *)
+    to for scaling FPPT. [workers] as in {!run_delta_debug}. *)
 
 val uniform32_measurement : prepared -> Search.Variant.measurement
 (** The uniform 32-bit variant (the "supported single-precision build"

@@ -19,17 +19,25 @@ let partition n xs =
   in
   List.filter (fun c -> c <> []) (go 0 xs [])
 
-let minimize ~test xs =
+let minimize ?(prefetch = fun _ -> ()) ~test xs =
   if test [] then []
   else begin
     let diff big small = List.filter (fun x -> not (List.memq x small)) big in
     let rec ddmin cur n =
       let chunks = partition n cur in
+      let complements =
+        List.filter (fun comp -> comp <> [] && comp <> cur)
+          (List.map (fun c -> diff cur c) chunks)
+      in
+      (* speculative batching: announce the whole round's candidates in
+         the exact order the sequential algorithm would test them, before
+         the first [test] call — results are then consumed sequentially,
+         so the trajectory is independent of how [prefetch] computes *)
+      prefetch (chunks @ complements);
       match List.find_opt test chunks with
       | Some chunk -> if List.length chunk = 1 then chunk else ddmin chunk 2
       | None -> (
-        let complements = List.map (fun c -> diff cur c) chunks in
-        match List.find_opt (fun comp -> comp <> [] && comp <> cur && test comp) complements with
+        match List.find_opt test complements with
         | Some comp -> ddmin comp (max (n - 1) 2)
         | None ->
           if n < List.length cur then ddmin cur (min (List.length cur) (2 * n))

@@ -11,9 +11,18 @@
     Average O(k log k) tests, worst case O(k²).
 
     Exceptions raised by [test] (e.g. {!Trace.Budget_exhausted})
-    propagate to the caller. *)
+    propagate to the caller.
 
-val minimize : test:('a list -> bool) -> 'a list -> 'a list
+    [prefetch] (default: no-op) receives each round's candidate subsets —
+    chunks first, then the eligible complements — in exactly the order
+    [test] will try them, before the first [test] call of the round. A
+    parallel caller evaluates them speculatively ({!Pool.map}) and serves
+    the subsequent [test] calls from those results; because consumption
+    stays sequential, the search trajectory is bit-identical to a run
+    without [prefetch] — only wall clock changes. *)
+
+val minimize :
+  ?prefetch:('a list list -> unit) -> test:('a list -> bool) -> 'a list -> 'a list
 
 val partition : int -> 'a list -> 'a list list
 (** [partition n xs] splits [xs] into at most [n] non-empty chunks of

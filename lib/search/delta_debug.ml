@@ -15,18 +15,20 @@ let accepted cfg (m : Variant.measurement) =
   && m.Variant.rel_error <= cfg.error_threshold
   && m.Variant.speedup >= cfg.perf_floor
 
-let search ~atoms ~trace ~evaluate cfg =
+let search ?pool ~atoms ~trace ~evaluate cfg =
   let module A = Transform.Assignment in
   let diff big small = List.filter (fun a -> not (List.memq a small)) big in
   let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
+  let spec = Speculate.create ?pool ~trace ~evaluate () in
   (* best accepted assignment seen so far, for budget-exhausted returns *)
   let best_high = ref atoms in
   let test high =
-    let m = Trace.evaluate trace ~f:evaluate (variant_of high) in
+    let m = Speculate.evaluate spec (variant_of high) in
     let ok = accepted cfg m in
     if ok && List.length high < List.length !best_high then best_high := high;
     ok
   in
+  let prefetch highs = Speculate.prefetch spec (List.map variant_of highs) in
   let finished = ref true in
   let final_high =
     try
@@ -34,7 +36,7 @@ let search ~atoms ~trace ~evaluate cfg =
         (* the baseline itself fails the oracle (can happen when the perf
            floor exceeds 1): fall back to reporting it *)
         atoms
-      else Ddmin.minimize ~test atoms
+      else Ddmin.minimize ~prefetch ~test atoms
     with Trace.Budget_exhausted ->
       finished := false;
       !best_high

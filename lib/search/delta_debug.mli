@@ -31,6 +31,7 @@ type result = {
 }
 
 val search :
+  ?pool:Pool.t ->
   atoms:Transform.Assignment.atom list ->
   trace:Trace.t ->
   evaluate:(Transform.Assignment.t -> Variant.measurement) ->
@@ -39,7 +40,13 @@ val search :
 (** All evaluations go through [trace] (memoized); pass a
     [?max_variants]-bounded trace to emulate the paper's 12-hour job
     limit. On {!Trace.Budget_exhausted} the best accepted assignment seen
-    so far is returned with [finished = false]. *)
+    so far is returned with [finished = false].
+
+    With [pool], each ddmin round's chunk and complement candidates are
+    evaluated speculatively in parallel and consumed in sequential order
+    ({!Speculate}): [records], [minimal] and the budget cut-off are
+    bit-identical to the sequential run — only wall clock changes.
+    [evaluate] must then be re-entrant. *)
 
 val accepted : config -> Variant.measurement -> bool
 (** The oracle: passes, error within threshold, speedup above the floor. *)

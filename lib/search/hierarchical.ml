@@ -1,4 +1,4 @@
-let search ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_debug.result =
+let search ?pool ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_debug.result =
   let module A = Transform.Assignment in
   (* groups must partition the atom list *)
   let grouped = List.concat groups in
@@ -8,13 +8,15 @@ let search ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_de
   then invalid_arg "Hierarchical.search: groups must partition the atoms";
   let diff big small = List.filter (fun a -> not (List.memq a small)) big in
   let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
+  let spec = Speculate.create ?pool ~trace ~evaluate () in
   let best_high = ref atoms in
   let test high =
-    let m = Trace.evaluate trace ~f:evaluate (variant_of high) in
+    let m = Speculate.evaluate spec (variant_of high) in
     let ok = Delta_debug.accepted cfg m in
     if ok && List.length high < List.length !best_high then best_high := high;
     ok
   in
+  let prefetch highs = Speculate.prefetch spec (List.map variant_of highs) in
   let finished = ref true in
   let final_high =
     try
@@ -22,10 +24,13 @@ let search ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_de
       else begin
         (* phase 1: 1-minimal set of GROUPS kept at 64 bits *)
         let high_groups =
-          Ddmin.minimize ~test:(fun gs -> test (List.concat gs)) groups
+          Ddmin.minimize
+            ~prefetch:(fun gss -> prefetch (List.map List.concat gss))
+            ~test:(fun gs -> test (List.concat gs))
+            groups
         in
         (* phase 2: refine the surviving groups atom by atom *)
-        Ddmin.minimize ~test (List.concat high_groups)
+        Ddmin.minimize ~prefetch ~test (List.concat high_groups)
       end
     with Trace.Budget_exhausted ->
       finished := false;

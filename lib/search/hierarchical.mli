@@ -25,6 +25,7 @@
     the criteria). *)
 
 val search :
+  ?pool:Pool.t ->
   atoms:Transform.Assignment.atom list ->
   groups:Transform.Assignment.atom list list ->
   trace:Trace.t ->
@@ -33,4 +34,6 @@ val search :
   Delta_debug.result
 (** [groups] must partition [atoms] (checked; raises [Invalid_argument]
     otherwise). Budget exhaustion returns the best accepted variant seen,
-    with [finished = false], as in {!Delta_debug.search}. *)
+    with [finished = false], as in {!Delta_debug.search}. [pool] enables
+    speculative batch evaluation in both phases with a bit-identical
+    trajectory, as in {!Delta_debug.search}. *)

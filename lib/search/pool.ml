@@ -1,0 +1,113 @@
+type task = unit -> unit
+
+type t = {
+  queue : task Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  size : int;
+}
+
+let size t = t.size
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.mutex
+    done;
+    (* a closed pool still drains what was already queued *)
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Condition.signal t.nonfull;
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      capacity = 2 * workers;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      closed = false;
+      domains = [];
+      size = workers;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  while Queue.length t.queue >= t.capacity && not t.closed do
+    Condition.wait t.nonfull t.mutex
+  done;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r = match f x with v -> Ok v | exception e -> Error e in
+            Mutex.lock done_mutex;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock done_mutex))
+      arr;
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~workers f =
+  let t = create ~workers in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let default_workers () = max 0 (Domain.recommended_domain_count () - 1)

@@ -1,0 +1,40 @@
+(** Fixed-size domain pool for parallel variant evaluation.
+
+    The paper's campaigns evaluate every variant as an independent cluster
+    job ("one node per variant", Sec. IV-A); this pool is the laptop-scale
+    equivalent: a fixed set of OCaml 5 domains consuming a bounded work
+    queue. The searches submit each ddmin round's candidates speculatively
+    ({!Ddmin.minimize}'s [prefetch]) and commit results in sequential
+    order, so parallelism changes wall clock only — never the trajectory.
+
+    {!map} preserves submission order in its result list and re-raises the
+    first (by submission order) exception a task threw, after the whole
+    batch has drained. The pool is only driven from the domain that
+    created it; the mapped function must be re-entrant. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawns [workers] domains ([workers >= 1]; raises [Invalid_argument]
+    otherwise) blocked on a bounded queue of [2 * workers] tasks. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] evaluates [f] over [xs] on the worker domains and
+    returns the results in the order of [xs]. Blocks until every task has
+    finished; if any task raised, the first such exception (in submission
+    order) is re-raised — the pool remains usable. *)
+
+val shutdown : t -> unit
+(** Drains the queue, terminates and joins the workers. Idempotent;
+    submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : workers:int -> (t -> 'a) -> 'a
+(** [with_pool ~workers f] runs [f] with a fresh pool, shutting it down
+    on exit (normal or exceptional). *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1] (never negative): one worker
+    per spare core, keeping the submitting domain responsive. *)

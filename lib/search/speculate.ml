@@ -1,0 +1,54 @@
+(* Speculative batch evaluation shared by the batched searches.
+
+   A ddmin round announces its candidates via [prefetch]; with a pool
+   they are evaluated in parallel into [results] (raw [evaluate] calls,
+   no trace, no budget). The search then consumes candidates in the
+   sequential order through [evaluate], which commits to the trace with
+   the speculative result when one exists — so records, budget accounting
+   and the trajectory are identical to a sequential run. Results are kept
+   across rounds: speculation wasted in one round can still pay off
+   later. Only [prefetch]'s pool workers run concurrently; this table and
+   the trace commits stay on the submitting domain. *)
+
+type t = {
+  pool : Pool.t option;
+  trace : Trace.t;
+  evaluate : Transform.Assignment.t -> Variant.measurement;
+  results : (string, Variant.measurement) Hashtbl.t;
+}
+
+let create ?pool ~trace ~evaluate () =
+  { pool; trace; evaluate; results = Hashtbl.create 64 }
+
+let prefetch t asgs =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    let seen = Hashtbl.create 16 in
+    let todo =
+      List.filter_map
+        (fun asg ->
+          let key = Transform.Assignment.signature asg in
+          if
+            Hashtbl.mem t.results key || Hashtbl.mem seen key
+            || Trace.find_cached t.trace asg <> None
+          then None
+          else begin
+            Hashtbl.add seen key ();
+            Some (key, asg)
+          end)
+        asgs
+    in
+    if todo <> [] then
+      List.iter2
+        (fun (key, _) m -> Hashtbl.replace t.results key m)
+        todo
+        (Pool.map pool (fun (_, asg) -> t.evaluate asg) todo)
+
+let evaluate t asg =
+  Trace.evaluate t.trace
+    ~f:(fun asg ->
+      match Hashtbl.find_opt t.results (Transform.Assignment.signature asg) with
+      | Some m -> m
+      | None -> t.evaluate asg)
+    asg

@@ -1,0 +1,28 @@
+(** Speculative batch evaluation for the batched searches.
+
+    Bridges {!Ddmin.minimize}'s [prefetch] hook and {!Pool}: candidates
+    announced by a round are evaluated in parallel into a side table (raw
+    evaluations — no trace records, no budget); the search then consumes
+    them sequentially through {!evaluate}, which commits through the
+    {!Trace} using the speculative result when one exists. Records,
+    budget accounting and the search trajectory are therefore identical
+    to a sequential run. With no pool, both operations degrade to the
+    plain sequential path. Must be driven from a single domain. *)
+
+type t
+
+val create :
+  ?pool:Pool.t ->
+  trace:Trace.t ->
+  evaluate:(Transform.Assignment.t -> Variant.measurement) ->
+  unit ->
+  t
+
+val prefetch : t -> Transform.Assignment.t list -> unit
+(** Evaluate the not-yet-known assignments of a batch on the pool
+    (deduplicated against the trace cache, earlier speculation, and
+    within the batch). No-op without a pool. *)
+
+val evaluate : t -> Transform.Assignment.t -> Variant.measurement
+(** [Trace.evaluate] that serves speculative results before falling back
+    to a direct evaluation. *)

@@ -3,30 +3,58 @@ type t = {
   mutable n : int;
   cache : (string, Variant.measurement) Hashtbl.t;
   max_variants : int option;
+  lock : Mutex.t;
 }
 
 exception Budget_exhausted
 
-let create ?max_variants () = { recs = []; n = 0; cache = Hashtbl.create 64; max_variants }
+let create ?max_variants () =
+  { recs = []; n = 0; cache = Hashtbl.create 64; max_variants; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_cached t asg =
+  let key = Transform.Assignment.signature asg in
+  locked t (fun () -> Hashtbl.find_opt t.cache key)
+
+let check_budget t =
+  match t.max_variants with
+  | Some cap when t.n >= cap -> raise Budget_exhausted
+  | Some _ | None -> ()
 
 let evaluate t ~f asg =
   let key = Transform.Assignment.signature asg in
-  match Hashtbl.find_opt t.cache key with
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some _ as m -> m
+        | None ->
+          (* cache hits are free: the budget only gates fresh evaluations *)
+          check_budget t;
+          None)
+  in
+  match cached with
   | Some m -> m
-  | None ->
-    (match t.max_variants with
-    | Some cap when t.n >= cap -> raise Budget_exhausted
-    | Some _ | None -> ());
+  | None -> (
+    (* run [f] outside the lock: concurrent callers proceed in parallel *)
     let m = f asg in
-    t.n <- t.n + 1;
-    Hashtbl.add t.cache key m;
-    t.recs <- { Variant.index = t.n; asg; meas = m } :: t.recs;
-    m
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some m' -> m'  (* another caller committed the same variant first *)
+        | None ->
+          check_budget t;
+          t.n <- t.n + 1;
+          Hashtbl.add t.cache key m;
+          t.recs <- { Variant.index = t.n; asg; meas = m } :: t.recs;
+          m))
 
-let records t = List.rev t.recs
-let count t = t.n
+let records t = locked t (fun () -> List.rev t.recs)
+let count t = locked t (fun () -> t.n)
 
 let clear t =
-  t.recs <- [];
-  t.n <- 0;
-  Hashtbl.reset t.cache
+  locked t (fun () ->
+      t.recs <- [];
+      t.n <- 0;
+      Hashtbl.reset t.cache)

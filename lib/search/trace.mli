@@ -3,7 +3,14 @@
     The search algorithms call {!evaluate}; identical assignments (same
     signature) are served from cache without recording a new variant, so
     the trace's record list is exactly the set of {e distinct} variants
-    dynamically evaluated — the "Total" column of Table II. *)
+    dynamically evaluated — the "Total" column of Table II.
+
+    All operations are thread-safe (one lock around the cache and the
+    record list). Cache hits never burn budget — in particular a cached
+    assignment is still served after {!Budget_exhausted} has been raised
+    — and [f] runs outside the lock, so concurrent evaluations proceed in
+    parallel (the first commit for a signature wins; later ones are
+    discarded). *)
 
 type t
 
@@ -17,6 +24,11 @@ exception Budget_exhausted
 val evaluate :
   t -> f:(Transform.Assignment.t -> Variant.measurement) -> Transform.Assignment.t ->
   Variant.measurement
+
+val find_cached : t -> Transform.Assignment.t -> Variant.measurement option
+(** Peek at the cache without evaluating, recording, or touching the
+    budget — used to skip already-known variants when building a
+    speculative batch. *)
 
 val records : t -> Variant.record list
 (** In evaluation order. *)

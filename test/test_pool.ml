@@ -1,0 +1,93 @@
+(* Pool tests: submission-order preservation, exception propagation,
+   reuse across batches, lifecycle edge cases. *)
+
+open Search
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* burn a little CPU so tasks do not finish in lockstep *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (i mod 7)
+  done;
+  Sys.opaque_identity !acc
+
+let lifecycle_tests =
+  [
+    t "create refuses zero workers" (fun () ->
+        match Pool.create ~workers:0 with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "size reports the worker count" (fun () ->
+        Pool.with_pool ~workers:3 (fun p -> Alcotest.(check int) "3" 3 (Pool.size p)));
+    t "shutdown is idempotent" (fun () ->
+        let p = Pool.create ~workers:2 in
+        Pool.shutdown p;
+        Pool.shutdown p);
+    t "map after shutdown raises" (fun () ->
+        let p = Pool.create ~workers:2 in
+        Pool.shutdown p;
+        match Pool.map p (fun x -> x) [ 1 ] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    t "default_workers is non-negative" (fun () ->
+        Alcotest.(check bool) ">= 0" true (Pool.default_workers () >= 0));
+  ]
+
+let map_tests =
+  [
+    t "empty batch" (fun () ->
+        Pool.with_pool ~workers:2 (fun p ->
+            Alcotest.(check (list int)) "empty" [] (Pool.map p (fun x -> x) [])));
+    t "preserves submission order" (fun () ->
+        Pool.with_pool ~workers:4 (fun p ->
+            let xs = List.init 100 (fun i -> i) in
+            let ys =
+              Pool.map p
+                (fun i ->
+                  (* later submissions do less work, so they tend to finish
+                     first — order must still follow submission *)
+                  ignore (spin (1000 * (100 - i)));
+                  2 * i)
+                xs
+            in
+            Alcotest.(check (list int)) "doubled in order" (List.map (fun i -> 2 * i) xs) ys));
+    t "more workers than tasks" (fun () ->
+        Pool.with_pool ~workers:8 (fun p ->
+            Alcotest.(check (list int)) "squares" [ 1; 4; 9 ]
+              (Pool.map p (fun x -> x * x) [ 1; 2; 3 ])));
+    t "batch larger than the bounded queue" (fun () ->
+        (* capacity is 2*workers = 2: submissions must block and drain *)
+        Pool.with_pool ~workers:1 (fun p ->
+            let xs = List.init 50 (fun i -> i) in
+            Alcotest.(check (list int)) "all there" xs (Pool.map p (fun x -> x) xs)));
+    t "worker exception propagates" (fun () ->
+        Pool.with_pool ~workers:3 (fun p ->
+            match Pool.map p (fun i -> if i = 5 then failwith "boom" else i) (List.init 10 Fun.id) with
+            | _ -> Alcotest.fail "expected Failure"
+            | exception Failure m -> Alcotest.(check string) "message" "boom" m));
+    t "first exception in submission order wins" (fun () ->
+        Pool.with_pool ~workers:4 (fun p ->
+            match
+              Pool.map p
+                (fun i -> if i >= 3 then failwith (Printf.sprintf "boom-%d" i) else i)
+                (List.init 10 Fun.id)
+            with
+            | _ -> Alcotest.fail "expected Failure"
+            | exception Failure m -> Alcotest.(check string) "earliest task" "boom-3" m));
+    t "pool survives a failed batch" (fun () ->
+        Pool.with_pool ~workers:2 (fun p ->
+            (try ignore (Pool.map p (fun _ -> failwith "boom") [ 1; 2; 3 ]) with Failure _ -> ());
+            Alcotest.(check (list int)) "still works" [ 2; 4 ] (Pool.map p (fun x -> 2 * x) [ 1; 2 ])));
+    t "reusable across many batches" (fun () ->
+        Pool.with_pool ~workers:2 (fun p ->
+            for k = 1 to 20 do
+              let xs = List.init k (fun i -> i) in
+              Alcotest.(check (list int)) "batch" (List.map (fun i -> i + k) xs)
+                (Pool.map p (fun i -> i + k) xs)
+            done));
+  ]
+
+let () =
+  Alcotest.run "pool" [ ("lifecycle", lifecycle_tests); ("map", map_tests) ]

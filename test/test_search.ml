@@ -120,6 +120,35 @@ let ddmin_tests =
         Alcotest.(check (list (list int))) "3 chunks" [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
           (Ddmin.partition 3 [ 1; 2; 3; 4; 5 ]);
         Alcotest.(check (list (list int))) "oversized n" [ [ 1 ]; [ 2 ] ] (Ddmin.partition 9 [ 1; 2 ]));
+    t "partition edge cases" (fun () ->
+        Alcotest.(check (list (list int))) "n = 1 is the whole list" [ [ 1; 2; 3 ] ]
+          (Ddmin.partition 1 [ 1; 2; 3 ]);
+        Alcotest.(check (list (list int))) "n > length: singletons" [ [ 1 ]; [ 2 ]; [ 3 ] ]
+          (Ddmin.partition 7 [ 1; 2; 3 ]);
+        Alcotest.(check (list (list int))) "n = length: singletons" [ [ 1 ]; [ 2 ] ]
+          (Ddmin.partition 2 [ 1; 2 ]);
+        Alcotest.(check (list (list int))) "empty list" [] (Ddmin.partition 3 []);
+        Alcotest.(check (list (list int))) "n = 0 clamps to 1" [ [ 1; 2 ] ]
+          (Ddmin.partition 0 [ 1; 2 ]));
+    t "prefetch announces each round's candidates before testing" (fun () ->
+        let announced = ref [] in
+        let tested = ref [] in
+        let test xs =
+          tested := xs :: !tested;
+          (* anything containing 3 passes *)
+          List.mem 3 xs
+        in
+        let prefetch cands = announced := cands :: !announced in
+        let m = Ddmin.minimize ~prefetch ~test [ 1; 2; 3; 4 ] in
+        Alcotest.(check (list int)) "minimal" [ 3 ] m;
+        (* every tested subset (except the initial []-probe and the seeds)
+           was announced by some earlier prefetch call *)
+        let all_announced = List.concat !announced in
+        List.iter
+          (fun xs ->
+            if xs <> [] && xs <> [ 1; 2; 3; 4 ] then
+              Alcotest.(check bool) "was announced" true (List.mem xs all_announced))
+          !tested);
     t "minimize of passing empty set" (fun () ->
         Alcotest.(check (list int)) "empty" [] (Ddmin.minimize ~test:(fun _ -> true) [ 1; 2; 3 ]));
     QCheck_alcotest.to_alcotest
@@ -196,6 +225,76 @@ let hierarchical_tests =
            && List.for_all (fun c -> List.memq c r.Delta_debug.high_set) crit));
   ]
 
+(* Speculative batching must leave the search trajectory bit-identical:
+   same records in the same order, same minimal variant, same budget
+   cut-off — only wall clock may differ. *)
+let batched_tests =
+  let sigs trace =
+    List.map
+      (fun (r : Variant.record) ->
+        (r.Variant.index, Transform.Assignment.signature r.Variant.asg, r.Variant.meas))
+      (Trace.records trace)
+  in
+  let dd ?pool ?max_variants ~critical n =
+    let atoms = mk_atoms n in
+    let crit = List.filteri (fun i _ -> List.mem i critical) atoms in
+    let trace = Trace.create ?max_variants () in
+    let r =
+      Delta_debug.search ?pool ~atoms ~trace ~evaluate:(oracle ~critical:crit atoms) dd_config
+    in
+    (r, sigs trace)
+  in
+  [
+    t "delta debugging: pool run identical to sequential" (fun () ->
+        let r_seq, t_seq = dd ~critical:[ 2; 9 ] 16 in
+        Pool.with_pool ~workers:4 (fun pool ->
+            let r_par, t_par = dd ~pool ~critical:[ 2; 9 ] 16 in
+            Alcotest.(check bool) "same records" true (t_seq = t_par);
+            Alcotest.(check bool) "same minimal" true
+              (r_seq.Delta_debug.minimal = r_par.Delta_debug.minimal);
+            Alcotest.(check int) "same evaluations" r_seq.Delta_debug.evaluations
+              r_par.Delta_debug.evaluations));
+    t "budget cut-off identical under batching" (fun () ->
+        (* the batch that crosses the budget must record exactly the
+           assignments the sequential run would have evaluated *)
+        let r_seq, t_seq = dd ~max_variants:7 ~critical:[ 1; 4; 13 ] 20 in
+        Pool.with_pool ~workers:3 (fun pool ->
+            let r_par, t_par = dd ~pool ~max_variants:7 ~critical:[ 1; 4; 13 ] 20 in
+            Alcotest.(check bool) "not finished" false r_par.Delta_debug.finished;
+            Alcotest.(check bool) "same finished flag" r_seq.Delta_debug.finished
+              r_par.Delta_debug.finished;
+            Alcotest.(check bool) "same records" true (t_seq = t_par);
+            Alcotest.(check bool) "same best-seen fallback" true
+              (r_seq.Delta_debug.high_set = r_par.Delta_debug.high_set)));
+    t "hierarchical: pool run identical to sequential" (fun () ->
+        let atoms = mk_atoms 18 in
+        let crit = List.filteri (fun i _ -> i = 4 || i = 5) atoms in
+        let groups = Ddmin.partition 6 atoms in
+        let go pool =
+          let trace = Trace.create () in
+          let r =
+            Hierarchical.search ?pool ~atoms ~groups ~trace
+              ~evaluate:(oracle ~critical:crit atoms) dd_config
+          in
+          (r, sigs trace)
+        in
+        let r_seq, t_seq = go None in
+        Pool.with_pool ~workers:4 (fun pool ->
+            let r_par, t_par = go (Some pool) in
+            Alcotest.(check bool) "same records" true (t_seq = t_par);
+            Alcotest.(check bool) "same high set" true
+              (r_seq.Delta_debug.high_set = r_par.Delta_debug.high_set)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pool trajectory equals sequential (random oracles)" ~count:25
+         QCheck.(pair (int_range 4 20) (small_list (int_range 0 19)))
+         (fun (n, crit_idx) ->
+           let critical = List.sort_uniq compare (List.filter (fun i -> i < n) crit_idx) in
+           let _, t_seq = dd ~critical n in
+           Pool.with_pool ~workers:2 (fun pool ->
+               let _, t_par = dd ~pool ~critical n in
+               t_seq = t_par)));
+  ]
+
 let brute_force_tests =
   [
     t "explores exactly 2^n variants" (fun () ->
@@ -255,6 +354,37 @@ let trace_tests =
         | exception Trace.Budget_exhausted -> ());
         (* cached entries still served after exhaustion *)
         ignore (Trace.evaluate trace ~f (lower 1)));
+    t "cache hit after exhaustion is served, not raised" (fun () ->
+        (* regression: under speculative batching the searches may revisit
+           an already-evaluated assignment after the budget ran out — the
+           cache must answer, and must not burn budget *)
+        let atoms = mk_atoms 4 in
+        let trace = Trace.create ~max_variants:1 () in
+        let f = oracle ~critical:[] atoms in
+        let asg = Transform.Assignment.uniform atoms Fortran.Ast.K4 in
+        let m0 = Trace.evaluate trace ~f asg in
+        let fresh =
+          Transform.Assignment.of_lowered atoms ~lowered:(List.filteri (fun i _ -> i = 0) atoms)
+        in
+        (match Trace.evaluate trace ~f fresh with
+        | _ -> Alcotest.fail "expected Budget_exhausted"
+        | exception Trace.Budget_exhausted -> ());
+        let m1 = Trace.evaluate trace ~f asg in
+        Alcotest.(check bool) "same measurement" true (m0 = m1);
+        Alcotest.(check int) "budget not burned" 1 (Trace.count trace);
+        (* and a fresh assignment still raises *)
+        match Trace.evaluate trace ~f fresh with
+        | _ -> Alcotest.fail "expected Budget_exhausted again"
+        | exception Trace.Budget_exhausted -> ());
+    t "find_cached peeks without recording" (fun () ->
+        let atoms = mk_atoms 3 in
+        let trace = Trace.create () in
+        let f = oracle ~critical:[] atoms in
+        let asg = Transform.Assignment.uniform atoms Fortran.Ast.K4 in
+        Alcotest.(check bool) "miss" true (Trace.find_cached trace asg = None);
+        let m = Trace.evaluate trace ~f asg in
+        Alcotest.(check bool) "hit" true (Trace.find_cached trace asg = Some m);
+        Alcotest.(check int) "one record" 1 (List.length (Trace.records trace)));
     t "records keep evaluation order" (fun () ->
         let atoms = mk_atoms 3 in
         let trace = Trace.create () in
@@ -365,6 +495,7 @@ let () =
       ("delta debugging", delta_debug_tests);
       ("ddmin", ddmin_tests);
       ("hierarchical", hierarchical_tests);
+      ("batched", batched_tests);
       ("brute force", brute_force_tests);
       ("trace", trace_tests);
       ("variants", variant_tests);

@@ -150,6 +150,33 @@ let campaign_tests =
         let config = { Core.Config.default with Core.Config.max_variants = Some 8 } in
         let campaign = Core.Tuner.run_delta_debug ~config small_mpas in
         Alcotest.(check bool) "positive hours" true (campaign.Core.Tuner.simulated_hours > 0.0));
+    t "workers=4 campaign bit-identical to sequential (mpas)" (fun () ->
+        let config = { Core.Config.default with Core.Config.max_variants = Some 20 } in
+        let c_seq = Core.Tuner.run_delta_debug ~config ~workers:0 small_mpas in
+        let c_par = Core.Tuner.run_delta_debug ~config ~workers:4 small_mpas in
+        Alcotest.(check bool) "identical records" true
+          (c_seq.Core.Tuner.records = c_par.Core.Tuner.records);
+        Alcotest.(check bool) "identical minimal" true
+          (c_seq.Core.Tuner.minimal = c_par.Core.Tuner.minimal);
+        Alcotest.(check bool) "identical summary" true
+          (c_seq.Core.Tuner.summary = c_par.Core.Tuner.summary);
+        Alcotest.(check (Alcotest.float 0.0)) "identical simulated hours"
+          c_seq.Core.Tuner.simulated_hours c_par.Core.Tuner.simulated_hours);
+    t "workers=4 campaign bit-identical to sequential (funarc)" (fun () ->
+        let c_seq = Core.Tuner.run_delta_debug ~workers:0 small_funarc in
+        let c_par = Core.Tuner.run_delta_debug ~workers:4 small_funarc in
+        Alcotest.(check bool) "identical records" true
+          (c_seq.Core.Tuner.records = c_par.Core.Tuner.records);
+        Alcotest.(check bool) "identical minimal" true
+          (c_seq.Core.Tuner.minimal = c_par.Core.Tuner.minimal));
+    t "workers=3 hierarchical bit-identical to sequential" (fun () ->
+        let config = { Core.Config.default with Core.Config.max_variants = Some 30 } in
+        let c_seq = Core.Tuner.run_hierarchical ~config ~workers:0 small_mpas in
+        let c_par = Core.Tuner.run_hierarchical ~config ~workers:3 small_mpas in
+        Alcotest.(check bool) "identical records" true
+          (c_seq.Core.Tuner.records = c_par.Core.Tuner.records);
+        Alcotest.(check bool) "identical minimal" true
+          (c_seq.Core.Tuner.minimal = c_par.Core.Tuner.minimal));
     t "same seed reproduces the campaign" (fun () ->
         let config = { Core.Config.default with Core.Config.max_variants = Some 12 } in
         let c1 = Core.Tuner.run_delta_debug ~config small_mpas in
