@@ -15,8 +15,17 @@
                               default: cores - 1); results are identical
                               across N, only wall clock changes
      main.exe --json PATH     write per-campaign wall clock, evaluation
-                              counts and summaries as JSON (forces the
-                              five campaigns)                             *)
+                              counts, per-evaluation mean/max ms and
+                              summaries as JSON (forces the five
+                              campaigns)
+     main.exe --check-against PATH
+                              compare per-campaign wall clock against a
+                              committed baseline JSON and exit non-zero
+                              on a >2x slowdown (forces the campaigns)
+     main.exe --verify-roundtrip
+                              cross-check every evaluation's direct-AST
+                              fast path against the unparse->reparse
+                              pipeline (slow; aborts on any mismatch)    *)
 
 let pf = Printf.printf
 
@@ -30,12 +39,15 @@ type selection = {
   mutable quick : bool;
   mutable workers : int option;
   mutable json : string option;
+  mutable check_against : string option;
+  mutable verify_roundtrip : bool;
 }
 
 let parse_args () =
   let sel =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
-      quick = false; workers = None; json = None }
+      quick = false; workers = None; json = None; check_against = None;
+      verify_roundtrip = false }
   in
   let rec go = function
     | [] -> ()
@@ -69,6 +81,13 @@ let parse_args () =
       sel.json <- Some path;
       sel.all <- false;  (* `--json` alone = the five campaigns, no extras *)
       go rest
+    | "--check-against" :: path :: rest ->
+      sel.check_against <- Some path;
+      sel.all <- false;
+      go rest
+    | "--verify-roundtrip" :: rest ->
+      sel.verify_roundtrip <- true;
+      go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -76,6 +95,61 @@ let parse_args () =
 
 let want_table sel n = sel.all || List.mem n sel.tables
 let want_figure sel n = sel.all || List.mem n sel.figures
+
+(* ------------------------------------------------------------------ *)
+(* Bench-regression guard: compare per-campaign wall clock against a
+   committed BENCH_*.json baseline.                                    *)
+
+(* minimal scan for the {"name": ..., "wall_seconds": ...} pairs written
+   by [Core.Export.bench_json]; no JSON dependency needed *)
+let baseline_walls path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let find pat from =
+    let n = String.length s and m = String.length pat in
+    let rec go i = if i + m > n then None else if String.sub s i m = pat then Some (i + m) else go (i + 1) in
+    go from
+  in
+  let rec scan from acc =
+    match find "{\"name\": \"" from with
+    | None -> List.rev acc
+    | Some i -> (
+      let j = String.index_from s i '"' in
+      let name = String.sub s i (j - i) in
+      match find "\"wall_seconds\": " j with
+      | None -> List.rev acc
+      | Some k ->
+        let l = ref k in
+        while !l < String.length s && String.contains "0123456789.eE+-" s.[!l] do incr l done;
+        let wall = float_of_string (String.sub s k (!l - k)) in
+        scan !l ((name, wall) :: acc))
+  in
+  scan 0 []
+
+let check_against path entries =
+  let baseline = baseline_walls path in
+  let slowdowns =
+    List.filter_map
+      (fun (name, wall, _) ->
+        match List.assoc_opt name baseline with
+        | Some base when base > 0.0 && wall > 2.0 *. base ->
+          Some (Printf.sprintf "  %s: %.2fs vs baseline %.2fs (%.1fx slower)" name wall base
+                  (wall /. base))
+        | Some _ -> None
+        | None -> None)
+      entries
+  in
+  if slowdowns = [] then
+    pf "bench-regression guard: all campaigns within 2x of %s\n%!" path
+  else begin
+    pf "bench-regression guard FAILED against %s:\n%s\n%!" path
+      (String.concat "\n" slowdowns);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* The campaigns (computed lazily so partial selections stay cheap)    *)
@@ -93,8 +167,11 @@ let timed ?key label f =
 let rec main () =
   let sel = parse_args () in
   let config =
-    if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
-    else Core.Config.default
+    let c =
+      if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
+      else Core.Config.default
+    in
+    { c with Core.Config.verify_roundtrip = sel.verify_roundtrip }
   in
   let workers = sel.workers in
   let funarc =
@@ -213,23 +290,27 @@ let rec main () =
   if sel.all || sel.bechamel then bechamel_suite ();
 
   (* perf trajectory: per-campaign wall clock + evaluation counts (forces
-     the five campaigns, so `--json` alone is a meaningful selection) *)
-  Option.iter
-    (fun path ->
-      let effective =
-        match sel.workers with Some w -> w | None -> Core.Tuner.default_workers ()
-      in
-      let entries =
-        List.map
-          (fun (key, c) ->
-            let c = Lazy.force c in
-            (key, Option.value ~default:0.0 (Hashtbl.find_opt wall_clocks key), c))
-          [ ("funarc", funarc); ("mpas", mpas); ("adcirc", adcirc); ("mom6", mom6);
-            ("mpas_whole", mpas_whole) ]
-      in
-      Core.Export.write_file ~path (Core.Export.bench_json ~workers:effective entries);
-      pf "wrote %s\n%!" path)
-    sel.json
+     the five campaigns, so `--json` or `--check-against` alone is a
+     meaningful selection) *)
+  if sel.json <> None || sel.check_against <> None then begin
+    let effective =
+      match sel.workers with Some w -> w | None -> Core.Tuner.default_workers ()
+    in
+    let entries =
+      List.map
+        (fun (key, c) ->
+          let c = Lazy.force c in
+          (key, Option.value ~default:0.0 (Hashtbl.find_opt wall_clocks key), c))
+        [ ("funarc", funarc); ("mpas", mpas); ("adcirc", adcirc); ("mom6", mom6);
+          ("mpas_whole", mpas_whole) ]
+    in
+    Option.iter
+      (fun path ->
+        Core.Export.write_file ~path (Core.Export.bench_json ~workers:effective entries);
+        pf "wrote %s\n%!" path)
+      sel.json;
+    Option.iter (fun path -> check_against path entries) sel.check_against
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the

@@ -78,6 +78,15 @@ let static_filter_arg =
 let brute_arg =
   Arg.(value & flag & info [ "brute-force" ] ~doc:"Exhaustive 2^n search instead of delta debugging.")
 
+let verify_roundtrip_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-roundtrip" ]
+        ~doc:
+          "Cross-check every variant evaluation: run both the direct-AST fast path and the \
+           historical unparse$(i,\\->)reparse pipeline and abort if any outcome differs. \
+           Slow; intended for CI and debugging the evaluation fast path.")
+
 let csv_arg =
   Arg.(
     value & opt (some string) None
@@ -96,7 +105,7 @@ let hierarchical_arg =
 
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json workers =
+  let run m seed max_variants whole static brute hierarchical csv json workers verify =
     let config =
       {
         Core.Config.default with
@@ -104,6 +113,7 @@ let tune_cmd =
         max_variants;
         static_filter = static;
         mode = (if whole then Core.Config.Whole_model_guided else Core.Config.Hotspot_guided);
+        verify_roundtrip = verify;
       }
     in
     let campaign =
@@ -134,7 +144,8 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
-      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg)
+      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg
+      $ verify_roundtrip_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,8 +1,18 @@
 #!/bin/sh
 # CI entry point: build everything, run the full test suite, then a quick
-# benchmark pass that records per-campaign wall clock and evaluation counts.
+# benchmark pass guarded against wall-clock regressions, plus one campaign
+# with the unparse->reparse cross-check enabled.
 set -eux
 
 dune build @all
 dune runtest
-dune exec bench/main.exe -- --quick --json BENCH_ci.json
+
+# Quick campaigns at workers=0 (same setting the committed baseline was
+# recorded with); any campaign >2x slower than BENCH_ci.json fails the run.
+dune exec bench/main.exe -- --quick --workers 0 --json BENCH_ci_run.json \
+  --check-against BENCH_ci.json
+
+# One campaign with every evaluation cross-checked against the historical
+# unparse->reparse pipeline; aborts on the first outcome mismatch.
+dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
+  --verify-roundtrip > /dev/null

@@ -11,6 +11,8 @@ type t = {
   static_filter : bool;
   static_penalty_budget : float;
   max_variants : int option;
+  proc_cache : bool;
+  verify_roundtrip : bool;
 }
 
 let default =
@@ -23,4 +25,6 @@ let default =
     static_filter = false;
     static_penalty_budget = 5.0e4;
     max_variants = None;
+    proc_cache = true;
+    verify_roundtrip = false;
   }

@@ -24,6 +24,15 @@ type t = {
           casting-penalty cost model) before dynamic evaluation *)
   static_penalty_budget : float;  (** casting-penalty budget for the filter *)
   max_variants : int option;  (** overrides the model's default budget *)
+  proc_cache : bool;
+      (** reuse lowered procedures across variants keyed by precision
+          signature ({!Runtime.Lower.Cache}); on by default, off gives
+          every evaluation a fresh lowering (results are identical) *)
+  verify_roundtrip : bool;
+      (** run every variant through both the direct-AST fast path and the
+          unparse→reparse slow path and fail loudly if any outcome bit
+          differs; the fast path's correctness oracle (off by default —
+          it restores the old per-variant cost, and then some) *)
 }
 
 val default : t

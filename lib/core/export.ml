@@ -77,9 +77,11 @@ let bench_json ~workers entries =
   let entry (name, wall_seconds, c) =
     let summary = String.trim (summary_json c) in
     Printf.sprintf
-      "    {\"name\": \"%s\", \"wall_seconds\": %s, \"evaluations\": %d, \"summary\": %s}"
+      "    {\"name\": \"%s\", \"wall_seconds\": %s, \"evaluations\": %d, \"eval_ms_mean\": %s, \
+       \"eval_ms_max\": %s, \"summary\": %s}"
       (json_escape name) (jfloat wall_seconds)
       (List.length c.Tuner.records)
+      (jfloat c.Tuner.eval_ms_mean) (jfloat c.Tuner.eval_ms_max)
       summary
   in
   Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]\n}\n" workers

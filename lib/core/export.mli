@@ -16,6 +16,7 @@ val summary_json : Tuner.campaign -> string
 val bench_json : workers:int -> (string * float * Tuner.campaign) list -> string
 (** The bench harness's perf-trajectory record ([BENCH_*.json]): worker
     count plus, per campaign, its label, measured wall-clock seconds,
-    number of dynamic evaluations, and the full {!summary_json} object. *)
+    number of dynamic evaluations, the mean and max wall-clock
+    milliseconds per evaluation, and the full {!summary_json} object. *)
 
 val write_file : path:string -> string -> unit

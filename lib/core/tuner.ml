@@ -1,5 +1,30 @@
 open Search
 
+(* Per-campaign evaluation wall-clock accounting, shared by pool worker
+   domains. *)
+type eval_stats = {
+  es_lock : Mutex.t;
+  mutable es_count : int;
+  mutable es_total : float;  (* seconds *)
+  mutable es_max : float;
+}
+
+let eval_stats_create () =
+  { es_lock = Mutex.create (); es_count = 0; es_total = 0.0; es_max = 0.0 }
+
+let eval_stats_note s dt =
+  Mutex.lock s.es_lock;
+  s.es_count <- s.es_count + 1;
+  s.es_total <- s.es_total +. dt;
+  if dt > s.es_max then s.es_max <- dt;
+  Mutex.unlock s.es_lock
+
+let eval_stats_read s =
+  Mutex.lock s.es_lock;
+  let r = (s.es_count, s.es_total, s.es_max) in
+  Mutex.unlock s.es_lock;
+  r
+
 type prepared = {
   model : Models.Registry.t;
   config : Config.t;
@@ -15,6 +40,8 @@ type prepared = {
   perf_floor : float;  (* noise-adjusted acceptance floor *)
   budget : float;
   baseline_static : Analysis.Static_cost.verdict;
+  cache : Runtime.Lower.Cache.t option;  (* per-procedure lowering cache *)
+  eval_stats : eval_stats;
 }
 
 let hotspot_time_of procs timers =
@@ -33,8 +60,33 @@ type raw = {
   r_rel_error : float;  (* infinity unless the run finished *)
 }
 
-let transform_and_run p asg : raw =
+let score_outcome p (out : Runtime.Interp.outcome) : raw =
   let module R = Runtime.Interp in
+  let hotspot = hotspot_time p out.R.timers in
+  let rel_error =
+    match out.R.status with
+    | R.Finished ->
+      let series = R.series out p.model.Models.Registry.metric_key in
+      if series = [] then infinity
+      else Metrics.Error.series_rel_error_l2 ~baseline:p.baseline_metric series
+    | R.Stopped _ | R.Runtime_error _ | R.Timed_out -> infinity
+  in
+  {
+    r_outcome = Some out;
+    r_detail = Format.asprintf "%a" R.pp_status out.R.status;
+    r_hotspot = hotspot;
+    r_model_time = out.R.cost;
+    r_rel_error = rel_error;
+  }
+
+let failed_raw detail =
+  { r_outcome = None; r_detail = detail; r_hotspot = 0.0; r_model_time = 0.0;
+    r_rel_error = infinity }
+
+(* The historical pipeline: unparse the transformed program, reparse the
+   text, rebuild the symbol table, typecheck, tree-walk. Kept as the
+   [verify_roundtrip] oracle for the fast path. *)
+let roundtrip_raw p asg : raw =
   match
     let prog' = Transform.Rewrite.apply p.st asg in
     let w = Transform.Wrappers.insert prog' in
@@ -44,39 +96,53 @@ let transform_and_run p asg : raw =
     Fortran.Typecheck.check_program st';
     (st', w)
   with
-  | exception Fortran.Lexer.Error { message; _ } ->
-    { r_outcome = None; r_detail = "lexer: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
-      r_rel_error = infinity }
-  | exception Fortran.Parser.Error { message; _ } ->
-    { r_outcome = None; r_detail = "parser: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
-      r_rel_error = infinity }
-  | exception Fortran.Typecheck.Error { message; _ } ->
-    { r_outcome = None; r_detail = "typecheck: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
-      r_rel_error = infinity }
-  | exception Fortran.Symtab.Error { message; _ } ->
-    { r_outcome = None; r_detail = "symtab: " ^ message; r_hotspot = 0.0; r_model_time = 0.0;
-      r_rel_error = infinity }
+  | exception Fortran.Lexer.Error { message; _ } -> failed_raw ("lexer: " ^ message)
+  | exception Fortran.Parser.Error { message; _ } -> failed_raw ("parser: " ^ message)
+  | exception Fortran.Typecheck.Error { message; _ } -> failed_raw ("typecheck: " ^ message)
+  | exception Fortran.Symtab.Error { message; _ } -> failed_raw ("symtab: " ^ message)
   | st', w ->
-    let out =
-      R.run ~machine:p.config.Config.machine ~budget:p.budget
+    score_outcome p
+      (Runtime.Interp.run ~machine:p.config.Config.machine ~budget:p.budget
+         ~wrapper_owner:(Transform.Wrappers.owner_fn w) st')
+
+(* The fast path: rewrite and lower the AST directly — no unparse→reparse
+   round trip — then execute the slot-resolved IR, reusing lowered
+   procedures whose precision signature is unchanged. *)
+let direct_raw p asg : raw =
+  match
+    let prog' = Transform.Rewrite.apply p.st asg in
+    let w = Transform.Wrappers.insert prog' in
+    let st' = Fortran.Symtab.build w.Transform.Wrappers.program in
+    Fortran.Typecheck.check_program st';
+    (st', w)
+  with
+  | exception Fortran.Typecheck.Error { message; _ } -> failed_raw ("typecheck: " ^ message)
+  | exception Fortran.Symtab.Error { message; _ } -> failed_raw ("symtab: " ^ message)
+  | st', w ->
+    let ir =
+      Runtime.Lower.lower ?cache:p.cache ~machine:p.config.Config.machine
         ~wrapper_owner:(Transform.Wrappers.owner_fn w) st'
     in
-    let hotspot = hotspot_time p out.R.timers in
-    let rel_error =
-      match out.R.status with
-      | R.Finished ->
-        let series = R.series out p.model.Models.Registry.metric_key in
-        if series = [] then infinity
-        else Metrics.Error.series_rel_error_l2 ~baseline:p.baseline_metric series
-      | R.Stopped _ | R.Runtime_error _ | R.Timed_out -> infinity
-    in
-    {
-      r_outcome = Some out;
-      r_detail = Format.asprintf "%a" R.pp_status out.R.status;
-      r_hotspot = hotspot;
-      r_model_time = out.R.cost;
-      r_rel_error = rel_error;
-    }
+    score_outcome p (Runtime.Lower.run ~budget:p.budget ir)
+
+let transform_and_run p asg : raw =
+  let t0 = Unix.gettimeofday () in
+  let raw = direct_raw p asg in
+  eval_stats_note p.eval_stats (Unix.gettimeofday () -. t0);
+  if p.config.Config.verify_roundtrip then begin
+    let slow = roundtrip_raw p asg in
+    if compare raw slow <> 0 then
+      failwith
+        (Printf.sprintf
+           "verify-roundtrip: direct and round-trip outcomes differ on %s variant %s\n\
+            direct:     %s cost %.17g hotspot %.17g err %.17g\n\
+            round-trip: %s cost %.17g hotspot %.17g err %.17g"
+           p.model.Models.Registry.name
+           (Transform.Assignment.signature asg)
+           raw.r_detail raw.r_model_time raw.r_hotspot raw.r_rel_error
+           slow.r_detail slow.r_model_time slow.r_hotspot slow.r_rel_error)
+  end;
+  raw
 
 let noisy_times p ~seed time =
   List.init p.eq1_n (fun run ->
@@ -146,7 +212,12 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
       ~procs:(Some model.target_procs) ~exclude:model.exclude_atoms
   in
   if atoms = [] then invalid_arg ("Tuner.prepare: no FP atoms in " ^ model.target_module);
-  let out = Runtime.Interp.run ~machine:config.Config.machine st in
+  let cache =
+    if config.Config.proc_cache then Some (Runtime.Lower.Cache.create ()) else None
+  in
+  let out =
+    Runtime.Lower.run (Runtime.Lower.lower ?cache ~machine:config.Config.machine st)
+  in
   (match out.Runtime.Interp.status with
   | Runtime.Interp.Finished -> ()
   | s ->
@@ -189,6 +260,8 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
       perf_floor;
       budget = model.timeout_factor *. baseline_cost;
       baseline_static;
+      cache;
+      eval_stats = eval_stats_create ();
     }
   in
   let threshold =
@@ -255,6 +328,8 @@ type campaign = {
   summary : Variant.summary;
   minimal : Search.Delta_debug.result option;
   simulated_hours : float;
+  eval_ms_mean : float;
+  eval_ms_max : float;
 }
 
 let finish_campaign p trace minimal =
@@ -264,7 +339,16 @@ let finish_campaign p trace minimal =
     Cluster.campaign_hours cluster ~baseline_cost:p.baseline_cost
       ~variant_costs:(List.map (fun (r : Variant.record) -> r.Variant.meas.Variant.model_time) records)
   in
-  { prepared = p; records; summary = Variant.summarize records; minimal; simulated_hours }
+  let count, total, max_s = eval_stats_read p.eval_stats in
+  {
+    prepared = p;
+    records;
+    summary = Variant.summarize records;
+    minimal;
+    simulated_hours;
+    eval_ms_mean = (if count = 0 then 0.0 else 1e3 *. total /. float_of_int count);
+    eval_ms_max = 1e3 *. max_s;
+  }
 
 let max_variants_of p =
   match p.config.Config.max_variants with

@@ -4,9 +4,16 @@
     space construction, baseline profiling, threshold resolution);
     [evaluate] is one trip around the cycle for one precision assignment
     ([T₂]–[T₄]: source-to-source transformation with wrapper insertion,
-    unparse + reparse + strict typecheck, interpretation under the cost
-    model with the 3× timeout budget, correctness and Eq.-1 speedup
-    scoring); the campaign runners drive the search algorithms over it. *)
+    strict typecheck of the transformed AST, lowering to the
+    slot-resolved IR with per-procedure caching, execution under the
+    cost model with the 3× timeout budget, correctness and Eq.-1 speedup
+    scoring); the campaign runners drive the search algorithms over it.
+    The historical unparse → reparse pipeline survives as the
+    [verify_roundtrip] cross-check. *)
+
+type eval_stats
+(** Mutable per-campaign evaluation wall-clock accounting (count, total,
+    max); safe to update from pool worker domains. *)
 
 type prepared = {
   model : Models.Registry.t;
@@ -25,6 +32,11 @@ type prepared = {
           3σ below parity for the model's Eq.-1 noise *)
   budget : float;  (** variant timeout: timeout_factor × baseline cost *)
   baseline_static : Analysis.Static_cost.verdict;
+  cache : Runtime.Lower.Cache.t option;
+      (** the campaign's per-procedure lowering cache ([None] when
+          {!Config.t.proc_cache} is off); domain-safe, shared by pool
+          workers *)
+  eval_stats : eval_stats;
 }
 
 val prepare : ?config:Config.t -> Models.Registry.t -> prepared
@@ -36,15 +48,22 @@ val hotspot_time : prepared -> Runtime.Timers.entry list -> float
     hotspot CPU time (Sec. III-E). *)
 
 val evaluate : prepared -> Transform.Assignment.t -> Search.Variant.measurement
-(** One dynamic evaluation. Never raises: transformation or execution
-    failures become [Error]-status measurements. When the static filter
-    is enabled, statically-rejected variants return a zero-cost [Fail]
-    measurement with detail ["static-filter"].
+(** One dynamic evaluation via the fast path: rewrite → wrapper insertion
+    → symtab + typecheck on the transformed AST directly → {!Runtime.Lower}
+    slot-resolved IR (cached per procedure) → IR execution. Never raises
+    on variant failures: transformation or execution failures become
+    [Error]-status measurements. When the static filter is enabled,
+    statically-rejected variants return a zero-cost [Fail] measurement
+    with detail ["static-filter"].
 
-    Re-entrant: the whole transform → unparse → reparse → interp pipeline
-    allocates its state per call (the interpreter's frames, globals and
-    timers are per-run Hashtbls) and only reads the shared [prepared]
-    value, so concurrent calls from pool workers are safe. *)
+    When {!Config.t.verify_roundtrip} is set, every evaluation
+    additionally runs the historical unparse → reparse → tree-walk
+    pipeline and raises [Failure] if any outcome bit differs — the fast
+    path's correctness oracle.
+
+    Re-entrant: each call allocates its own transformation and execution
+    state and only reads the shared [prepared] value (the lowering cache
+    is mutex-guarded), so concurrent calls from pool workers are safe. *)
 
 type campaign = {
   prepared : prepared;
@@ -52,6 +71,8 @@ type campaign = {
   summary : Search.Variant.summary;  (** the Table-II row *)
   minimal : Search.Delta_debug.result option;  (** [None] for brute force *)
   simulated_hours : float;  (** Sec.-IV-A cluster accounting *)
+  eval_ms_mean : float;  (** mean wall-clock milliseconds per dynamic evaluation *)
+  eval_ms_max : float;  (** slowest single evaluation, milliseconds *)
 }
 
 val default_workers : unit -> int

@@ -1,0 +1,44 @@
+(** Lowering of a typechecked program to a slot-resolved IR, plus an
+    evaluator over that IR.
+
+    [lower] resolves every name once: locals and dummies become integer
+    slots into a per-frame cell array, module globals and parameters
+    become indices into program-wide arrays, callees become indices into
+    a per-body link table, and per-site cost tables are precomputed for
+    each (vector mode, real kind) pair. [run] then executes the IR with
+    bit-identical observable behavior to [Interp.run] on the
+    unparse→reparse round-trip of the same program: same status, same
+    cost (float accumulation order preserved), same timers, records,
+    printed lines, and breakdown.
+
+    The optional [Cache.t] memoizes lowered procedures across variants
+    keyed by name + the precision signature of every declaration the
+    procedure can observe (its own scope, all module scopes, and all
+    transitively reachable callees). It is domain-safe. *)
+
+type program
+
+module Cache : sig
+  type t
+
+  val create : unit -> t
+
+  val stats : t -> int * int
+  (** [(hits, misses)] since creation. *)
+end
+
+val lower :
+  ?cache:Cache.t ->
+  ?wrapper_owner:(string -> string option) ->
+  machine:Machine.t ->
+  Fortran.Symtab.t ->
+  program
+(** [wrapper_owner name] returns [Some orig] when [name] is a generated
+    precision wrapper for [orig]; wrappers are exempt from timers and
+    inlining, and pay [wrapper_overhead] (mirrors [Interp.run]'s
+    [~wrapper_owner]). *)
+
+val run : ?budget:float -> program -> Interp.outcome
+(** Execute the lowered program. [budget] bounds the abstract cost; the
+    run raises an internal timeout into [Interp.Timed_out] exactly as
+    [Interp.run] does. *)

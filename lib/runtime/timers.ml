@@ -3,11 +3,12 @@ type acc = { mutable calls : int; mutable exclusive : float; mutable inclusive :
 type t = {
   table : (string, acc) Hashtbl.t;
   mutable stack : (string * float) list;  (* (name, cost mark at entry) *)
+  mutable top : acc option;  (* accumulator of the stack's top frame *)
 }
 
 type entry = { name : string; calls : int; exclusive : float; inclusive : float }
 
-let create () = { table = Hashtbl.create 32; stack = [] }
+let create () = { table = Hashtbl.create 32; stack = []; top = None }
 
 let acc_of t name =
   match Hashtbl.find_opt t.table name with
@@ -20,7 +21,8 @@ let acc_of t name =
 let enter t name ~now =
   let a = acc_of t name in
   a.calls <- a.calls + 1;
-  t.stack <- (name, now) :: t.stack
+  t.stack <- (name, now) :: t.stack;
+  t.top <- Some a
 
 let exit_ t ~now =
   match t.stack with
@@ -28,14 +30,16 @@ let exit_ t ~now =
   | (name, mark) :: rest ->
     let a = acc_of t name in
     a.inclusive <- a.inclusive +. (now -. mark);
-    t.stack <- rest
+    t.stack <- rest;
+    t.top <- (match rest with [] -> None | (n, _) :: _ -> Some (acc_of t n))
 
+(* [charge] sits on the interpreter's hottest path (once per charged
+   operation), so it must not pay a string-keyed lookup — the cached
+   [top] accumulator keeps it O(1). *)
 let charge t cost =
-  match t.stack with
-  | [] -> ()
-  | (name, _) :: _ ->
-    let a = acc_of t name in
-    a.exclusive <- a.exclusive +. cost
+  match t.top with
+  | None -> ()
+  | Some a -> a.exclusive <- a.exclusive +. cost
 
 let current t = match t.stack with [] -> None | (name, _) :: _ -> Some name
 

@@ -37,41 +37,59 @@ type summary = {
 }
 
 let summarize records =
-  let total = List.length records in
-  let pct s =
-    if total = 0 then 0.0
-    else
-      100.0
-      *. float_of_int (List.length (List.filter (fun r -> r.meas.status = s) records))
-      /. float_of_int total
-  in
-  let best_speedup =
+  (* one pass: status counts and the best passing speedup together *)
+  let total, np, nf, nt, ne, best_speedup =
     List.fold_left
-      (fun acc r -> if r.meas.status = Pass then Float.max acc r.meas.speedup else acc)
-      0.0 records
+      (fun (n, np, nf, nt, ne, best) r ->
+        match r.meas.status with
+        | Pass -> (n + 1, np + 1, nf, nt, ne, Float.max best r.meas.speedup)
+        | Fail -> (n + 1, np, nf + 1, nt, ne, best)
+        | Timeout -> (n + 1, np, nf, nt + 1, ne, best)
+        | Error -> (n + 1, np, nf, nt, ne + 1, best))
+      (0, 0, 0, 0, 0, 0.0) records
   in
+  let pct n = if total = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int total in
   {
     total;
-    pass_pct = pct Pass;
-    fail_pct = pct Fail;
-    timeout_pct = pct Timeout;
-    error_pct = pct Error;
+    pass_pct = pct np;
+    fail_pct = pct nf;
+    timeout_pct = pct nt;
+    error_pct = pct ne;
     best_speedup;
   }
 
 let frontier records =
+  (* sort-then-sweep in O(n log n): after a stable sort by error, a
+     record is Pareto-optimal iff it holds the top speedup of its error
+     class and strictly beats the running best over all smaller errors.
+     Exact (speedup, error) duplicates are incomparable, so a class's
+     maximum survives with multiplicity. *)
   let passing = List.filter (fun r -> r.meas.status = Pass) records in
-  let dominated r =
-    List.exists
-      (fun r' ->
-        r' != r
-        && r'.meas.speedup >= r.meas.speedup
-        && r'.meas.rel_error <= r.meas.rel_error
-        && (r'.meas.speedup > r.meas.speedup || r'.meas.rel_error < r.meas.rel_error))
-      passing
+  let sorted =
+    List.stable_sort (fun a b -> compare a.meas.rel_error b.meas.rel_error) passing
   in
-  List.filter (fun r -> not (dominated r)) passing
-  |> List.sort (fun a b -> compare a.meas.rel_error b.meas.rel_error)
+  let rec sweep best_below acc = function
+    | [] -> List.rev acc
+    | r :: _ as rest ->
+      let err = r.meas.rel_error in
+      let rec split g = function
+        | r' :: tl when r'.meas.rel_error = err -> split (r' :: g) tl
+        | tl -> (List.rev g, tl)
+      in
+      let group, rest' = split [] rest in
+      let gmax =
+        List.fold_left (fun m r' -> Float.max m r'.meas.speedup) neg_infinity group
+      in
+      let acc =
+        if gmax > best_below then
+          List.fold_left
+            (fun acc r' -> if r'.meas.speedup = gmax then r' :: acc else acc)
+            acc group
+        else acc
+      in
+      sweep (Float.max best_below gmax) acc rest'
+  in
+  sweep neg_infinity [] sorted
 
 let best records =
   List.fold_left

@@ -1,0 +1,245 @@
+(* Lower tests: the slot-resolved IR evaluator must be observably
+   indistinguishable from the string-keyed tree-walker — same status,
+   cost, timers, records, printed lines and breakdown, bit for bit — on
+   baselines and on transformed variants, with and without the
+   per-procedure lowering cache, sequentially and under the worker pool. *)
+
+open Fortran
+
+let t name f = Alcotest.test_case name `Quick f
+let ts name f = Alcotest.test_case name `Slow f
+
+let machine = Runtime.Machine.default
+
+let build src =
+  let st = Symtab.build (Parser.parse src) in
+  Typecheck.check_program st;
+  st
+
+let interp ?budget st = Runtime.Interp.run ~machine ?budget st
+
+let lower_run ?cache ?budget ?wrapper_owner st =
+  Runtime.Lower.run ?budget (Runtime.Lower.lower ?cache ?wrapper_owner ~machine st)
+
+let pp_outcome ppf (o : Runtime.Interp.outcome) =
+  Format.fprintf ppf "%a cost=%.17g records=%d printed=%d timers=%d"
+    Runtime.Interp.pp_status o.status o.cost (List.length o.records)
+    (List.length o.printed) (List.length o.timers)
+
+let outcome_t =
+  Alcotest.testable pp_outcome (fun a b -> compare a b = 0)
+
+let check_equiv msg ref_out fast_out = Alcotest.check outcome_t msg ref_out fast_out
+
+let first out key =
+  match Runtime.Interp.series out key with
+  | v :: _ -> v
+  | [] -> Alcotest.failf "no '%s' record" key
+
+(* ------------------------------------------------------------------ *)
+(* Slot resolution units: shadowing and module globals                 *)
+
+let slot_tests =
+  [
+    t "dummy shadows a module global of the same name" (fun () ->
+        let src =
+          "module m\n implicit none\n real(kind=8) :: x = 100.0d0\ncontains\n\
+          \ subroutine set(x)\n  real(kind=8) :: x\n  x = x + 1.0d0\n end subroutine set\n\
+           end module m\n\
+           program p\n use m\n implicit none\n real(kind=8) :: y\n y = 5.0d0\n call set(y)\n\
+          \ print *, 'y', y\n print *, 'g', x\nend program p\n"
+        in
+        let st = build src in
+        let out = lower_run st in
+        (* the dummy [x] resolved to the callee's local slot, not the
+           module global's slot *)
+        Alcotest.(check (float 0.0)) "dummy updated" 6.0 (first out "y");
+        Alcotest.(check (float 0.0)) "global untouched" 100.0 (first out "g");
+        check_equiv "interp agrees" (interp st) out);
+    t "local shadows a module global inside one procedure only" (fun () ->
+        let src =
+          "module m\n implicit none\n real(kind=8) :: g = 2.0d0\ncontains\n\
+          \ function local_g() result(r)\n  real(kind=8) :: g, r\n  g = 40.0d0\n  r = g\n\
+          \ end function local_g\n\
+          \ function global_g() result(r)\n  real(kind=8) :: r\n  r = g\n end function global_g\n\
+           end module m\n\
+           program p\n use m\n implicit none\n print *, 'a', local_g()\n\
+          \ print *, 'b', global_g()\n print *, 'c', g\nend program p\n"
+        in
+        let st = build src in
+        let out = lower_run st in
+        Alcotest.(check (float 0.0)) "local slot" 40.0 (first out "a");
+        Alcotest.(check (float 0.0)) "global slot" 2.0 (first out "b");
+        Alcotest.(check (float 0.0)) "global unchanged" 2.0 (first out "c");
+        check_equiv "interp agrees" (interp st) out);
+    t "module globals across two modules get distinct slots" (fun () ->
+        let src =
+          "module a\n implicit none\n real(kind=8) :: v = 1.0d0\nend module a\n\
+           module b\n implicit none\n real(kind=4) :: w = 2.0\nend module b\n\
+           program p\n use a\n use b\n implicit none\n v = v + 10.0d0\n w = w + 1.0\n\
+          \ print *, 'v', v\n print *, 'w', w\nend program p\n"
+        in
+        let st = build src in
+        let out = lower_run st in
+        Alcotest.(check (float 0.0)) "a::v" 11.0 (first out "v");
+        Alcotest.(check (float 0.0)) "b::w" 3.0 (first out "w");
+        check_equiv "interp agrees" (interp st) out);
+    t "module array global is slot-addressed and shared" (fun () ->
+        let src =
+          "module m\n implicit none\n real(kind=8), dimension(4) :: buf\ncontains\n\
+          \ subroutine store(i, v)\n  integer :: i\n  real(kind=8) :: v\n  buf(i) = v\n\
+          \ end subroutine store\nend module m\n\
+           program p\n use m\n implicit none\n call store(3, 9.5d0)\n\
+          \ print *, 'v', buf(3)\nend program p\n"
+        in
+        let st = build src in
+        let out = lower_run st in
+        Alcotest.(check (float 0.0)) "shared storage" 9.5 (first out "v");
+        check_equiv "interp agrees" (interp st) out);
+    t "out-of-scope reference to a callee local still traps" (fun () ->
+        (* an array extent naming an undeclared variable must trap with
+           the same message as the tree-walker *)
+        let src =
+          "module m\n implicit none\ncontains\n subroutine s()\n  real(kind=8) :: x\n\
+          \  x = 1.0d0\n end subroutine s\nend module m\n\
+           program p\n use m\n implicit none\n call s\n print *, 'v', x\nend program p\n"
+        in
+        let st = Symtab.build (Parser.parse src) in
+        check_equiv "same trap" (interp st) (lower_run st));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence property on random assignments                          *)
+
+let model_fixture name =
+  match name with
+  | "funarc" -> Models.Registry.funarc
+  | "mpas" ->
+    { Models.Registry.mpas with
+      Models.Registry.source = Models.Mpas.source ~p:Models.Mpas.small () }
+  | _ -> assert false
+
+let equiv_on_assignment (model : Models.Registry.t) cache st atoms bits =
+  let lowered = List.filteri (fun i _ -> (bits lsr (i mod 62)) land 1 = 1) atoms in
+  let asg = Transform.Assignment.of_lowered atoms ~lowered in
+  let prog' = Transform.Rewrite.apply st asg in
+  let w = Transform.Wrappers.insert prog' in
+  let owner = Transform.Wrappers.owner_fn w in
+  (* reference: the historical unparse→reparse round trip, tree-walked *)
+  let text = Unparse.program w.Transform.Wrappers.program in
+  let st_rt = Symtab.build (Parser.parse ~file:(model.name ^ "_variant.f90") text) in
+  Typecheck.check_program st_rt;
+  let ref_out = Runtime.Interp.run ~machine ~wrapper_owner:owner st_rt in
+  (* fast path: lowered directly from the transformed AST, with the
+     shared per-procedure cache *)
+  let st_d = Symtab.build w.Transform.Wrappers.program in
+  Typecheck.check_program st_d;
+  let fast_out = lower_run ~cache ~wrapper_owner:owner st_d in
+  compare ref_out fast_out = 0
+
+let equiv_property name =
+  let model = model_fixture name in
+  let st = build model.Models.Registry.source in
+  let atoms =
+    Transform.Assignment.atoms_of_target st ~module_:model.Models.Registry.target_module
+      ~procs:(Some model.Models.Registry.target_procs)
+      ~exclude:model.Models.Registry.exclude_atoms
+  in
+  let cache = Runtime.Lower.Cache.create () in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:(name ^ ": lowered IR == string-keyed interpreter on random assignments")
+       ~count:30
+       QCheck.(int_bound max_int)
+       (fun bits -> equiv_on_assignment model cache st atoms bits))
+
+let equiv_tests =
+  [
+    equiv_property "funarc";
+    equiv_property "mpas";
+    t "budget cut-off is bit-identical" (fun () ->
+        let model = model_fixture "mpas" in
+        let st = build model.Models.Registry.source in
+        let baseline = interp st in
+        (* a budget inside the run forces Timed_out on both paths at the
+           same accumulated cost *)
+        let budget = baseline.Runtime.Interp.cost /. 3.0 in
+        let ref_out = interp ~budget st in
+        let fast_out = lower_run ~budget st in
+        Alcotest.(check bool) "timed out" true
+          (ref_out.Runtime.Interp.status = Runtime.Interp.Timed_out);
+        check_equiv "same cut-off" ref_out fast_out);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache correctness: hits reuse published procedures, results do not
+   depend on cache or worker count                                     *)
+
+let small_mpas = model_fixture "mpas"
+
+let record_key (r : Search.Variant.record) =
+  (r.Search.Variant.index, Transform.Assignment.signature r.Search.Variant.asg,
+   r.Search.Variant.meas)
+
+let cache_tests =
+  [
+    t "cache hits on repeated lowering of the same signature" (fun () ->
+        let st = build small_mpas.Models.Registry.source in
+        let cache = Runtime.Lower.Cache.create () in
+        let o1 = lower_run ~cache st in
+        let _, misses_after_first = Runtime.Lower.Cache.stats cache in
+        let o2 = lower_run ~cache st in
+        let hits, misses = Runtime.Lower.Cache.stats cache in
+        Alcotest.(check int) "no new misses" misses_after_first misses;
+        Alcotest.(check bool) "every procedure hit" true (hits >= misses);
+        check_equiv "identical outcomes" o1 o2);
+    ts "workers=4 with cache == workers=0 without cache, record for record" (fun () ->
+        let config =
+          { Core.Config.default with Core.Config.max_variants = Some 20 }
+        in
+        let fast =
+          Core.Tuner.run_delta_debug
+            ~config:{ config with Core.Config.proc_cache = true }
+            ~workers:4 small_mpas
+        in
+        let slow =
+          Core.Tuner.run_delta_debug
+            ~config:{ config with Core.Config.proc_cache = false }
+            ~workers:0 small_mpas
+        in
+        Alcotest.(check int) "same variant count"
+          (List.length slow.Core.Tuner.records)
+          (List.length fast.Core.Tuner.records);
+        List.iter2
+          (fun a b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "record %d identical" a.Search.Variant.index)
+              true
+              (compare (record_key a) (record_key b) = 0))
+          slow.Core.Tuner.records fast.Core.Tuner.records;
+        Alcotest.(check bool) "same minimal" true
+          (compare
+             (Option.map
+                (fun (r : Search.Delta_debug.result) -> r.Search.Delta_debug.high_set)
+                slow.Core.Tuner.minimal)
+             (Option.map
+                (fun (r : Search.Delta_debug.result) -> r.Search.Delta_debug.high_set)
+                fast.Core.Tuner.minimal)
+           = 0));
+    ts "verify-roundtrip campaign passes" (fun () ->
+        let config =
+          { Core.Config.default with
+            Core.Config.max_variants = Some 15;
+            verify_roundtrip = true;
+          }
+        in
+        let c = Core.Tuner.run_delta_debug ~config ~workers:0 small_mpas in
+        Alcotest.(check bool) "explored variants" true
+          (c.Core.Tuner.summary.Search.Variant.total > 0));
+  ]
+
+let () =
+  Alcotest.run "lower"
+    [
+      ("slots", slot_tests); ("equivalence", equiv_tests); ("cache", cache_tests);
+    ]

@@ -465,6 +465,113 @@ let variant_tests =
                            || b.Variant.meas.Variant.rel_error < a.Variant.meas.Variant.rel_error)))
                  front)
              front));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"sort-then-sweep frontier matches the quadratic reference" ~count:200
+         (* coarse grids force duplicate speedups and error ties *)
+         QCheck.(small_list (triple (int_bound 4) (int_bound 4) (int_bound 3)))
+         (fun pts ->
+           let atoms = mk_atoms 1 in
+           let records =
+             List.mapi
+               (fun i (sp, err, status) ->
+                 {
+                   Variant.index = i;
+                   asg = Transform.Assignment.original atoms;
+                   meas =
+                     {
+                       Variant.status =
+                         (match status with
+                         | 0 | 1 -> Variant.Pass
+                         | 2 -> Variant.Fail
+                         | _ -> Variant.Error);
+                       speedup = 0.5 *. float_of_int sp;
+                       rel_error = 0.25 *. float_of_int err;
+                       hotspot_time = 1.0;
+                       model_time = 1.0;
+                       proc_stats = [];
+                       casting_share = 0.0;
+                       detail = "";
+                     };
+                 })
+               pts
+           in
+           (* the pre-optimization O(n^2) scan, verbatim *)
+           let reference records =
+             let passing =
+               List.filter (fun (r : Variant.record) -> r.Variant.meas.Variant.status = Variant.Pass) records
+             in
+             let dominated (r : Variant.record) =
+               List.exists
+                 (fun (r' : Variant.record) ->
+                   r' != r
+                   && r'.Variant.meas.Variant.speedup >= r.Variant.meas.Variant.speedup
+                   && r'.Variant.meas.Variant.rel_error <= r.Variant.meas.Variant.rel_error
+                   && (r'.Variant.meas.Variant.speedup > r.Variant.meas.Variant.speedup
+                      || r'.Variant.meas.Variant.rel_error < r.Variant.meas.Variant.rel_error))
+                 passing
+             in
+             List.filter (fun r -> not (dominated r)) passing
+             |> List.sort (fun (a : Variant.record) (b : Variant.record) ->
+                    compare a.Variant.meas.Variant.rel_error b.Variant.meas.Variant.rel_error)
+           in
+           List.map (fun (r : Variant.record) -> r.Variant.index) (Variant.frontier records)
+           = List.map (fun (r : Variant.record) -> r.Variant.index) (reference records)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"one-fold summarize matches per-status filters" ~count:200
+         QCheck.(small_list (pair (int_bound 3) (float_bound_exclusive 2.0)))
+         (fun pts ->
+           let atoms = mk_atoms 1 in
+           let records =
+             List.mapi
+               (fun i (status, sp) ->
+                 {
+                   Variant.index = i;
+                   asg = Transform.Assignment.original atoms;
+                   meas =
+                     {
+                       Variant.status =
+                         (match status with
+                         | 0 -> Variant.Pass
+                         | 1 -> Variant.Fail
+                         | 2 -> Variant.Timeout
+                         | _ -> Variant.Error);
+                       speedup = sp;
+                       rel_error = 0.0;
+                       hotspot_time = 1.0;
+                       model_time = 1.0;
+                       proc_stats = [];
+                       casting_share = 0.0;
+                       detail = "";
+                     };
+                 })
+               pts
+           in
+           let total = List.length records in
+           let pct s =
+             if total = 0 then 0.0
+             else
+               100.0
+               *. float_of_int
+                    (List.length
+                       (List.filter (fun (r : Variant.record) -> r.Variant.meas.Variant.status = s) records))
+               /. float_of_int total
+           in
+           let best =
+             List.fold_left
+               (fun acc (r : Variant.record) ->
+                 if r.Variant.meas.Variant.status = Variant.Pass then
+                   Float.max acc r.Variant.meas.Variant.speedup
+                 else acc)
+               0.0 records
+           in
+           let s = Variant.summarize records in
+           s.Variant.total = total
+           && s.Variant.pass_pct = pct Variant.Pass
+           && s.Variant.fail_pct = pct Variant.Fail
+           && s.Variant.timeout_pct = pct Variant.Timeout
+           && s.Variant.error_pct = pct Variant.Error
+           && s.Variant.best_speedup = best));
   ]
 
 let random_walk_tests =
