@@ -14,6 +14,10 @@
      main.exe --workers N     evaluation worker domains (0 = sequential;
                               default: cores - 1); results are identical
                               across N, only wall clock changes
+     main.exe --seed N        base seed for the injected run-to-run noise
+                              (default 42); printed in the header and in
+                              any regression-guard failure so every run
+                              is reproducible
      main.exe --json PATH     write per-campaign wall clock, evaluation
                               counts, per-evaluation mean/max ms and
                               summaries as JSON (forces the five
@@ -38,6 +42,7 @@ type selection = {
   mutable all : bool;
   mutable quick : bool;
   mutable workers : int option;
+  mutable seed : int;
   mutable json : string option;
   mutable check_against : string option;
   mutable verify_roundtrip : bool;
@@ -46,8 +51,8 @@ type selection = {
 let parse_args () =
   let sel =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
-      quick = false; workers = None; json = None; check_against = None;
-      verify_roundtrip = false }
+      quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
+      json = None; check_against = None; verify_roundtrip = false }
   in
   let rec go = function
     | [] -> ()
@@ -76,6 +81,9 @@ let parse_args () =
       go rest
     | "--workers" :: n :: rest ->
       sel.workers <- Some (int_of_string n);
+      go rest
+    | "--seed" :: n :: rest ->
+      sel.seed <- int_of_string n;
       go rest
     | "--json" :: path :: rest ->
       sel.json <- Some path;
@@ -130,7 +138,7 @@ let baseline_walls path =
   in
   scan 0 []
 
-let check_against path entries =
+let check_against ~seed path entries =
   let baseline = baseline_walls path in
   let slowdowns =
     List.filter_map
@@ -146,7 +154,7 @@ let check_against path entries =
   if slowdowns = [] then
     pf "bench-regression guard: all campaigns within 2x of %s\n%!" path
   else begin
-    pf "bench-regression guard FAILED against %s:\n%s\n%!" path
+    pf "bench-regression guard FAILED against %s (seed=%d):\n%s\n%!" path seed
       (String.concat "\n" slowdowns);
     exit 1
   end
@@ -171,7 +179,7 @@ let rec main () =
       if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
       else Core.Config.default
     in
-    { c with Core.Config.verify_roundtrip = sel.verify_roundtrip }
+    { c with Core.Config.verify_roundtrip = sel.verify_roundtrip; seed = sel.seed }
   in
   let workers = sel.workers in
   let funarc =
@@ -200,7 +208,8 @@ let rec main () =
   let hotspot_campaigns () = [ Lazy.force mpas; Lazy.force adcirc; Lazy.force mom6 ] in
 
   pf "prose-ml benchmark harness — reproduction of the SC'24 FPPT case study\n";
-  pf "=======================================================================\n\n";
+  pf "=======================================================================\n";
+  pf "seed %d\n\n" sel.seed;
 
   if want_table sel 1 then begin
     pf "%s\n" (Core.Report.table1 (hotspot_campaigns ()));
@@ -309,7 +318,7 @@ let rec main () =
         Core.Export.write_file ~path (Core.Export.bench_json ~workers:effective entries);
         pf "wrote %s\n%!" path)
       sel.json;
-    Option.iter (fun path -> check_against path entries) sel.check_against
+    Option.iter (fun path -> check_against ~seed:sel.seed path entries) sel.check_against
   end
 
 (* ------------------------------------------------------------------ *)

@@ -197,6 +197,94 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg)
 
+let fuzz_cmd =
+  let doc = "Differentially test the pipeline on random well-typed programs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates random well-typed Fortran programs with random precision \
+         assignments and checks pipeline invariants on each: unparse/parse \
+         fixpoint ($(b,roundtrip)), typecheck stability ($(b,typecheck)), \
+         assignment application and wrapper repair ($(b,rewrite)), and \
+         bit-identical outcomes between the tree-walking interpreter and the \
+         slot-resolved fast path ($(b,equiv)). Counterexamples are minimized \
+         with ddmin and written to the corpus directory as a replayable \
+         $(i,.f90) + assignment pair; $(b,dune runtest) replays the corpus.";
+    ]
+  in
+  let oracle_conv =
+    let parse s =
+      match Testgen.Oracle.of_name s with
+      | Some id -> Ok id
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown oracle %S (expected roundtrip, typecheck, rewrite or equiv)"
+               s))
+    in
+    Arg.conv (parse, fun ppf id -> Format.pp_print_string ppf (Testgen.Oracle.name id))
+  in
+  let cases_arg =
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of generated cases.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:
+            "Base seed. Case $(i,i) is generated deterministically from (seed, $(i,i)), so \
+             any reported failure replays exactly from the seed printed with it.")
+  in
+  let oracle_filter_arg =
+    Arg.(
+      value & opt_all oracle_conv []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Run only the named oracle(s). Repeatable; default: all four.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory for minimized counterexamples.")
+  in
+  let run cases seed oracles corpus =
+    let ids = match oracles with [] -> Testgen.Oracle.all | ids -> ids in
+    let failures = ref 0 in
+    for i = 0 to cases - 1 do
+      let case = Testgen.Gen.case_at ~seed ~index:i in
+      match Testgen.Oracle.check ~ids case with
+      | [] -> ()
+      | (first :: _) as vs ->
+        incr failures;
+        List.iter
+          (fun (v : Testgen.Oracle.violation) ->
+            pf "FAIL seed=%d case=%d oracle=%s: %s\n%!" seed i
+              (Testgen.Oracle.name v.Testgen.Oracle.oracle)
+              v.Testgen.Oracle.detail)
+          vs;
+        let minimized = Testgen.Minimize.minimize ~ids case in
+        let oracle = Testgen.Oracle.name first.Testgen.Oracle.oracle in
+        let entry =
+          {
+            Testgen.Corpus.name = Printf.sprintf "fz_%s_s%d_c%d" oracle seed i;
+            case = minimized;
+            oracle;
+            origin = Printf.sprintf "seed=%d case=%d" seed i;
+          }
+        in
+        let path = Testgen.Corpus.save ~dir:corpus entry in
+        pf "  minimized: %d source line(s), %d lowered atom(s) -> %s\n%!"
+          (List.length (String.split_on_char '\n' minimized.Testgen.Gen.source))
+          (List.length minimized.Testgen.Gen.lowered)
+          path
+    done;
+    pf "fuzz: %d/%d cases passed (seed=%d, oracles: %s)\n" (cases - !failures) cases seed
+      (String.concat ", " (List.map Testgen.Oracle.name ids));
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(const run $ cases_arg $ fuzz_seed_arg $ oracle_filter_arg $ corpus_arg)
+
 let report_cmd =
   let doc = "Run every campaign and print all tables, figures and validation checks" in
   let run seed workers =
@@ -227,4 +315,7 @@ let report_cmd =
 let () =
   let doc = "automated performance-guided floating-point precision tuning" in
   let info = Cmd.info "prose" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ models_cmd; source_cmd; tune_cmd; analyze_cmd; reduce_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ models_cmd; source_cmd; tune_cmd; analyze_cmd; reduce_cmd; fuzz_cmd; report_cmd ]))

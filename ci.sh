@@ -16,3 +16,8 @@ dune exec bench/main.exe -- --quick --workers 0 --json BENCH_ci_run.json \
 # unparse->reparse pipeline; aborts on the first outcome mismatch.
 dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
   --verify-roundtrip > /dev/null
+
+# Fuzz smoke gate: 300 random well-typed programs through all four
+# oracles (roundtrip, typecheck, rewrite, equiv) at a fixed seed; any
+# violation is minimized, written to test/corpus/, and fails the run.
+dune exec bin/prose.exe -- fuzz --cases 300 --seed 42

@@ -327,6 +327,11 @@ let check_block st ~in_proc blk =
     (fun s ->
       match s.Ast.node with
       | Ast.Assign (lhs, rhs) ->
+        let lname = match lhs with Ast.Lvar v | Ast.Lindex (v, _) -> v in
+        (match Symtab.lookup_var st ~in_proc lname with
+        | Some { Symtab.v_intent = Some Ast.In; _ } ->
+          error s.Ast.loc "assignment to intent(in) dummy %S%s" lname (ctx in_proc)
+        | Some _ | None -> ());
         let lt =
           match lhs with
           | Ast.Lvar v -> infer st ~in_proc (Ast.Var v)

@@ -1,0 +1,69 @@
+type entry = {
+  name : string;
+  case : Gen.case;
+  oracle : string;
+  origin : string;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let save ~dir (e : entry) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let f90 = Filename.concat dir (e.name ^ ".f90") in
+  write_file f90 e.case.Gen.source;
+  let sidecar =
+    Printf.sprintf "oracle: %s\norigin: %s\nlowered: %s\n" e.oracle e.origin
+      (String.concat " " e.case.Gen.lowered)
+  in
+  write_file (Filename.concat dir (e.name ^ ".repro")) sidecar;
+  f90
+
+let parse_sidecar path =
+  let fields =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | None -> None
+        | Some i ->
+          Some
+            ( String.sub line 0 i,
+              String.trim (String.sub line (i + 1) (String.length line - i - 1)) ))
+      (String.split_on_char '\n' (read_file path))
+  in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing %S field" path k)
+  in
+  let lowered =
+    match List.assoc_opt "lowered" fields with
+    | None | Some "" -> []
+    | Some v -> String.split_on_char ' ' v
+  in
+  (get "oracle", get "origin", lowered)
+
+let load ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".f90" then begin
+             let name = Filename.chop_suffix f ".f90" in
+             let sidecar = Filename.concat dir (name ^ ".repro") in
+             if not (Sys.file_exists sidecar) then
+               failwith (Printf.sprintf "%s: no .repro sidecar" (Filename.concat dir f));
+             let oracle, origin, lowered = parse_sidecar sidecar in
+             let source = read_file (Filename.concat dir f) in
+             Some { name; case = { Gen.source; lowered }; oracle; origin }
+           end
+           else None)

@@ -1,0 +1,53 @@
+(** Generator of well-typed random Fortran-90 subset programs.
+
+    Every generated program is a module ([mfz]) of declarations, kinds,
+    module variables and procedures with calls, plus a main program that
+    uses it — drawn from the same grammar the frontend supports
+    (declarations with initializers and attributes, counted and while
+    loops, conditionals, [select case], intrinsics from
+    {!Fortran.Builtins}, MPI stand-ins). The construction is typed: every
+    expression is generated at a requested type, every call site matches
+    its callee's dummy kinds and shapes, loop counters are reserved names
+    the rest of the program cannot touch — so
+    {!Fortran.Typecheck.check_program} accepts every output by
+    construction, and any rejection is a frontend bug, not generator
+    noise.
+
+    Termination is structural (counted loops with literal bounds, while
+    loops over reserved monotone counters), but the execution oracles
+    additionally run under a cost budget, so even a minimizer-mangled
+    program cannot hang the harness.
+
+    Generators are plain [Random.State.t -> 'a] functions, i.e.
+    {!QCheck.Gen.t} values: a case is reproduced exactly by seeding the
+    state from [(seed, index)]. *)
+
+type case = {
+  source : string;
+      (** canonical program text: [unparse (parse (unparse ast))] *)
+  lowered : string list;
+      (** {!Transform.Assignment.atom_id}s assigned [real(kind=4)]; the
+          remaining atoms keep their declared kind *)
+}
+
+val module_name : string
+(** The generated module's name ([mfz]); the search space of a case is
+    {!Transform.Assignment.atoms_of_module} over it. *)
+
+val program : Fortran.Ast.program QCheck.Gen.t
+(** Raw generated AST (fresh ids are not assigned; callers normally want
+    {!case}, which round-trips through the parser). *)
+
+val case : case QCheck.Gen.t
+(** A canonicalized program plus a random precision assignment over its
+    module atoms. *)
+
+val case_at : seed:int -> index:int -> case
+(** The deterministic case stream: [case] run on a state seeded from
+    [(seed, index)]. *)
+
+val assignment_of :
+  Fortran.Symtab.t -> string list -> Transform.Assignment.t
+(** Reconstruct the precision assignment of a case from its [lowered]
+    atom-id list (unknown ids are ignored, so a minimized program with
+    fewer atoms still replays). *)

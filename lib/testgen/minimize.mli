@@ -1,0 +1,25 @@
+(** Structural shrinking of failing cases.
+
+    Four reduction passes, each validated by re-running the oracles so
+    the result still fails (at least one of) the oracles it failed
+    originally:
+
+    + {!Search.Ddmin.minimize} over the lowered-atom list — most
+      transformer/equivalence bugs need only one or two lowered atoms;
+    + {!Search.Ddmin.minimize} over the program's statements (pre-order
+      indexed; dropping a compound statement drops its body);
+    + removal of procedures no surviving statement references;
+    + removal of declaration entities no surviving code references
+      (dummies and function results are kept — they are part of
+      signatures).
+
+    Every candidate program is re-canonicalized through
+    unparse→parse→unparse, and candidates are only accepted on the
+    strength of an oracle re-run, so a pass can never "fix" the bug or
+    swap it for a different failure class: reductions that break name
+    resolution are excluded statically, and anything else that stops
+    failing is simply rejected. *)
+
+val minimize : ids:Oracle.id list -> Gen.case -> Gen.case
+(** [minimize ~ids c] requires [Oracle.check ~ids c <> []] and returns a
+    case, no larger than [c], for which that still holds. *)

@@ -1,0 +1,194 @@
+open Fortran
+
+type id = Roundtrip | Typecheck | Rewrite | Equiv
+
+type violation = {
+  oracle : id;
+  detail : string;
+}
+
+let all = [ Roundtrip; Typecheck; Rewrite; Equiv ]
+
+let name = function
+  | Roundtrip -> "roundtrip"
+  | Typecheck -> "typecheck"
+  | Rewrite -> "rewrite"
+  | Equiv -> "equiv"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "roundtrip" -> Some Roundtrip
+  | "typecheck" -> Some Typecheck
+  | "rewrite" -> Some Rewrite
+  | "equiv" -> Some Equiv
+  | _ -> None
+
+let budget = 1e6
+
+let machine = Runtime.Machine.default
+
+let first_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys -> if String.equal x y then go (i + 1) (xs, ys) else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+    | [], [] -> None
+  in
+  go 1 (la, lb)
+
+(* The wrapped variant shared by the rewrite and equiv oracles. *)
+let transform (c : Gen.case) =
+  let st = Symtab.build (Parser.parse ~file:"fuzz.f90" c.Gen.source) in
+  let asg = Gen.assignment_of st c.Gen.lowered in
+  let rewritten = Transform.Rewrite.apply st asg in
+  let w = Transform.Wrappers.insert rewritten in
+  (st, asg, rewritten, w)
+
+let check_roundtrip (c : Gen.case) =
+  let prog = Parser.parse ~file:"fuzz.f90" c.Gen.source in
+  let text = Unparse.program prog in
+  if String.equal text c.Gen.source then []
+  else
+    let detail =
+      match first_diff c.Gen.source text with
+      | Some (i, a, b) ->
+        Printf.sprintf "unparse(parse(src)) <> src at line %d: %S vs %S" i a b
+      | None -> "texts differ only in length"
+    in
+    [ { oracle = Roundtrip; detail } ]
+
+let check_typecheck (c : Gen.case) =
+  let st = Symtab.build (Parser.parse ~file:"fuzz.f90" c.Gen.source) in
+  match Typecheck.check_program st with
+  | exception Typecheck.Error { message; _ } ->
+    [
+      {
+        oracle = Typecheck;
+        detail = Printf.sprintf "generated program rejected: %s" message;
+      };
+    ]
+  | () -> (
+    let text = Unparse.program (Symtab.program st) in
+    let st2 = Symtab.build (Parser.parse ~file:"fuzz_rt.f90" text) in
+    match Typecheck.check_program st2 with
+    | exception Typecheck.Error { message; _ } ->
+      [
+        {
+          oracle = Typecheck;
+          detail = Printf.sprintf "accepted before round trip, rejected after: %s" message;
+        };
+      ]
+    | () -> [])
+
+let check_rewrite (c : Gen.case) =
+  let st, asg, _, w = transform c in
+  let atoms = Transform.Assignment.atoms_of_module st Gen.module_name in
+  let st_rw = Symtab.build w.Transform.Wrappers.program in
+  let decl_violations =
+    List.filter_map
+      (fun (a : Transform.Assignment.atom) ->
+        let want = Transform.Assignment.kind_of asg a in
+        let got =
+          List.find_opt
+            (fun (v : Symtab.var_info) -> String.equal v.Symtab.v_name a.Transform.Assignment.a_name)
+            (Symtab.vars_of_scope st_rw a.Transform.Assignment.a_scope)
+        in
+        match got with
+        | None ->
+          Some
+            {
+              oracle = Rewrite;
+              detail =
+                Printf.sprintf "atom %s lost its declaration after rewrite"
+                  (Transform.Assignment.atom_id a);
+            }
+        | Some v when v.Symtab.v_base <> Ast.Treal want ->
+          Some
+            {
+              oracle = Rewrite;
+              detail =
+                Printf.sprintf "atom %s assigned real(%d) but declared %s after rewrite"
+                  (Transform.Assignment.atom_id a)
+                  (match want with Ast.K4 -> 4 | Ast.K8 -> 8)
+                  (Ast.string_of_base_type v.Symtab.v_base);
+            }
+        | Some _ -> None)
+      atoms
+  in
+  let site_violations =
+    match Typecheck.mismatches st_rw with
+    | [] -> (
+      match Typecheck.check_program st_rw with
+      | exception Typecheck.Error { message; _ } ->
+        [
+          {
+            oracle = Rewrite;
+            detail = Printf.sprintf "wrapped variant fails typecheck: %s" message;
+          };
+        ]
+      | () -> [])
+    | ms ->
+      [
+        {
+          oracle = Rewrite;
+          detail =
+            Printf.sprintf "%d kind mismatch(es) survive wrapper insertion; first: %s arg %d"
+              (List.length ms)
+              (List.hd ms).Typecheck.mm_callee
+              (List.hd ms).Typecheck.mm_arg_index;
+        };
+      ]
+  in
+  decl_violations @ site_violations
+
+let pp_outcome (o : Runtime.Interp.outcome) =
+  Format.asprintf "%a cost=%.17g records=%d printed=%d timers=%d"
+    Runtime.Interp.pp_status o.Runtime.Interp.status o.Runtime.Interp.cost
+    (List.length o.Runtime.Interp.records)
+    (List.length o.Runtime.Interp.printed)
+    (List.length o.Runtime.Interp.timers)
+
+let check_equiv (c : Gen.case) =
+  let _, _, _, w = transform c in
+  let owner = Transform.Wrappers.owner_fn w in
+  (* reference: the historical unparse→reparse round trip, tree-walked *)
+  let text = Unparse.program w.Transform.Wrappers.program in
+  let st_rt = Symtab.build (Parser.parse ~file:"fuzz_variant.f90" text) in
+  let ref_out = Runtime.Interp.run ~machine ~budget ~wrapper_owner:owner st_rt in
+  (* fast path: lowered directly from the transformed AST *)
+  let st_d = Symtab.build w.Transform.Wrappers.program in
+  let fast_out =
+    Runtime.Lower.run ~budget (Runtime.Lower.lower ~wrapper_owner:owner ~machine st_d)
+  in
+  if compare ref_out fast_out = 0 then []
+  else
+    [
+      {
+        oracle = Equiv;
+        detail =
+          Printf.sprintf "interp: %s / lower: %s" (pp_outcome ref_out) (pp_outcome fast_out);
+      };
+    ]
+
+let guarded oracle f c =
+  try f c
+  with e ->
+    [
+      {
+        oracle;
+        detail = Printf.sprintf "unexpected exception: %s" (Printexc.to_string e);
+      };
+    ]
+
+let check ~ids c =
+  List.concat_map
+    (fun oracle ->
+      if not (List.mem oracle ids) then []
+      else
+        match oracle with
+        | Roundtrip -> guarded Roundtrip check_roundtrip c
+        | Typecheck -> guarded Typecheck check_typecheck c
+        | Rewrite -> guarded Rewrite check_rewrite c
+        | Equiv -> guarded Equiv check_equiv c)
+    all

@@ -1,0 +1,32 @@
+module mfz
+  implicit none
+  integer, parameter :: np = 3
+  real(kind=8) :: g81
+  real(kind=8), dimension(np) :: ga83
+contains
+  subroutine p1(a1)
+    real(kind=8), dimension(3) :: a1
+    integer :: i1
+    do i1 = 1, np
+      a1(i1) = a1(i1) * 2.0d0
+    end do
+  end subroutine p1
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  integer :: i1
+  do i1 = 1, np
+    ga83(i1) = 0.5d0 * i1
+  end do
+  call p1(ga83)
+  call mpi_allreduce(sum(ga83), g81, 'sum')
+  select case (np)
+  case (3)
+    g81 = g81 + 1.0d0
+  case default
+    g81 = 0.0d0
+  end select
+  print *, 'chk', g81
+end program fzmain

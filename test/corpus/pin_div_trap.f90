@@ -1,0 +1,16 @@
+module mfz
+  implicit none
+  real(kind=8) :: g81, g82
+  integer :: w1
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  do while (w1 < 3)
+    w1 = w1 + 1
+    g82 = g82 + 0.5d0
+  end do
+  g81 = 1.0d0 / (g82 - 1.5d0)
+  print *, 'chk', g81
+end program fzmain

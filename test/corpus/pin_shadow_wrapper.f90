@@ -1,0 +1,18 @@
+module mfz
+  implicit none
+  real(kind=4) :: g41
+  real(kind=8) :: g81 = 2.0d0
+contains
+  subroutine p1(g81)
+    real(kind=8), intent(inout) :: g81
+    g81 = g81 + 1.0d0
+  end subroutine p1
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  call p1(g81)
+  g41 = 1.5
+  print *, 'chk', g81, g41
+end program fzmain

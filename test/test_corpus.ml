@@ -1,0 +1,25 @@
+(* Corpus replayer: every counterexample checked into test/corpus/ —
+   minimized fuzz findings and pinned regression seeds — is re-run
+   through all four oracles on every `dune runtest`, so a bug fixed
+   once stays fixed. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let replay (e : Testgen.Corpus.entry) =
+  t (Printf.sprintf "%s (%s, %s)" e.Testgen.Corpus.name e.Testgen.Corpus.oracle
+       e.Testgen.Corpus.origin) (fun () ->
+      match Testgen.Oracle.check ~ids:Testgen.Oracle.all e.Testgen.Corpus.case with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%d oracle violation(s); first (%s): %s" (List.length vs)
+          (Testgen.Oracle.name (List.hd vs).Testgen.Oracle.oracle)
+          (List.hd vs).Testgen.Oracle.detail)
+
+let () =
+  let entries = Testgen.Corpus.load ~dir:"corpus" in
+  let tests =
+    match entries with
+    | [] -> [ t "corpus is empty" (fun () -> ()) ]
+    | es -> List.map replay es
+  in
+  Alcotest.run "corpus" [ ("replay", tests) ]

@@ -253,6 +253,71 @@ let whole_program_tests =
             | exception Typecheck.Error _ -> ()));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Negative paths: each ill-typed program must be rejected with the
+   specific diagnostic, not just any failure.                          *)
+
+let expect_message name src expected =
+  t name (fun () ->
+      match Typecheck.check_program (Symtab.build (Parser.parse src)) with
+      | () -> Alcotest.failf "expected Typecheck.Error %S" expected
+      | exception Typecheck.Error { message; _ } ->
+        Alcotest.(check string) "diagnostic" expected message)
+
+let negative_tests =
+  [
+    expect_message "undeclared name in main program"
+      "program p\n implicit none\n zz = 1\nend program p\n"
+      "undeclared variable \"zz\" in main program";
+    expect_message "undeclared name in procedure"
+      "module m\n implicit none\n real(kind=8) :: x\ncontains\n subroutine s()\n  x = qq\n\
+      \ end subroutine s\nend module m\nprogram p\n use m\n implicit none\n call s\nend program p\n"
+      "undeclared variable \"qq\" in procedure \"s\"";
+    expect_message "kind clash logical := integer"
+      "program p\n implicit none\n logical :: b\n b = 1\nend program p\n"
+      "type clash in assignment";
+    expect_message "kind clash real := logical"
+      "program p\n implicit none\n real(kind=8) :: x\n x = .true.\nend program p\n"
+      "type clash in assignment";
+    expect_message "subroutine arity"
+      "module m\n implicit none\ncontains\n subroutine s(a)\n  real(kind=8) :: a\n  a = 0.0d0\n\
+      \ end subroutine s\nend module m\nprogram p\n use m\n implicit none\n real(kind=8) :: x\n\
+      \ call s(x, x)\nend program p\n"
+      "subroutine \"s\" expects 1 arguments, got 2";
+    expect_message "function arity"
+      "module m\n implicit none\ncontains\n function g(a) result(r)\n  real(kind=8) :: a, r\n\
+      \  r = a\n end function g\nend module m\nprogram p\n use m\n implicit none\n\
+      \ real(kind=8) :: x\n x = g(x, x)\nend program p\n"
+      "function \"g\" expects 1 arguments, got 2";
+    expect_message "assignment to intent(in) dummy"
+      "module m\n implicit none\ncontains\n subroutine s(a)\n  real(kind=8), intent(in) :: a\n\
+      \  a = 1.0d0\n end subroutine s\nend module m\nprogram p\n use m\n implicit none\n\
+      \ real(kind=8) :: x\n x = 0.0d0\n call s(x)\nend program p\n"
+      "assignment to intent(in) dummy \"a\" in procedure \"s\"";
+    expect_message "argument kind mismatch names the wrapper obligation"
+      "module m\n implicit none\ncontains\n subroutine s(a)\n  real(kind=8) :: a\n  a = 0.0d0\n\
+      \ end subroutine s\nend module m\nprogram p\n use m\n implicit none\n real(kind=4) :: x\n\
+      \ call s(x)\nend program p\n"
+      "argument 1 of call to \"s\": actual is real(4) but dummy \"a\" is real(8) — a \
+       conversion wrapper is required";
+    expect_message "do variable must be integer"
+      "program p\n implicit none\n real(kind=8) :: x\n do x = 1, 3\n  x = x\n end do\n\
+       end program p\n"
+      "do variable \"x\" is not integer";
+    expect_message "if condition must be logical (message)"
+      "program p\n implicit none\n real(kind=8) :: x\n if (x) then\n  x = 1.0d0\n end if\n\
+       end program p\n"
+      "if condition is not logical";
+    t "intent(inout) dummy assignment is allowed" (fun () ->
+        let src =
+          "module m\n implicit none\ncontains\n subroutine s(a)\n\
+          \  real(kind=8), intent(inout) :: a\n  a = 1.0d0\n end subroutine s\nend module m\n\
+           program p\n use m\n implicit none\n real(kind=8) :: x\n x = 0.0d0\n call s(x)\n\
+           end program p\n"
+        in
+        Typecheck.check_program (Symtab.build (Parser.parse src)));
+  ]
+
 let () =
   Alcotest.run "typecheck"
     [
@@ -261,4 +326,5 @@ let () =
       ("call-site kinds", mismatch_tests);
       ("constant folding", folding_tests);
       ("whole programs", whole_program_tests);
+      ("negative diagnostics", negative_tests);
     ]
