@@ -29,7 +29,13 @@
      main.exe --verify-roundtrip
                               cross-check every evaluation's direct-AST
                               fast path against the unparse->reparse
-                              pipeline (slow; aborts on any mismatch)    *)
+                              pipeline (slow; aborts on any mismatch)
+     main.exe --kill-resume   journal determinism check: run a campaign
+                              uninterrupted, run it again with an
+                              injected preemption ("kill"), resume from
+                              the journal, and require record-for-record
+                              and summary-identical results with zero
+                              re-evaluations of the journaled prefix     *)
 
 let pf = Printf.printf
 
@@ -46,13 +52,14 @@ type selection = {
   mutable json : string option;
   mutable check_against : string option;
   mutable verify_roundtrip : bool;
+  mutable kill_resume : bool;
 }
 
 let parse_args () =
   let sel =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
       quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
-      json = None; check_against = None; verify_roundtrip = false }
+      json = None; check_against = None; verify_roundtrip = false; kill_resume = false }
   in
   let rec go = function
     | [] -> ()
@@ -95,6 +102,10 @@ let parse_args () =
       go rest
     | "--verify-roundtrip" :: rest ->
       sel.verify_roundtrip <- true;
+      go rest
+    | "--kill-resume" :: rest ->
+      sel.kill_resume <- true;
+      sel.all <- false;
       go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
@@ -297,6 +308,7 @@ let rec main () =
   end;
 
   if sel.all || sel.bechamel then bechamel_suite ();
+  if sel.kill_resume then kill_resume_suite ~config ?workers ();
 
   (* perf trajectory: per-campaign wall clock + evaluation counts (forces
      the five campaigns, so `--json` or `--check-against` alone is a
@@ -320,6 +332,99 @@ let rec main () =
       sel.json;
     Option.iter (fun path -> check_against ~seed:sel.seed path entries) sel.check_against
   end
+
+(* ------------------------------------------------------------------ *)
+(* Kill-and-resume determinism check: the journal's headline invariant.
+   An uninterrupted campaign and one preempted mid-search ("killed" with
+   its journal intact) then resumed must agree record for record and in
+   the summary, with the journaled prefix served entirely from cache.   *)
+
+and kill_resume_suite ~config ?workers () =
+  pf "KILL-AND-RESUME DETERMINISM CHECK\n";
+  let failures = ref 0 in
+  let key_of (r : Search.Variant.record) =
+    (r.Search.Variant.index, Transform.Assignment.signature r.Search.Variant.asg,
+     r.Search.Variant.meas)
+  in
+  let fresh_dir =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      Printf.sprintf "%s/prose_kill_resume_%d_%d" (Filename.get_temp_dir_name ())
+        (Unix.getpid ()) !n
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let check name ~boundary
+      (run :
+        ?journal:string * Core.Cluster.Faults.spec ->
+        ?resume:string ->
+        unit ->
+        Core.Tuner.campaign) =
+    let base = timed (name ^ " uninterrupted") (fun () -> run ?journal:None ?resume:None ()) in
+    let dir = fresh_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let faults =
+      { Core.Cluster.Faults.none with Core.Cluster.Faults.preempt_at_hours = Some boundary }
+    in
+    let killed =
+      timed (name ^ " preempted") (fun () -> run ~journal:(dir, faults) ?resume:None ())
+    in
+    if not killed.Core.Tuner.interrupted then begin
+      pf "  FAIL %s: the preemption boundary (%.3f h) never fired\n" name boundary;
+      incr failures
+    end
+    else begin
+      let resumed = timed (name ^ " resumed") (fun () -> run ?journal:None ~resume:dir ()) in
+      let ok_records =
+        compare (List.map key_of base.Core.Tuner.records)
+          (List.map key_of resumed.Core.Tuner.records)
+        = 0
+      in
+      let ok_summary = compare base.Core.Tuner.summary resumed.Core.Tuner.summary = 0 in
+      let ok_hours =
+        compare base.Core.Tuner.simulated_hours resumed.Core.Tuner.simulated_hours = 0
+      in
+      let ok_fresh =
+        resumed.Core.Tuner.trace_stats.Search.Trace.misses
+        = List.length resumed.Core.Tuner.records - resumed.Core.Tuner.preloaded
+      in
+      if ok_records && ok_summary && ok_hours && ok_fresh then
+        pf "  OK   %s: %d records (%d journaled before the kill, %d fresh after resume)\n" name
+          (List.length resumed.Core.Tuner.records)
+          resumed.Core.Tuner.preloaded
+          resumed.Core.Tuner.trace_stats.Search.Trace.misses
+      else begin
+        pf "  FAIL %s: records %b, summary %b, hours %b, zero-reeval %b\n" name ok_records
+          ok_summary ok_hours ok_fresh;
+        incr failures
+      end
+    end
+  in
+  check "funarc brute force" ~boundary:0.05 (fun ?journal ?resume () ->
+      match resume with
+      | Some dir -> Core.Tuner.resume ~config ~journal:dir ()
+      | None -> (
+        match journal with
+        | Some (dir, faults) -> Core.Tuner.run_brute_force ~config ~journal:dir ~faults Models.Registry.funarc
+        | None -> Core.Tuner.run_brute_force ~config Models.Registry.funarc));
+  check "MPAS-A delta debug" ~boundary:0.05 (fun ?journal ?resume () ->
+      match resume with
+      | Some dir -> Core.Tuner.resume ~config ?workers ~journal:dir ()
+      | None -> (
+        match journal with
+        | Some (dir, faults) ->
+          Core.Tuner.run_delta_debug ~config ?workers ~journal:dir ~faults Models.Registry.mpas
+        | None -> Core.Tuner.run_delta_debug ~config ?workers Models.Registry.mpas));
+  if !failures > 0 then begin
+    pf "kill-and-resume check FAILED (%d)\n%!" !failures;
+    exit 1
+  end
+  else pf "kill-and-resume check passed\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the

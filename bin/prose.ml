@@ -84,7 +84,7 @@ let verify_roundtrip_arg =
     & info [ "verify-roundtrip" ]
         ~doc:
           "Cross-check every variant evaluation: run both the direct-AST fast path and the \
-           historical unparse$(i,\\->)reparse pipeline and abort if any outcome differs. \
+           historical unparse->reparse pipeline and abort if any outcome differs. \
            Slow; intended for CI and debugging the evaluation fast path.")
 
 let csv_arg =
@@ -103,9 +103,77 @@ let hierarchical_arg =
     & info [ "hierarchical" ]
         ~doc:"Cluster atoms by the FP flow graph and search groups first (Sec. V).")
 
+let journal_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Make the campaign durable: append every measured variant to \
+           $(i,DIR)/journal.jsonl (write-ahead, fsynced) with periodic snapshots, so a \
+           killed campaign continues with $(b,--resume).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue the journaled campaign in $(b,--journal) $(i,DIR): replay every \
+           journaled record into the evaluation cache (zero re-evaluations) and finish \
+           the search. The result is identical to an uninterrupted run.")
+
+let faults_term =
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N" ~doc:"Seed for the deterministic fault injection.")
+  in
+  let fault_transient_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-transient" ] ~docv:"P"
+          ~doc:"Per-attempt probability of a spurious transient variant failure.")
+  in
+  let fault_node_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-node" ] ~docv:"P"
+          ~doc:"Per-attempt probability that the node dies mid-variant.")
+  in
+  let fault_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fault-retries" ] ~docv:"N"
+          ~doc:"Extra attempts before a faulted variant is declared lost.")
+  in
+  let preempt_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "preempt-hours" ] ~docv:"H"
+          ~doc:
+            "Preempt the campaign once its simulated cluster hours reach $(i,H) (the \
+             paper's 12-hour job boundary). The journal stays consistent; continue with \
+             $(b,--resume).")
+  in
+  let mk fault_seed transient_prob node_failure_prob max_retries preempt_at_hours =
+    let spec =
+      {
+        Core.Cluster.Faults.fault_seed;
+        transient_prob;
+        node_failure_prob;
+        max_retries;
+        preempt_at_hours;
+      }
+    in
+    if Core.Cluster.Faults.active spec then Some spec else None
+  in
+  Term.(
+    const mk $ fault_seed_arg $ fault_transient_arg $ fault_node_arg $ fault_retries_arg
+    $ preempt_arg)
+
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json workers verify =
+  let run m seed max_variants whole static brute hierarchical csv json workers verify journal
+      resume faults =
     let config =
       {
         Core.Config.default with
@@ -116,10 +184,28 @@ let tune_cmd =
         verify_roundtrip = verify;
       }
     in
+    (* fault bookkeeping and preemption happen in the journal's commit
+       sink; without a journal the flags would silently do nothing useful *)
+    if faults <> None && journal = None then begin
+      prerr_endline "prose tune: fault injection (--fault-*/--preempt-hours) requires --journal DIR";
+      exit 2
+    end;
     let campaign =
-      if brute then Core.Tuner.run_brute_force ~config m
-      else if hierarchical then Core.Tuner.run_hierarchical ~config ?workers m
-      else Core.Tuner.run_delta_debug ~config ?workers m
+      if resume then begin
+        match journal with
+        | None ->
+          prerr_endline "prose tune: --resume requires --journal DIR";
+          exit 2
+        | Some dir -> (
+          try Core.Tuner.resume ~config ?workers ?faults ~model:m ~journal:dir ()
+          with
+          | Core.Tuner.Resume_mismatch msg | Persist.Journal.Corrupt msg ->
+            prerr_endline ("prose tune: " ^ msg);
+            exit 1)
+      end
+      else if brute then Core.Tuner.run_brute_force ~config ?journal ?faults m
+      else if hierarchical then Core.Tuner.run_hierarchical ~config ?workers ?journal ?faults m
+      else Core.Tuner.run_delta_debug ~config ?workers ?journal ?faults m
     in
     print_string (Core.Report.campaign_header campaign);
     print_newline ();
@@ -128,6 +214,24 @@ let tune_cmd =
     print_string (Core.Report.figure5 campaign);
     print_newline ();
     print_string (Core.Report.figure6 campaign);
+    let ts = campaign.Core.Tuner.trace_stats in
+    pf "\ntrace: %d cache hits, %d fresh evaluations, %d live entries, %d journaled appends\n"
+      ts.Search.Trace.hits ts.Search.Trace.misses ts.Search.Trace.live ts.Search.Trace.appends;
+    if campaign.Core.Tuner.preloaded > 0 then
+      pf "resume: %d records replayed from the journal\n" campaign.Core.Tuner.preloaded;
+    Option.iter
+      (fun (fs : Core.Cluster.Faults.stats) ->
+        pf
+          "faults: %d retried attempts, %d transient losses, %d node losses, %.0f \
+           node-seconds lost, %d preemptions\n"
+          fs.Core.Cluster.Faults.retried_attempts fs.Core.Cluster.Faults.transient_losses
+          fs.Core.Cluster.Faults.node_losses fs.Core.Cluster.Faults.lost_node_seconds
+          fs.Core.Cluster.Faults.preemptions)
+      campaign.Core.Tuner.fault_stats;
+    if campaign.Core.Tuner.interrupted then
+      pf "campaign INTERRUPTED by preemption — continue with: prose tune %s --journal %s --resume\n"
+        m.Models.Registry.name
+        (Option.value ~default:"DIR" journal);
     Option.iter
       (fun path -> Core.Export.write_file ~path (Core.Export.variants_csv campaign))
       csv;
@@ -145,7 +249,155 @@ let tune_cmd =
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
       $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg
-      $ verify_roundtrip_arg)
+      $ verify_roundtrip_arg $ journal_arg $ resume_arg $ faults_term)
+
+(* ------------------------------------------------------------------ *)
+(* prose campaign ls|show|replay — inspect durable campaign journals.  *)
+
+let dir_arg =
+  Arg.(
+    required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Campaign journal directory.")
+
+let is_campaign_dir d = Sys.file_exists (Filename.concat d "journal.jsonl")
+
+let load_or_die dir =
+  match Persist.Journal.load ~dir with
+  | loaded -> loaded
+  | exception Persist.Journal.Corrupt msg ->
+    prerr_endline ("prose campaign: " ^ msg);
+    exit 1
+  | exception Sys_error msg ->
+    prerr_endline ("prose campaign: " ^ msg);
+    exit 1
+
+let status_counts entries =
+  let pass = ref 0 and fail = ref 0 and timeout = ref 0 and error = ref 0 in
+  List.iter
+    (fun (e : Persist.Journal.entry) ->
+      match e.Persist.Journal.e_meas.Search.Variant.status with
+      | Search.Variant.Pass -> incr pass
+      | Search.Variant.Fail -> incr fail
+      | Search.Variant.Timeout -> incr timeout
+      | Search.Variant.Error -> incr error)
+    entries;
+  (!pass, !fail, !timeout, !error)
+
+let campaign_ls_cmd =
+  let doc = "List campaign journals under a directory" in
+  let run root =
+    let dirs =
+      if is_campaign_dir root then [ root ]
+      else if Sys.file_exists root && Sys.is_directory root then
+        Sys.readdir root |> Array.to_list |> List.sort compare
+        |> List.filter_map (fun n ->
+               let d = Filename.concat root n in
+               if Sys.is_directory d && is_campaign_dir d then Some d else None)
+      else begin
+        prerr_endline ("prose campaign: no such directory " ^ root);
+        exit 1
+      end
+    in
+    if dirs = [] then pf "no campaign journals under %s\n" root
+    else
+      List.iter
+        (fun dir ->
+          let loaded = load_or_die dir in
+          let h = loaded.Persist.Journal.l_header in
+          let n = List.length loaded.Persist.Journal.l_entries in
+          let state =
+            match Persist.Snapshot.read ~dir with
+            | Some s when s.Persist.Snapshot.s_finished -> "finished"
+            | Some _ | None -> "in progress"
+          in
+          pf "%-24s %-8s %-12s seed %-6d %4d records  %s%s\n" (Filename.basename dir)
+            h.Persist.Journal.model h.Persist.Journal.algo h.Persist.Journal.seed n state
+            (if loaded.Persist.Journal.l_torn then "  (torn tail)" else ""))
+        dirs
+  in
+  Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ dir_arg)
+
+let campaign_show_cmd =
+  let doc = "Show one campaign journal: header, snapshot, outcome counts" in
+  let run dir =
+    let loaded = load_or_die dir in
+    let h = loaded.Persist.Journal.l_header in
+    pf "journal : %s\n" (Persist.Journal.file ~dir);
+    pf "version : %d\n" h.Persist.Journal.version;
+    pf "model   : %s\n" h.Persist.Journal.model;
+    pf "algo    : %s\n" h.Persist.Journal.algo;
+    pf "seed    : %d\n" h.Persist.Journal.seed;
+    pf "config  : %s\n" h.Persist.Journal.config_digest;
+    pf "workers : %d\n" h.Persist.Journal.workers;
+    pf "atoms   : %d\n" h.Persist.Journal.atoms;
+    let pass, fail, timeout, error = status_counts loaded.Persist.Journal.l_entries in
+    pf "records : %d (%d pass, %d fail, %d timeout, %d error)%s\n"
+      (List.length loaded.Persist.Journal.l_entries)
+      pass fail timeout error
+      (if loaded.Persist.Journal.l_torn then "  -- torn tail dropped" else "");
+    match Persist.Snapshot.read ~dir with
+    | None -> pf "snapshot: none\n"
+    | Some s ->
+      pf "snapshot: %d records, %.3f simulated hours, best speedup %.4f, %s\n"
+        s.Persist.Snapshot.s_records s.Persist.Snapshot.s_hours
+        s.Persist.Snapshot.s_best_speedup
+        (if s.Persist.Snapshot.s_finished then "finished" else "in progress");
+      if s.Persist.Snapshot.s_preemptions > 0 || s.Persist.Snapshot.s_lost_seconds > 0.0 then
+        pf "faults  : %.0f node-seconds lost, %d preemption(s)\n"
+          s.Persist.Snapshot.s_lost_seconds s.Persist.Snapshot.s_preemptions
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ dir_arg)
+
+let campaign_replay_cmd =
+  let doc = "Reconstruct a campaign's records and summary from its journal" in
+  let run dir csv =
+    let loaded = load_or_die dir in
+    let h = loaded.Persist.Journal.l_header in
+    let m =
+      match Models.Registry.find h.Persist.Journal.model with
+      | m -> m
+      | exception Not_found ->
+        prerr_endline ("prose campaign: journal is for unknown model " ^ h.Persist.Journal.model);
+        exit 1
+    in
+    let prog = Fortran.Parser.parse ~file:(m.Models.Registry.name ^ ".f90") m.source in
+    let st = Fortran.Symtab.build prog in
+    let atoms =
+      Transform.Assignment.atoms_of_target st ~module_:m.target_module
+        ~procs:(Some m.target_procs) ~exclude:m.exclude_atoms
+    in
+    if List.length atoms <> h.Persist.Journal.atoms then begin
+      prerr_endline
+        (Printf.sprintf "prose campaign: model %s has %d FP atoms but the journal recorded %d"
+           m.Models.Registry.name (List.length atoms) h.Persist.Journal.atoms);
+      exit 1
+    end;
+    let records =
+      List.map
+        (fun (e : Persist.Journal.entry) ->
+          {
+            Search.Variant.index = e.Persist.Journal.e_index;
+            asg = Transform.Assignment.of_signature atoms e.Persist.Journal.e_signature;
+            meas = e.Persist.Journal.e_meas;
+          })
+        loaded.Persist.Journal.l_entries
+    in
+    let s = Search.Variant.summarize records in
+    pf "%s %s campaign: %d records replayed%s\n" h.Persist.Journal.model h.Persist.Journal.algo
+      s.Search.Variant.total
+      (if loaded.Persist.Journal.l_torn then " (torn tail dropped)" else "");
+    pf "pass %.1f%%  fail %.1f%%  timeout %.1f%%  error %.1f%%  best speedup %.4f\n"
+      s.Search.Variant.pass_pct s.Search.Variant.fail_pct s.Search.Variant.timeout_pct
+      s.Search.Variant.error_pct s.Search.Variant.best_speedup;
+    Option.iter
+      (fun path -> Core.Export.write_file ~path (Core.Export.variants_csv_records records))
+      csv
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ dir_arg $ csv_arg)
+
+let campaign_cmd =
+  let doc = "Inspect durable campaign journals" in
+  Cmd.group (Cmd.info "campaign" ~doc)
+    [ campaign_ls_cmd; campaign_show_cmd; campaign_replay_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -318,4 +570,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ models_cmd; source_cmd; tune_cmd; analyze_cmd; reduce_cmd; fuzz_cmd; report_cmd ]))
+          [
+            models_cmd;
+            source_cmd;
+            tune_cmd;
+            campaign_cmd;
+            analyze_cmd;
+            reduce_cmd;
+            fuzz_cmd;
+            report_cmd;
+          ]))

@@ -21,3 +21,30 @@ dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
 # oracles (roundtrip, typecheck, rewrite, equiv) at a fixed seed; any
 # violation is minimized, written to test/corpus/, and fails the run.
 dune exec bin/prose.exe -- fuzz --cases 300 --seed 42
+
+# Crash-safety smoke gate: SIGKILL a journaled campaign mid-search, resume
+# it, and require the summary to be bit-identical to an uninterrupted run.
+# Only the "trace" counter line (cache hits / replay counts) may differ;
+# everything else -- records, minimal variant, speedups, cluster hours --
+# must match exactly. Runs the real binary (not via dune exec) so the
+# SIGKILL hits the campaign process itself, tearing the journal mid-line.
+JDIR=$(mktemp -d)
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --json "$JDIR/base.json" > /dev/null
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --journal "$JDIR/campaign" > /dev/null &
+KILL_PID=$!
+# fire once >=40 of the 256 records are durable: the tear is mid-search,
+# not a post-completion formality (poll, because wall time is machine-fast)
+while [ "$(wc -l < "$JDIR/campaign/journal.jsonl" 2> /dev/null || echo 0)" -lt 40 ]; do
+  sleep 0.02
+done
+kill -9 "$KILL_PID" 2> /dev/null || true
+wait "$KILL_PID" 2> /dev/null || true
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --journal "$JDIR/campaign" --resume \
+  --json "$JDIR/resumed.json" > /dev/null
+grep -v '"trace"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
+grep -v '"trace"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
+diff -u "$JDIR/base_cmp.json" "$JDIR/resumed_cmp.json"
+rm -rf "$JDIR"

@@ -28,3 +28,85 @@ val campaign_hours : t -> baseline_cost:float -> variant_costs:float list -> flo
     across the nodes. *)
 
 val over_budget : t -> float -> bool
+(** Strictly above the job limit; exactly at the boundary is within
+    budget. *)
+
+(** Deterministic fault injection for campaign runs (Sec. III-D brought to
+    production reality): seeded node failures, spurious per-variant
+    transient errors with a capped retry budget, and job preemption at a
+    simulated wall-clock boundary. Every decision is a pure function of
+    [(fault_seed, fault kind, variant signature, attempt)], so a campaign
+    replayed at the same seed — at any worker count, interrupted or not —
+    meets exactly the same faults. The layer exists to exercise the
+    journal's crash path on purpose and to account losses gracefully
+    instead of aborting the search. *)
+module Faults : sig
+  type spec = {
+    fault_seed : int;
+    transient_prob : float;  (** per-attempt chance of a spurious run failure *)
+    node_failure_prob : float;  (** per-attempt chance the node dies mid-variant *)
+    max_retries : int;  (** extra attempts before a variant is declared lost *)
+    preempt_at_hours : float option;
+        (** simulated job boundary (the paper's 12 h); [None] = never *)
+  }
+
+  val none : spec
+  (** All probabilities zero, no preemption, 2 retries. *)
+
+  val active : spec -> bool
+  (** Whether the spec can ever inject anything. *)
+
+  type stats = {
+    retried_attempts : int;  (** failed attempts that triggered a retry *)
+    transient_losses : int;  (** variants lost to persistent transient errors *)
+    node_losses : int;  (** variants lost to nodes that kept dying *)
+    node_failures : int;  (** individual node deaths *)
+    lost_node_seconds : float;  (** node-seconds burned by failed attempts *)
+    preemptions : int;
+  }
+
+  val zero_stats : stats
+
+  type state
+
+  exception Preempted of { at_hours : float; boundary : float }
+
+  val create : spec -> state
+  val spec : state -> spec
+  val stats : state -> stats
+
+  val perturb :
+    spec -> signature:string -> Search.Variant.measurement -> Search.Variant.measurement
+  (** What the search observes for this variant once faults are applied:
+      unchanged when the retry budget absorbs every injected failure,
+      otherwise an [Error] measurement with a ["fault: ..."] detail. Pure
+      and deterministic — safe for speculative pool evaluation. *)
+
+  val lost_seconds :
+    spec ->
+    t ->
+    baseline_cost:float ->
+    signature:string ->
+    model_time:float ->
+    float
+  (** Pure form of the loss computation behind {!note_commit}: the
+      node-seconds this variant's failed attempts burn. Resume uses it to
+      re-derive the hours a journaled prefix already consumed. *)
+
+  val note_commit :
+    state ->
+    t ->
+    baseline_cost:float ->
+    signature:string ->
+    model_time:float ->
+    float
+  (** Commit-time loss accounting for one recorded variant: re-derives the
+      variant's failed attempts deterministically, updates {!stats}, and
+      returns the node-seconds lost (each failed attempt burns one
+      {!variant_seconds} worth of wall clock). Called from the journal
+      sink so speculative evaluations never skew the books. *)
+
+  val check_preempt : state -> hours:float -> unit
+  (** Raises {!Preempted} (after counting it) once the campaign's
+      simulated hours reach the configured boundary. *)
+end

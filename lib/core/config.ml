@@ -28,3 +28,22 @@ let default =
     proc_cache = true;
     verify_roundtrip = false;
   }
+
+let digest t =
+  (* only fields that change campaign results; proc_cache and
+     verify_roundtrip are execution strategies with identical outcomes, so
+     a journaled campaign may be resumed with either setting *)
+  let canonical =
+    String.concat "|"
+      [
+        Digest.to_hex (Digest.string (Marshal.to_string t.machine []));
+        (match t.mode with Hotspot_guided -> "hotspot" | Whole_model_guided -> "whole");
+        Printf.sprintf "%h" t.perf_floor;
+        string_of_int t.seed;
+        string_of_int t.baseline_runs;
+        string_of_bool t.static_filter;
+        Printf.sprintf "%h" t.static_penalty_budget;
+        (match t.max_variants with None -> "-" | Some n -> string_of_int n);
+      ]
+  in
+  Digest.to_hex (Digest.string canonical)

@@ -38,3 +38,11 @@ type t = {
 val default : t
 (** [Hotspot_guided], default machine, floor 0.95, seed 42, no static
     filter. *)
+
+val digest : t -> string
+(** Hex digest over the result-affecting fields (machine, mode, floor,
+    seed, baseline runs, static filter + budget, variant budget). The
+    campaign journal header stores it, and resume refuses a journal whose
+    digest disagrees with the offered configuration. [proc_cache] and
+    [verify_roundtrip] are excluded: they change how variants are
+    evaluated, never what the results are. *)

@@ -1,6 +1,24 @@
 open Search
 
-let variants_csv (c : Tuner.campaign) =
+(* RFC 4180: quote a field if it holds a comma, a double quote or a line
+   break; double embedded quotes. Plain fields pass through unquoted. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let variants_csv_records records =
   let b = Buffer.create 4096 in
   Buffer.add_string b
     "index,pct_32bit,status,speedup,rel_error,hotspot_time,model_time,casting_share,signature\n";
@@ -10,23 +28,18 @@ let variants_csv (c : Tuner.campaign) =
       Buffer.add_string b
         (Printf.sprintf "%d,%.4f,%s,%.6g,%.6g,%.6g,%.6g,%.4f,%s\n" r.Variant.index
            (100.0 *. Variant.fraction_lowered r)
-           (Variant.status_to_string m.Variant.status)
+           (csv_field (Variant.status_to_string m.Variant.status))
            m.Variant.speedup m.Variant.rel_error m.Variant.hotspot_time m.Variant.model_time
            m.Variant.casting_share
-           (Transform.Assignment.signature r.Variant.asg)))
-    c.Tuner.records;
+           (csv_field (Transform.Assignment.signature r.Variant.asg))))
+    records;
   Buffer.contents b
 
-let json_escape s =
-  String.concat ""
-    (List.map
-       (fun ch ->
-         match ch with
-         | '"' -> "\\\""
-         | '\\' -> "\\\\"
-         | '\n' -> "\\n"
-         | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+let variants_csv (c : Tuner.campaign) = variants_csv_records c.Tuner.records
+
+(* One escaping for every JSON we emit — shared with the campaign
+   journal's encoder, covering \r, \t and the rest of the C0 controls. *)
+let json_escape = Persist.Json.escape_string
 
 let jfloat v = if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
 
@@ -62,6 +75,7 @@ let summary_json (c : Tuner.campaign) =
   "error_pct": %s,
   "best_speedup": %s,
   "simulated_hours": %s,
+  "trace": {"hits": %d, "misses": %d, "live": %d, "appends": %d, "preloaded": %d, "interrupted": %b},
   "minimal": %s
 }
 |}
@@ -71,6 +85,9 @@ let summary_json (c : Tuner.campaign) =
     (jfloat p.Tuner.baseline_cost) (jfloat p.Tuner.baseline_hotspot) s.Variant.total
     (jfloat s.Variant.pass_pct) (jfloat s.Variant.fail_pct) (jfloat s.Variant.timeout_pct)
     (jfloat s.Variant.error_pct) (jfloat s.Variant.best_speedup) (jfloat c.Tuner.simulated_hours)
+    c.Tuner.trace_stats.Trace.hits c.Tuner.trace_stats.Trace.misses
+    c.Tuner.trace_stats.Trace.live c.Tuner.trace_stats.Trace.appends
+    c.Tuner.preloaded c.Tuner.interrupted
     minimal
 
 let bench_json ~workers entries =

@@ -4,14 +4,24 @@
     are rebuilt; these renderers produce the same data as CSV (one row per
     explored variant) and a compact JSON summary. *)
 
+val csv_field : string -> string
+(** RFC-4180 field encoding: quoted (with embedded quotes doubled) when
+    the value holds a comma, quote or line break, unchanged otherwise. *)
+
 val variants_csv : Tuner.campaign -> string
 (** Header plus one row per variant: index, %32-bit, status, Eq.-1
     speedup, relative error, hotspot/model times, casting share, and the
-    precision signature (one character per atom, '4' or '8'). *)
+    precision signature (one character per atom, '4' or '8'). The status
+    and signature fields go through {!csv_field}. *)
+
+val variants_csv_records : Search.Variant.record list -> string
+(** {!variants_csv} over a bare record list — what [prose campaign
+    replay] renders straight from a journal. *)
 
 val summary_json : Tuner.campaign -> string
 (** Model, search-space size, threshold, Table-II row, 1-minimal variant,
-    simulated cluster hours, as a JSON object. *)
+    simulated cluster hours, memo-cache traffic ({!Search.Trace.stats}
+    under ["trace"], with the resume bookkeeping), as a JSON object. *)
 
 val bench_json : workers:int -> (string * float * Tuner.campaign) list -> string
 (** The bench harness's perf-trajectory record ([BENCH_*.json]): worker

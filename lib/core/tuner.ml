@@ -322,6 +322,19 @@ let uniform32_measurement p =
 
 (* ------------------------------------------------------------------ *)
 
+type algo = Brute_force_algo | Delta_debug_algo | Hierarchical_algo
+
+let algo_name = function
+  | Brute_force_algo -> "brute_force"
+  | Delta_debug_algo -> "delta_debug"
+  | Hierarchical_algo -> "hierarchical"
+
+let algo_of_name = function
+  | "brute_force" -> Some Brute_force_algo
+  | "delta_debug" -> Some Delta_debug_algo
+  | "hierarchical" -> Some Hierarchical_algo
+  | _ -> None
+
 type campaign = {
   prepared : prepared;
   records : Variant.record list;
@@ -330,9 +343,13 @@ type campaign = {
   simulated_hours : float;
   eval_ms_mean : float;
   eval_ms_max : float;
+  trace_stats : Trace.stats;
+  preloaded : int;
+  interrupted : bool;
+  fault_stats : Cluster.Faults.stats option;
 }
 
-let finish_campaign p trace minimal =
+let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace minimal =
   let records = Trace.records trace in
   let cluster = Cluster.for_model p.model in
   let simulated_hours =
@@ -348,6 +365,10 @@ let finish_campaign p trace minimal =
     simulated_hours;
     eval_ms_mean = (if count = 0 then 0.0 else 1e3 *. total /. float_of_int count);
     eval_ms_max = 1e3 *. max_s;
+    trace_stats = Trace.stats trace;
+    preloaded;
+    interrupted;
+    fault_stats;
   }
 
 let max_variants_of p =
@@ -362,27 +383,6 @@ let default_workers = Pool.default_workers
 let with_pool_opt workers f =
   let w = match workers with Some w -> w | None -> default_workers () in
   if w <= 0 then f None else Pool.with_pool ~workers:w (fun pool -> f (Some pool))
-
-let run_delta_debug ?config ?workers model =
-  let p = prepare ?config model in
-  let trace = Trace.create ?max_variants:(max_variants_of p) () in
-  let dd_config =
-    { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
-  in
-  let result =
-    with_pool_opt workers (fun pool ->
-        Delta_debug.search ?pool ~atoms:p.atoms ~trace ~evaluate:(evaluate p) dd_config)
-  in
-  finish_campaign p trace (Some result)
-
-let run_brute_force ?config model =
-  let p = prepare ?config model in
-  let trace = Trace.create ?max_variants:(max_variants_of p) () in
-  (* a budget truncates the enumeration rather than aborting the campaign,
-     mirroring the delta-debug searches *)
-  (try ignore (Brute_force.search ~atoms:p.atoms ~trace ~evaluate:(evaluate p) ())
-   with Trace.Budget_exhausted -> ());
-  finish_campaign p trace None
 
 (* Atoms grouped by connected components of the interprocedural FP flow
    graph: variables linked by parameter passing move together in the
@@ -427,18 +427,185 @@ let flow_groups p =
            (List.map Transform.Assignment.atom_id a)
            (List.map Transform.Assignment.atom_id b))
 
-let run_hierarchical ?config ?workers model =
+(* ------------------------------------------------------------------ *)
+(* Durable campaigns: write-ahead journal, fault injection, resume.    *)
+
+type journal_ctx = {
+  jw : Persist.Journal.writer;
+  jdir : string;
+  jcluster : Cluster.t;
+  jbaseline_cost : float;
+  jfaults : Cluster.Faults.state option;
+  mutable jhours : float;  (* simulated cluster hours, incl. fault losses *)
+  mutable jrecords : int;
+  mutable jbest : float;
+}
+
+let snapshot_every = 32
+
+let hours_of_seconds jc secs = secs /. float_of_int jc.jcluster.nodes /. 3600.0
+
+(* Static-filter rejections never reach the cluster, so no fault can touch
+   them; every fault-accounting site must agree with [faulted_evaluate]. *)
+let off_cluster (m : Variant.measurement) = m.Variant.detail = "static-filter"
+
+(* Simulated cluster seconds one committed record accounts for, including
+   the node time its injected-fault retries burned. *)
+let record_seconds jc ~signature (m : Variant.measurement) =
+  let model_time = m.Variant.model_time in
+  let run = Cluster.variant_seconds jc.jcluster ~baseline_cost:jc.jbaseline_cost ~variant_cost:model_time in
+  let lost =
+    match jc.jfaults with
+    | Some f when not (off_cluster m) ->
+      Cluster.Faults.lost_seconds (Cluster.Faults.spec f) jc.jcluster
+        ~baseline_cost:jc.jbaseline_cost ~signature ~model_time
+    | Some _ | None -> 0.0
+  in
+  run +. lost
+
+let snapshot_of_ctx jc ~finished =
+  let fstats =
+    match jc.jfaults with Some f -> Cluster.Faults.stats f | None -> Cluster.Faults.zero_stats
+  in
+  {
+    Persist.Snapshot.s_records = jc.jrecords;
+    s_hours = jc.jhours;
+    s_best_speedup = jc.jbest;
+    s_lost_seconds = fstats.Cluster.Faults.lost_node_seconds;
+    s_preemptions = fstats.Cluster.Faults.preemptions;
+    s_finished = finished;
+  }
+
+let note_record jc ~signature (m : Variant.measurement) =
+  jc.jhours <- jc.jhours +. hours_of_seconds jc (record_seconds jc ~signature m);
+  jc.jrecords <- jc.jrecords + 1;
+  if m.Variant.status = Variant.Pass && m.Variant.speedup > jc.jbest then
+    jc.jbest <- m.Variant.speedup
+
+(* The trace's append sink: journal the record (write-ahead, fsynced),
+   settle the cluster books, checkpoint periodically, and only then let a
+   configured preemption kill the "job" — the record is already durable. *)
+let journal_sink jc (r : Variant.record) =
+  Persist.Journal.append jc.jw (Persist.Journal.entry_of_record r);
+  let signature = Transform.Assignment.signature r.Variant.asg in
+  (match jc.jfaults with
+  | Some f when not (off_cluster r.Variant.meas) ->
+    ignore
+      (Cluster.Faults.note_commit f jc.jcluster ~baseline_cost:jc.jbaseline_cost ~signature
+         ~model_time:r.Variant.meas.Variant.model_time)
+  | Some _ | None -> ());
+  note_record jc ~signature r.Variant.meas;
+  if jc.jrecords mod snapshot_every = 0 then
+    Persist.Snapshot.write ~dir:jc.jdir (snapshot_of_ctx jc ~finished:false);
+  match jc.jfaults with
+  | Some f -> Cluster.Faults.check_preempt f ~hours:jc.jhours
+  | None -> ()
+
+(* Variant evaluation with injected faults applied: what the search (and
+   hence the trace and journal) observes. Static-filter rejections never
+   reach the cluster, so no fault can touch them. *)
+let faulted_evaluate p faults asg =
+  let m = evaluate p asg in
+  match faults with
+  | None -> m
+  | Some fspec ->
+    if m.Variant.detail = "static-filter" then m
+    else Cluster.Faults.perturb fspec ~signature:(Transform.Assignment.signature asg) m
+
+let execute p ~algo ?workers ?journal ?faults ~preloaded () =
+  let fstate = Option.map Cluster.Faults.create faults in
+  let jctx =
+    Option.map
+      (fun (jdir, jw) ->
+        {
+          jw;
+          jdir;
+          jcluster = Cluster.for_model p.model;
+          jbaseline_cost = p.baseline_cost;
+          jfaults = fstate;
+          jhours = 0.0;
+          jrecords = 0;
+          jbest = 0.0;
+        })
+      journal
+  in
+  (* the journaled prefix already consumed cluster hours: continue the
+     accounting (and the preemption clock) from there *)
+  Option.iter
+    (fun jc ->
+      List.iter
+        (fun (r : Variant.record) ->
+          note_record jc
+            ~signature:(Transform.Assignment.signature r.Variant.asg)
+            r.Variant.meas)
+        preloaded)
+    jctx;
+  let sink = Option.map (fun jc -> journal_sink jc) jctx in
+  let trace = Trace.create ?max_variants:(max_variants_of p) ?sink () in
+  Trace.preload trace preloaded;
+  let eval = faulted_evaluate p faults in
+  let dd_config = { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor } in
+  let interrupted = ref false in
+  let minimal =
+    try
+      match algo with
+      | Brute_force_algo ->
+        (* a budget truncates the enumeration rather than aborting the
+           campaign, mirroring the delta-debug searches *)
+        (try ignore (Brute_force.search ~atoms:p.atoms ~trace ~evaluate:eval ())
+         with Trace.Budget_exhausted -> ());
+        None
+      | Delta_debug_algo ->
+        Some
+          (with_pool_opt workers (fun pool ->
+               Delta_debug.search ?pool ~atoms:p.atoms ~trace ~evaluate:eval dd_config))
+      | Hierarchical_algo ->
+        Some
+          (with_pool_opt workers (fun pool ->
+               Hierarchical.search ?pool ~atoms:p.atoms ~groups:(flow_groups p) ~trace
+                 ~evaluate:eval dd_config))
+    with Cluster.Faults.Preempted _ ->
+      interrupted := true;
+      None
+  in
+  Option.iter
+    (fun jc ->
+      Persist.Snapshot.write ~dir:jc.jdir (snapshot_of_ctx jc ~finished:(not !interrupted));
+      Persist.Journal.close jc.jw)
+    jctx;
+  finish_campaign
+    ~preloaded:(List.length preloaded)
+    ~interrupted:!interrupted
+    ?fault_stats:(Option.map Cluster.Faults.stats fstate)
+    p trace minimal
+
+let journal_header p ~algo ~workers =
+  {
+    Persist.Journal.version = 1;
+    model = p.model.Models.Registry.name;
+    algo = algo_name algo;
+    seed = p.config.Config.seed;
+    config_digest = Config.digest p.config;
+    workers = (match workers with Some w -> w | None -> default_workers ());
+    atoms = List.length p.atoms;
+  }
+
+let start_journal p ~algo ~workers dir =
+  (dir, Persist.Journal.create ~dir (journal_header p ~algo ~workers))
+
+let run_algo ~algo ?config ?workers ?journal ?faults model =
   let p = prepare ?config model in
-  let trace = Trace.create ?max_variants:(max_variants_of p) () in
-  let dd_config =
-    { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor }
-  in
-  let result =
-    with_pool_opt workers (fun pool ->
-        Hierarchical.search ?pool ~atoms:p.atoms ~groups:(flow_groups p) ~trace
-          ~evaluate:(evaluate p) dd_config)
-  in
-  finish_campaign p trace (Some result)
+  let journal = Option.map (start_journal p ~algo ~workers) journal in
+  execute p ~algo ?workers ?journal ?faults ~preloaded:[] ()
+
+let run_delta_debug ?config ?workers ?journal ?faults model =
+  run_algo ~algo:Delta_debug_algo ?config ?workers ?journal ?faults model
+
+let run_brute_force ?config ?journal ?faults model =
+  run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults model
+
+let run_hierarchical ?config ?workers ?journal ?faults model =
+  run_algo ~algo:Hierarchical_algo ?config ?workers ?journal ?faults model
 
 let run_random ?config ~samples model =
   let p = prepare ?config model in
@@ -448,3 +615,57 @@ let run_random ?config ~samples model =
       ~seed:p.config.Config.seed ()
   in
   finish_campaign p trace None
+
+(* ------------------------------------------------------------------ *)
+(* Resume: replay the journal into the trace's memo cache, then re-run
+   the (deterministic) search. The journaled prefix is served from the
+   cache — zero fresh evaluations — and the search continues beyond it
+   exactly as the uninterrupted campaign would have. *)
+
+exception Resume_mismatch of string
+
+let resume_fail fmt = Printf.ksprintf (fun s -> raise (Resume_mismatch s)) fmt
+
+let record_of_entry atoms (e : Persist.Journal.entry) : Variant.record =
+  {
+    Variant.index = e.Persist.Journal.e_index;
+    asg = Transform.Assignment.of_signature atoms e.Persist.Journal.e_signature;
+    meas = e.Persist.Journal.e_meas;
+  }
+
+let resume ?(config = Config.default) ?workers ?faults ?model ~journal:dir () =
+  let loaded, jw = Persist.Journal.reopen ~dir () in
+  let h = loaded.Persist.Journal.l_header in
+  let model =
+    match model with
+    | Some m -> m
+    | None -> (
+      match Models.Registry.find h.Persist.Journal.model with
+      | m -> m
+      | exception _ ->
+        resume_fail "resume: journal is for unknown model %S" h.Persist.Journal.model)
+  in
+  if model.Models.Registry.name <> h.Persist.Journal.model then
+    resume_fail "resume: journal is for model %S, not %S" h.Persist.Journal.model
+      model.Models.Registry.name;
+  let algo =
+    match algo_of_name h.Persist.Journal.algo with
+    | Some a -> a
+    | None -> resume_fail "resume: journal has unknown algorithm %S" h.Persist.Journal.algo
+  in
+  (* the journal's seed is authoritative: the campaign being continued was
+     run with it, and a different seed would change every measurement *)
+  let config = { config with Config.seed = h.Persist.Journal.seed } in
+  if Config.digest config <> h.Persist.Journal.config_digest then
+    resume_fail
+      "resume: configuration digest mismatch (journal %s, offered %s) — the journaled \
+       campaign ran under different tuning settings"
+      h.Persist.Journal.config_digest (Config.digest config);
+  let p = prepare ~config model in
+  if List.length p.atoms <> h.Persist.Journal.atoms then
+    resume_fail "resume: model has %d FP atoms but the journal recorded %d"
+      (List.length p.atoms) h.Persist.Journal.atoms;
+  let preloaded =
+    List.map (record_of_entry p.atoms) loaded.Persist.Journal.l_entries
+  in
+  execute p ~algo ?workers ~journal:(dir, jw) ?faults ~preloaded ()

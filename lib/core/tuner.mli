@@ -65,6 +65,15 @@ val evaluate : prepared -> Transform.Assignment.t -> Search.Variant.measurement
     state and only reads the shared [prepared] value (the lowering cache
     is mutex-guarded), so concurrent calls from pool workers are safe. *)
 
+type algo = Brute_force_algo | Delta_debug_algo | Hierarchical_algo
+(** The resumable search algorithms. Journals name them so [resume] can
+    continue the right search. *)
+
+val algo_name : algo -> string
+(** ["brute_force"], ["delta_debug"], ["hierarchical"]. *)
+
+val algo_of_name : string -> algo option
+
 type campaign = {
   prepared : prepared;
   records : Search.Variant.record list;  (** every distinct variant, in order *)
@@ -73,13 +82,30 @@ type campaign = {
   simulated_hours : float;  (** Sec.-IV-A cluster accounting *)
   eval_ms_mean : float;  (** mean wall-clock milliseconds per dynamic evaluation *)
   eval_ms_max : float;  (** slowest single evaluation, milliseconds *)
+  trace_stats : Search.Trace.stats;
+      (** memo-cache traffic; [misses] counts fresh dynamic evaluations,
+          so a resumed campaign proves it re-evaluated nothing journaled
+          by [misses = length records - preloaded] *)
+  preloaded : int;  (** records replayed from a journal (0 for fresh runs) *)
+  interrupted : bool;
+      (** the campaign was cut short by an injected preemption; the
+          journal holds everything measured so far and [resume] continues
+          it *)
+  fault_stats : Cluster.Faults.stats option;
+      (** loss accounting when fault injection was active *)
 }
 
 val default_workers : unit -> int
 (** The default evaluation parallelism: one worker domain per spare core
     ([Domain.recommended_domain_count () - 1], never negative). *)
 
-val run_delta_debug : ?config:Config.t -> ?workers:int -> Models.Registry.t -> campaign
+val run_delta_debug :
+  ?config:Config.t ->
+  ?workers:int ->
+  ?journal:string ->
+  ?faults:Cluster.Faults.spec ->
+  Models.Registry.t ->
+  campaign
 (** The paper's search (Sec. III-B) on the model's search space, bounded
     by the model's variant budget (the simulated 12-hour limit).
 
@@ -88,10 +114,30 @@ val run_delta_debug : ?config:Config.t -> ?workers:int -> Models.Registry.t -> c
     — the laptop analogue of the paper's one-node-per-variant cluster
     fan-out. The search trajectory, [records] and the Table-II summary
     are bit-identical across worker counts; only wall clock changes
-    ([simulated_hours] stays variant-count-based). *)
+    ([simulated_hours] stays variant-count-based).
 
-val run_brute_force : ?config:Config.t -> Models.Registry.t -> campaign
-(** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B. *)
+    [journal] makes the campaign durable: every committed record is
+    appended (write-ahead, fsynced) to [DIR/journal.jsonl] before the
+    search proceeds, with periodic snapshots of the frontier state. The
+    journal's record lines are byte-identical for every worker count. A
+    killed campaign continues with {!resume}.
+
+    [faults] injects deterministic seeded cluster faults
+    ({!Cluster.Faults}): lost variants are accounted as [Error] records,
+    a preemption boundary interrupts the campaign gracefully
+    ([interrupted = true]) after the current record is durable. Fault
+    bookkeeping and the preemption clock live in the journal's commit
+    sink, so [faults] should be combined with [journal]; without it only
+    the measurement perturbation applies. *)
+
+val run_brute_force :
+  ?config:Config.t ->
+  ?journal:string ->
+  ?faults:Cluster.Faults.spec ->
+  Models.Registry.t ->
+  campaign
+(** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B.
+    [journal] and [faults] as in {!run_delta_debug}. *)
 
 val run_random : ?config:Config.t -> samples:int -> Models.Registry.t -> campaign
 (** Random-subset baseline for the ablation benchmark. *)
@@ -101,10 +147,47 @@ val flow_groups : prepared -> Transform.Assignment.atom list list
     interprocedural FP flow graph: atoms linked by parameter passing land
     in one group. Singleton groups for unconnected atoms. *)
 
-val run_hierarchical : ?config:Config.t -> ?workers:int -> Models.Registry.t -> campaign
+val run_hierarchical :
+  ?config:Config.t ->
+  ?workers:int ->
+  ?journal:string ->
+  ?faults:Cluster.Faults.spec ->
+  Models.Registry.t ->
+  campaign
 (** The community-structure search ({!Search.Hierarchical}) over the
     flow-graph groups — the clustering approach the paper's Sec. V points
-    to for scaling FPPT. [workers] as in {!run_delta_debug}. *)
+    to for scaling FPPT. [workers], [journal], [faults] as in
+    {!run_delta_debug}. *)
+
+exception Resume_mismatch of string
+(** The offered model/configuration disagrees with the journal header. *)
+
+val resume :
+  ?config:Config.t ->
+  ?workers:int ->
+  ?faults:Cluster.Faults.spec ->
+  ?model:Models.Registry.t ->
+  journal:string ->
+  unit ->
+  campaign
+(** Continue a journaled campaign from [journal:DIR]: load the journal
+    (tolerating a torn final line from a crash mid-append), validate the
+    header against the offered configuration (the journal's seed is
+    adopted; the config digest and the model's atom count must agree),
+    pre-seed the search trace's memo cache with every journaled record,
+    and re-run the deterministic search. The journaled prefix is served
+    from the cache — [trace_stats.misses] counts only post-resume fresh
+    evaluations — and the finished campaign is record-for-record and
+    summary-bit-identical to one that was never interrupted. The cluster
+    accounting (and the fault layer's preemption clock) continues from
+    the hours the journaled prefix consumed.
+
+    [model] overrides the registry lookup of the header's model name —
+    for campaigns over custom-built model instances (tests, scaled-down
+    sources); the name must still match the header.
+
+    Raises {!Resume_mismatch} on header disagreement,
+    {!Persist.Journal.Corrupt} on a damaged journal. *)
 
 val uniform32_measurement : prepared -> Search.Variant.measurement
 (** The uniform 32-bit variant (the "supported single-precision build"

@@ -1,0 +1,231 @@
+type header = {
+  version : int;
+  model : string;
+  algo : string;
+  seed : int;
+  config_digest : string;
+  workers : int;
+  atoms : int;
+}
+
+type entry = {
+  e_index : int;
+  e_signature : string;
+  e_meas : Search.Variant.measurement;
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let current_version = 1
+
+let file ~dir = Filename.concat dir "journal.jsonl"
+
+let entry_of_record (r : Search.Variant.record) =
+  {
+    e_index = r.Search.Variant.index;
+    e_signature = Transform.Assignment.signature r.Search.Variant.asg;
+    e_meas = r.Search.Variant.meas;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Line codecs                                                         *)
+
+let header_json h =
+  Json.Obj
+    [
+      ("kind", Json.Str "header");
+      ("version", Json.Num (float_of_int h.version));
+      ("model", Json.Str h.model);
+      ("algo", Json.Str h.algo);
+      ("seed", Json.Num (float_of_int h.seed));
+      ("config", Json.Str h.config_digest);
+      ("workers", Json.Num (float_of_int h.workers));
+      ("atoms", Json.Num (float_of_int h.atoms));
+    ]
+
+let hex = Json.hex_float
+
+let entry_json e =
+  let m = e.e_meas in
+  Json.Obj
+    [
+      ("kind", Json.Str "record");
+      ("index", Json.Num (float_of_int e.e_index));
+      ("sig", Json.Str e.e_signature);
+      ("status", Json.Str (Search.Variant.status_to_string m.Search.Variant.status));
+      ("speedup", Json.Str (hex m.Search.Variant.speedup));
+      ("rel_error", Json.Str (hex m.Search.Variant.rel_error));
+      ("hotspot_time", Json.Str (hex m.Search.Variant.hotspot_time));
+      ("model_time", Json.Str (hex m.Search.Variant.model_time));
+      ( "proc_stats",
+        Json.Arr
+          (List.map
+             (fun (name, inclusive, calls) ->
+               Json.Arr
+                 [ Json.Str name; Json.Str (hex inclusive); Json.Num (float_of_int calls) ])
+             m.Search.Variant.proc_stats) );
+      ("casting_share", Json.Str (hex m.Search.Variant.casting_share));
+      ("detail", Json.Str m.Search.Variant.detail);
+    ]
+
+let need what = function Some v -> v | None -> corrupt "missing or ill-typed %s" what
+
+let get_str j k = need k Option.(bind (Json.member k j) Json.to_str)
+let get_int j k = need k Option.(bind (Json.member k j) Json.to_int)
+let get_hex j k = Json.of_hex_float (get_str j k)
+
+let header_of_json j =
+  {
+    version = get_int j "version";
+    model = get_str j "model";
+    algo = get_str j "algo";
+    seed = get_int j "seed";
+    config_digest = get_str j "config";
+    workers = get_int j "workers";
+    atoms = get_int j "atoms";
+  }
+
+let entry_of_json j =
+  let status =
+    match Search.Variant.status_of_string (get_str j "status") with
+    | Some s -> s
+    | None -> corrupt "unknown status %S" (get_str j "status")
+  in
+  let proc_stats =
+    List.map
+      (fun row ->
+        match Json.to_list row with
+        | Some [ name; inclusive; calls ] ->
+          ( need "proc name" (Json.to_str name),
+            Json.of_hex_float (need "proc inclusive" (Json.to_str inclusive)),
+            need "proc calls" (Json.to_int calls) )
+        | Some _ | None -> corrupt "bad proc_stats row")
+      (need "proc_stats" Option.(bind (Json.member "proc_stats" j) Json.to_list))
+  in
+  {
+    e_index = get_int j "index";
+    e_signature = get_str j "sig";
+    e_meas =
+      {
+        Search.Variant.status;
+        speedup = get_hex j "speedup";
+        rel_error = get_hex j "rel_error";
+        hotspot_time = get_hex j "hotspot_time";
+        model_time = get_hex j "model_time";
+        proc_stats;
+        casting_share = get_hex j "casting_share";
+        detail = get_str j "detail";
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+type writer = { oc : out_channel; w_fsync : bool }
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sync w =
+  flush w.oc;
+  if w.w_fsync then Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let write_line w json =
+  output_string w.oc (Json.to_string json);
+  output_char w.oc '\n';
+  sync w
+
+let create ?(fsync = true) ~dir h =
+  mkdir_p dir;
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_excl ] 0o644 (file ~dir) in
+  let w = { oc; w_fsync = fsync } in
+  write_line w (header_json { h with version = current_version });
+  w
+
+let append w e = write_line w (entry_json e)
+
+let close w = close_out w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Loader                                                              *)
+
+type loaded = {
+  l_header : header;
+  l_entries : entry list;
+  l_valid_bytes : int;
+  l_torn : bool;
+}
+
+let read_all path =
+  let ic = try open_in_bin path with Sys_error m -> corrupt "%s" m in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let s = read_all (file ~dir) in
+  let n = String.length s in
+  (* split into complete (newline-terminated) lines, tracking offsets *)
+  let rec lines from acc =
+    if from >= n then (List.rev acc, from)
+    else
+      match String.index_from_opt s from '\n' with
+      | None -> (List.rev acc, from)  (* torn tail: no terminating newline *)
+      | Some nl -> lines (nl + 1) ((String.sub s from (nl - from), nl + 1) :: acc)
+  in
+  let complete, _end_of_complete = lines 0 [] in
+  match complete with
+  | [] -> corrupt "journal %s has no header line" (file ~dir)
+  | (hline, hend) :: rest ->
+    let h =
+      match Json.parse hline with
+      | j when Json.member "kind" j = Some (Json.Str "header") -> header_of_json j
+      | _ -> corrupt "journal %s: first line is not a header" (file ~dir)
+      | exception Json.Parse_error m -> corrupt "journal %s header: %s" (file ~dir) m
+    in
+    if h.version <> current_version then
+      corrupt "journal %s: version %d (supported: %d)" (file ~dir) h.version current_version;
+    (* records: a crash can only tear the FINAL line, so an unparsable last
+       line is tolerated (it becomes the torn region that [reopen] truncates);
+       damage anywhere earlier means the file was edited or the disk lied,
+       and silently dropping the suffix would resume from the wrong state *)
+    let rec records acc valid = function
+      | [] -> (List.rev acc, valid)
+      | (line, lend) :: tl -> (
+        let damaged () =
+          if tl = [] then (List.rev acc, valid)
+          else corrupt "journal %s: damaged record line mid-file (offset %d)" (file ~dir) valid
+        in
+        match Json.parse line with
+        | j when Json.member "kind" j = Some (Json.Str "record") -> (
+          match entry_of_json j with
+          | e ->
+            if String.length e.e_signature <> h.atoms then
+              corrupt "journal %s: record %d signature length %d (expected %d)" (file ~dir)
+                e.e_index
+                (String.length e.e_signature)
+                h.atoms;
+            records (e :: acc) lend tl
+          | exception Corrupt _ -> damaged ())
+        | _ -> damaged ()
+        | exception Json.Parse_error _ -> damaged ())
+    in
+    let entries, valid = records [] hend rest in
+    { l_header = h; l_entries = entries; l_valid_bytes = valid; l_torn = valid < n }
+
+let reopen ?(fsync = true) ~dir () =
+  let l = load ~dir in
+  let path = file ~dir in
+  if l.l_torn then begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> Unix.ftruncate fd l.l_valid_bytes)
+  end;
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  (l, { oc; w_fsync = fsync })

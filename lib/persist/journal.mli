@@ -1,0 +1,75 @@
+(** Durable campaign journal: a write-ahead JSONL log of every evaluated
+    variant.
+
+    A campaign directory holds one [journal.jsonl]. Its first line is a
+    versioned header identifying the campaign (model, search algorithm,
+    seed, a digest of the result-affecting configuration, worker count,
+    search-space size); every further line is one committed
+    {!Search.Variant.record}, content-addressed by its
+    {!Transform.Assignment.signature} and written {e before} the campaign
+    proceeds (flushed and fsynced by default), so a SIGKILL at any moment
+    loses at most the record being appended.
+
+    Record lines are emitted in commit order by {!Search.Trace}'s append
+    sink, which fires under the trace mutex — record lines are therefore
+    byte-identical for every worker count (the header differs only in its
+    [workers] field). Measurement floats are stored as lossless [%h] hex
+    strings: a replayed record compares bit-identical to the original.
+
+    {!load} tolerates a torn final line (the crash case): everything up to
+    the last complete line is returned, and {!reopen} truncates the torn
+    tail before appending — the write-ahead discipline for resume. *)
+
+type header = {
+  version : int;
+  model : string;  (** registry name, e.g. ["mpas"] *)
+  algo : string;  (** ["brute_force"], ["delta_debug"] or ["hierarchical"] *)
+  seed : int;
+  config_digest : string;  (** {!Core.Config} digest over result-affecting fields *)
+  workers : int;  (** requested worker count (informational) *)
+  atoms : int;  (** search-space size; signatures must have this length *)
+}
+
+type entry = {
+  e_index : int;  (** 1-based commit index *)
+  e_signature : string;
+  e_meas : Search.Variant.measurement;
+}
+
+exception Corrupt of string
+(** Unreadable or mismatching journal (bad header, wrong version, record
+    before header, signature length mismatch). A torn {e final} line is
+    not corruption — see {!load}. *)
+
+val file : dir:string -> string
+(** [dir ^ "/journal.jsonl"]. *)
+
+val entry_of_record : Search.Variant.record -> entry
+
+type writer
+
+val create : ?fsync:bool -> dir:string -> header -> writer
+(** Creates [dir] (and parents) if needed and the journal file with the
+    header line. Fails with [Sys_error] if a journal already exists there
+    — resuming must go through {!reopen}. [fsync] (default [true]) syncs
+    after every line. *)
+
+val append : writer -> entry -> unit
+(** Write one record line, flush, and (by default) fsync. *)
+
+val close : writer -> unit
+
+type loaded = {
+  l_header : header;
+  l_entries : entry list;  (** in commit order; indices are 1..n *)
+  l_valid_bytes : int;  (** prefix length covered by complete lines *)
+  l_torn : bool;  (** a trailing incomplete line was discarded *)
+}
+
+val load : dir:string -> loaded
+(** Raises {!Corrupt} on a missing or malformed journal; a torn final
+    line only sets [l_torn]. *)
+
+val reopen : ?fsync:bool -> dir:string -> unit -> loaded * writer
+(** {!load}, then truncate the file to [l_valid_bytes] (dropping any torn
+    tail) and reopen it for appending. *)

@@ -1,15 +1,36 @@
+type stats = {
+  hits : int;
+  misses : int;
+  live : int;
+  appends : int;
+}
+
 type t = {
   mutable recs : Variant.record list;  (* reversed *)
   mutable n : int;
   cache : (string, Variant.measurement) Hashtbl.t;
   max_variants : int option;
   lock : Mutex.t;
+  sink : (Variant.record -> unit) option;
+  mutable hits : int;  (* evaluate calls served from cache *)
+  mutable misses : int;  (* fresh evaluations committed *)
+  mutable appends : int;  (* sink invocations *)
 }
 
 exception Budget_exhausted
 
-let create ?max_variants () =
-  { recs = []; n = 0; cache = Hashtbl.create 64; max_variants; lock = Mutex.create () }
+let create ?max_variants ?sink () =
+  {
+    recs = [];
+    n = 0;
+    cache = Hashtbl.create 64;
+    max_variants;
+    lock = Mutex.create ();
+    sink;
+    hits = 0;
+    misses = 0;
+    appends = 0;
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -24,12 +45,33 @@ let check_budget t =
   | Some cap when t.n >= cap -> raise Budget_exhausted
   | Some _ | None -> ()
 
+(* Commit one fresh record under the lock. The sink fires here, after the
+   cache and record list are updated but before the lock is released, so
+   journal lines carry consecutive commit indices in record-list order for
+   every worker count. A sink exception (e.g. a simulated job preemption)
+   propagates to the caller with the commit already durable. *)
+let commit t key asg m =
+  check_budget t;
+  t.n <- t.n + 1;
+  t.misses <- t.misses + 1;
+  Hashtbl.add t.cache key m;
+  let r = { Variant.index = t.n; asg; meas = m } in
+  t.recs <- r :: t.recs;
+  (match t.sink with
+  | Some f ->
+    t.appends <- t.appends + 1;
+    f r
+  | None -> ());
+  m
+
 let evaluate t ~f asg =
   let key = Transform.Assignment.signature asg in
   let cached =
     locked t (fun () ->
         match Hashtbl.find_opt t.cache key with
-        | Some _ as m -> m
+        | Some _ as m ->
+          t.hits <- t.hits + 1;
+          m
         | None ->
           (* cache hits are free: the budget only gates fresh evaluations *)
           check_budget t;
@@ -42,19 +84,36 @@ let evaluate t ~f asg =
     let m = f asg in
     locked t (fun () ->
         match Hashtbl.find_opt t.cache key with
-        | Some m' -> m'  (* another caller committed the same variant first *)
-        | None ->
-          check_budget t;
-          t.n <- t.n + 1;
-          Hashtbl.add t.cache key m;
-          t.recs <- { Variant.index = t.n; asg; meas = m } :: t.recs;
-          m))
+        | Some m' ->
+          (* another caller committed the same variant first *)
+          t.hits <- t.hits + 1;
+          m'
+        | None -> commit t key asg m))
+
+let preload t records =
+  locked t (fun () ->
+      List.iter
+        (fun (r : Variant.record) ->
+          let key = Transform.Assignment.signature r.Variant.asg in
+          if not (Hashtbl.mem t.cache key) then begin
+            t.n <- t.n + 1;
+            Hashtbl.add t.cache key r.Variant.meas;
+            t.recs <- { r with Variant.index = t.n } :: t.recs
+          end)
+        records)
 
 let records t = locked t (fun () -> List.rev t.recs)
 let count t = locked t (fun () -> t.n)
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; live = Hashtbl.length t.cache; appends = t.appends })
 
 let clear t =
   locked t (fun () ->
       t.recs <- [];
       t.n <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.appends <- 0;
       Hashtbl.reset t.cache)

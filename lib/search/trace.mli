@@ -10,16 +10,38 @@
     assignment is still served after {!Budget_exhausted} has been raised
     — and [f] runs outside the lock, so concurrent evaluations proceed in
     parallel (the first commit for a signature wins; later ones are
-    discarded). *)
+    discarded).
+
+    {b Durability hooks.} An optional [sink] passed to {!create} fires
+    once per committed record, under the trace lock, in commit-index
+    order — the campaign journal's write-ahead append point; worker count
+    never changes the sequence the sink observes. {!preload} seeds the
+    cache and record list from a replayed journal so a resumed campaign
+    re-evaluates nothing it already measured, and {!stats} exposes the
+    counters that prove it (a journaled prefix contributes hits, never
+    misses). *)
 
 type t
 
-val create : ?max_variants:int -> unit -> t
+type stats = {
+  hits : int;  (** {!evaluate} calls served from the memo cache *)
+  misses : int;  (** fresh evaluations committed as records *)
+  live : int;  (** distinct signatures currently cached *)
+  appends : int;  (** sink invocations (journaled appends); 0 without a sink *)
+}
+
+val create :
+  ?max_variants:int -> ?sink:(Variant.record -> unit) -> unit -> t
+(** [sink] is called synchronously under the trace lock as each fresh
+    record commits (after the cache and record list are updated). An
+    exception raised by the sink propagates out of {!evaluate} with the
+    commit already in place — the simulated job-preemption path. *)
 
 exception Budget_exhausted
 (** Raised by {!evaluate} when [max_variants] distinct evaluations have
     been spent (the searches catch it and report an unfinished search, as
-    with MOM6's 12-hour cut-off). *)
+    with MOM6's 12-hour cut-off). Records preloaded from a journal count
+    toward the budget exactly as they did in the original run. *)
 
 val evaluate :
   t -> f:(Transform.Assignment.t -> Variant.measurement) -> Transform.Assignment.t ->
@@ -27,11 +49,20 @@ val evaluate :
 
 val find_cached : t -> Transform.Assignment.t -> Variant.measurement option
 (** Peek at the cache without evaluating, recording, or touching the
-    budget — used to skip already-known variants when building a
-    speculative batch. *)
+    budget or the hit/miss counters — used to skip already-known variants
+    when building a speculative batch. *)
+
+val preload : t -> Variant.record list -> unit
+(** Seed the trace with already-measured records (journal replay), in
+    order: each distinct signature is cached, appended to the record list
+    with the next commit index, and counted against the budget. The sink
+    is {e not} fired — preloaded records are already journaled — and the
+    hit/miss counters are untouched. Duplicate signatures are ignored. *)
 
 val records : t -> Variant.record list
 (** In evaluation order. *)
 
 val count : t -> int
+val stats : t -> stats
 val clear : t -> unit
+(** Also resets the {!stats} counters. *)

@@ -6,6 +6,13 @@ let status_to_string = function
   | Timeout -> "timeout"
   | Error -> "error"
 
+let status_of_string = function
+  | "pass" -> Some Pass
+  | "fail" -> Some Fail
+  | "timeout" -> Some Timeout
+  | "error" -> Some Error
+  | _ -> None
+
 let pp_status ppf s = Format.pp_print_string ppf (status_to_string s)
 
 type measurement = {

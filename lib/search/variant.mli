@@ -8,6 +8,9 @@
 type status = Pass | Fail | Timeout | Error
 
 val status_to_string : status -> string
+val status_of_string : string -> status option
+(** Inverse of {!status_to_string} (used by the campaign journal codec). *)
+
 val pp_status : Format.formatter -> status -> unit
 
 type measurement = {

@@ -78,6 +78,25 @@ let signature t =
   String.concat ""
     (List.map (fun a -> match kind_of t a with Ast.K4 -> "4" | Ast.K8 -> "8") t.atom_list)
 
+let of_signature atom_list s =
+  if String.length s <> List.length atom_list then
+    invalid_arg
+      (Printf.sprintf "Assignment.of_signature: %d-char signature over %d atoms"
+         (String.length s) (List.length atom_list));
+  let kinds, _ =
+    List.fold_left
+      (fun (m, i) a ->
+        let k =
+          match s.[i] with
+          | '4' -> Ast.K4
+          | '8' -> Ast.K8
+          | c -> invalid_arg (Printf.sprintf "Assignment.of_signature: bad kind char %C" c)
+        in
+        (M.add (key a) k m, i + 1))
+      (M.empty, 0) atom_list
+  in
+  { kinds; atom_list }
+
 let equal a b =
   List.length a.atom_list = List.length b.atom_list && signature a = signature b
 

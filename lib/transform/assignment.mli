@@ -65,5 +65,13 @@ val signature : t -> string
     signatures (used for caching and for Fig. 6's "unique procedure
     variants"). *)
 
+val of_signature : atom list -> string -> t
+(** Inverse of {!signature} over the same atom list (the campaign
+    journal's content address back to an assignment). Raises
+    [Invalid_argument] on a length mismatch or a character other than
+    ['4']/['8']. [signature (of_signature atoms s) = s], and
+    [of_signature atoms (signature a)] equals [a] whenever [a] ranges
+    over [atoms]. *)
+
 val restrict_signature : t -> proc:string -> string
 (** Signature over only the atoms local to the given procedure. *)

@@ -130,7 +130,20 @@ let cluster_tests =
     t "over_budget" (fun () ->
         let c = Core.Cluster.for_model Models.Registry.mom6 in
         Alcotest.(check bool) "13h over" true (Core.Cluster.over_budget c 13.0);
-        Alcotest.(check bool) "11h under" false (Core.Cluster.over_budget c 11.0));
+        Alcotest.(check bool) "11h under" false (Core.Cluster.over_budget c 11.0);
+        Alcotest.(check bool) "exactly 12h is within budget" false
+          (Core.Cluster.over_budget c c.Core.Cluster.job_hours));
+    t "degenerate inputs: no variants, no baseline" (fun () ->
+        let c = Core.Cluster.for_model Models.Registry.mpas in
+        Alcotest.(check (Alcotest.float 1e-12)) "empty campaign costs nothing" 0.0
+          (Core.Cluster.campaign_hours c ~baseline_cost:2.0 ~variant_costs:[]);
+        (* a zero/negative baseline cost can't scale model time to wall
+           seconds: only the fixed overhead remains *)
+        Alcotest.(check (Alcotest.float 1e-9)) "zero baseline" c.Core.Cluster.per_variant_overhead_s
+          (Core.Cluster.variant_seconds c ~baseline_cost:0.0 ~variant_cost:50.0);
+        Alcotest.(check (Alcotest.float 1e-9)) "negative baseline"
+          c.Core.Cluster.per_variant_overhead_s
+          (Core.Cluster.variant_seconds c ~baseline_cost:(-1.0) ~variant_cost:50.0));
   ]
 
 let campaign_tests =
@@ -235,6 +248,20 @@ let extension_tests =
         let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
         Alcotest.(check int) "rows" (c.Core.Tuner.summary.Search.Variant.total + 1)
           (List.length lines));
+    t "CSV fields are RFC-4180 quoted" (fun () ->
+        Alcotest.(check string) "plain passes through" "pass" (Core.Export.csv_field "pass");
+        Alcotest.(check string) "comma quoted" "\"a,b\"" (Core.Export.csv_field "a,b");
+        Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+          (Core.Export.csv_field "say \"hi\"");
+        Alcotest.(check string) "newline quoted" "\"a\nb\"" (Core.Export.csv_field "a\nb");
+        (* a record whose status/signature would break a naive CSV writer *)
+        let p = Core.Tuner.prepare small_funarc in
+        let asg = Transform.Assignment.uniform p.Core.Tuner.atoms Fortran.Ast.K4 in
+        let m = Core.Tuner.evaluate p asg in
+        let r = { Search.Variant.index = 1; asg; meas = m } in
+        let csv = Core.Export.variants_csv_records [ r ] in
+        Alcotest.(check int) "two lines" 2
+          (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv))));
     t "JSON export is well-formed enough" (fun () ->
         let config = { Core.Config.default with Core.Config.max_variants = Some 6 } in
         let c = Core.Tuner.run_delta_debug ~config small_mpas in
@@ -245,7 +272,12 @@ let extension_tests =
           go 0
         in
         Alcotest.(check bool) "model key" true (contains "\"model\": \"mpas\"");
-        Alcotest.(check bool) "minimal key" true (contains "\"minimal\""));
+        Alcotest.(check bool) "minimal key" true (contains "\"minimal\"");
+        Alcotest.(check bool) "trace stats key" true (contains "\"trace\": {\"hits\": ");
+        Alcotest.(check bool) "fresh-eval counter matches" true
+          (contains
+             (Printf.sprintf "\"misses\": %d"
+                c.Core.Tuner.trace_stats.Search.Trace.misses)));
     t "predictor fits the funarc space with useful held-out accuracy" (fun () ->
         let c = Core.Tuner.run_brute_force small_funarc in
         match Core.Predictor.holdout_report c.Core.Tuner.prepared c.Core.Tuner.records with
