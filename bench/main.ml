@@ -23,9 +23,13 @@
                               summaries as JSON (forces the five
                               campaigns)
      main.exe --check-against PATH
-                              compare per-campaign wall clock against a
-                              committed baseline JSON and exit non-zero
-                              on a >2x slowdown (forces the campaigns)
+                              compare per-campaign wall clock and
+                              per-evaluation mean against a committed
+                              baseline JSON and exit non-zero on a >2x
+                              regression of either (forces the campaigns)
+     main.exe --no-compile    evaluate variants with the IR-walking
+                              evaluator instead of the closure-compiled
+                              backend (results are identical, only slower)
      main.exe --verify-roundtrip
                               cross-check every evaluation's direct-AST
                               fast path against the unparse->reparse
@@ -52,6 +56,7 @@ type selection = {
   mutable json : string option;
   mutable check_against : string option;
   mutable verify_roundtrip : bool;
+  mutable no_compile : bool;
   mutable kill_resume : bool;
 }
 
@@ -59,7 +64,8 @@ let parse_args () =
   let sel =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
       quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
-      json = None; check_against = None; verify_roundtrip = false; kill_resume = false }
+      json = None; check_against = None; verify_roundtrip = false; no_compile = false;
+      kill_resume = false }
   in
   let rec go = function
     | [] -> ()
@@ -103,6 +109,9 @@ let parse_args () =
     | "--verify-roundtrip" :: rest ->
       sel.verify_roundtrip <- true;
       go rest
+    | "--no-compile" :: rest ->
+      sel.no_compile <- true;
+      go rest
     | "--kill-resume" :: rest ->
       sel.kill_resume <- true;
       sel.all <- false;
@@ -116,11 +125,13 @@ let want_table sel n = sel.all || List.mem n sel.tables
 let want_figure sel n = sel.all || List.mem n sel.figures
 
 (* ------------------------------------------------------------------ *)
-(* Bench-regression guard: compare per-campaign wall clock against a
-   committed BENCH_*.json baseline.                                    *)
+(* Bench-regression guard: compare per-campaign wall clock and
+   per-evaluation mean against a committed BENCH_*.json baseline.      *)
 
-(* minimal scan for the {"name": ..., "wall_seconds": ...} pairs written
-   by [Core.Export.bench_json]; no JSON dependency needed *)
+(* minimal scan for the {"name": ..., "wall_seconds": ..., ...,
+   "eval_ms_mean": ...} triples written by [Core.Export.bench_json];
+   no JSON dependency needed.  eval_ms_mean is optional so baselines
+   recorded before it existed still parse. *)
 let baseline_walls path =
   let ic = open_in path in
   let s =
@@ -133,33 +144,61 @@ let baseline_walls path =
     let rec go i = if i + m > n then None else if String.sub s i m = pat then Some (i + m) else go (i + 1) in
     go from
   in
+  let number from =
+    let l = ref from in
+    while !l < String.length s && String.contains "0123456789.eE+-" s.[!l] do incr l done;
+    if !l = from then None else Some (float_of_string (String.sub s from (!l - from)), !l)
+  in
   let rec scan from acc =
     match find "{\"name\": \"" from with
     | None -> List.rev acc
     | Some i -> (
       let j = String.index_from s i '"' in
       let name = String.sub s i (j - i) in
-      match find "\"wall_seconds\": " j with
+      match Option.bind (find "\"wall_seconds\": " j) number with
       | None -> List.rev acc
-      | Some k ->
-        let l = ref k in
-        while !l < String.length s && String.contains "0123456789.eE+-" s.[!l] do incr l done;
-        let wall = float_of_string (String.sub s k (!l - k)) in
-        scan !l ((name, wall) :: acc))
+      | Some (wall, l) ->
+        (* eval_ms_mean precedes the embedded summary, so the first
+           occurrence after wall_seconds — if it lies before the next
+           entry — belongs to this campaign *)
+        let bound =
+          match find "{\"name\": \"" l with Some b -> b | None -> String.length s
+        in
+        let eval_ms, l =
+          match find "\"eval_ms_mean\": " l with
+          | Some k when k < bound -> (
+            match number k with
+            | Some (v, l') -> (Some v, l')
+            | None -> (None, l) (* "null" *))
+          | _ -> (None, l)
+        in
+        scan l ((name, (wall, eval_ms)) :: acc))
   in
   scan 0 []
 
 let check_against ~seed path entries =
   let baseline = baseline_walls path in
   let slowdowns =
-    List.filter_map
-      (fun (name, wall, _) ->
+    List.concat_map
+      (fun (name, wall, (c : Core.Tuner.campaign)) ->
         match List.assoc_opt name baseline with
-        | Some base when base > 0.0 && wall > 2.0 *. base ->
-          Some (Printf.sprintf "  %s: %.2fs vs baseline %.2fs (%.1fx slower)" name wall base
-                  (wall /. base))
-        | Some _ -> None
-        | None -> None)
+        | None -> []
+        | Some (base_wall, base_eval) ->
+          let wall_bad =
+            if base_wall > 0.0 && wall > 2.0 *. base_wall then
+              [ Printf.sprintf "  %s: %.2fs vs baseline %.2fs (%.1fx slower)" name wall
+                  base_wall (wall /. base_wall) ]
+            else []
+          in
+          let eval_bad =
+            let ms = c.Core.Tuner.eval_ms_mean in
+            match base_eval with
+            | Some base when base > 0.0 && ms > 2.0 *. base ->
+              [ Printf.sprintf "  %s: eval_ms_mean %.3fms vs baseline %.3fms (%.1fx slower)"
+                  name ms base (ms /. base) ]
+            | _ -> []
+          in
+          wall_bad @ eval_bad)
       entries
   in
   if slowdowns = [] then
@@ -190,7 +229,11 @@ let rec main () =
       if sel.quick then { Core.Config.default with Core.Config.max_variants = Some 40 }
       else Core.Config.default
     in
-    { c with Core.Config.verify_roundtrip = sel.verify_roundtrip; seed = sel.seed }
+    { c with
+      Core.Config.verify_roundtrip = sel.verify_roundtrip;
+      seed = sel.seed;
+      compile = not sel.no_compile;
+    }
   in
   let workers = sel.workers in
   let funarc =

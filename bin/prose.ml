@@ -87,6 +87,23 @@ let verify_roundtrip_arg =
            historical unparse->reparse pipeline and abort if any outcome differs. \
            Slow; intended for CI and debugging the evaluation fast path.")
 
+let no_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:
+          "Evaluate variants with the IR-walking evaluator instead of the closure-compiled \
+           backend. Slower; results are bit-identical either way.")
+
+let no_batch_reuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch-reuse" ]
+        ~doc:
+          "Re-run every variant even when an effectively-identical one (same precision \
+           signature on the reachable program) already ran. Slower; results are \
+           bit-identical either way.")
+
 let csv_arg =
   Arg.(
     value & opt (some string) None
@@ -172,8 +189,8 @@ let faults_term =
 
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json workers verify journal
-      resume faults =
+  let run m seed max_variants whole static brute hierarchical csv json workers verify
+      no_compile no_batch_reuse journal resume faults =
     let config =
       {
         Core.Config.default with
@@ -182,6 +199,8 @@ let tune_cmd =
         static_filter = static;
         mode = (if whole then Core.Config.Whole_model_guided else Core.Config.Hotspot_guided);
         verify_roundtrip = verify;
+        compile = not no_compile;
+        batch_reuse = not no_batch_reuse;
       }
     in
     (* fault bookkeeping and preemption happen in the journal's commit
@@ -217,6 +236,12 @@ let tune_cmd =
     let ts = campaign.Core.Tuner.trace_stats in
     pf "\ntrace: %d cache hits, %d fresh evaluations, %d live entries, %d journaled appends\n"
       ts.Search.Trace.hits ts.Search.Trace.misses ts.Search.Trace.live ts.Search.Trace.appends;
+    let bs = campaign.Core.Tuner.backend in
+    pf
+      "backend: %d procedures compiled, %d compile-cache hits, %d batch-reuse hits, %d \
+       batch-reuse misses\n"
+      bs.Core.Tuner.compiled_procs bs.Core.Tuner.compile_hits bs.Core.Tuner.reuse_hits
+      bs.Core.Tuner.reuse_misses;
     if campaign.Core.Tuner.preloaded > 0 then
       pf "resume: %d records replayed from the journal\n" campaign.Core.Tuner.preloaded;
     Option.iter
@@ -249,7 +274,8 @@ let tune_cmd =
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
       $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg
-      $ verify_roundtrip_arg $ journal_arg $ resume_arg $ faults_term)
+      $ verify_roundtrip_arg $ no_compile_arg $ no_batch_reuse_arg $ journal_arg $ resume_arg
+      $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* prose campaign ls|show|replay — inspect durable campaign journals.  *)
@@ -458,22 +484,23 @@ let fuzz_cmd =
         "Generates random well-typed Fortran programs with random precision \
          assignments and checks pipeline invariants on each: unparse/parse \
          fixpoint ($(b,roundtrip)), typecheck stability ($(b,typecheck)), \
-         assignment application and wrapper repair ($(b,rewrite)), and \
-         bit-identical outcomes between the tree-walking interpreter and the \
-         slot-resolved fast path ($(b,equiv)). Counterexamples are minimized \
+         assignment application and wrapper repair ($(b,rewrite)), bit-identical \
+         outcomes between the tree-walking interpreter and the slot-resolved \
+         fast path ($(b,equiv)), and three-way agreement including the \
+         closure-compiled backend ($(b,compiled)). Counterexamples are minimized \
          with ddmin and written to the corpus directory as a replayable \
          $(i,.f90) + assignment pair; $(b,dune runtest) replays the corpus.";
     ]
+  in
+  let oracle_names =
+    String.concat ", " (List.map Testgen.Oracle.name Testgen.Oracle.all)
   in
   let oracle_conv =
     let parse s =
       match Testgen.Oracle.of_name s with
       | Some id -> Ok id
       | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown oracle %S (expected roundtrip, typecheck, rewrite or equiv)"
-               s))
+        Error (`Msg (Printf.sprintf "unknown oracle %S (expected one of: %s)" s oracle_names))
     in
     Arg.conv (parse, fun ppf id -> Format.pp_print_string ppf (Testgen.Oracle.name id))
   in
@@ -492,7 +519,9 @@ let fuzz_cmd =
     Arg.(
       value & opt_all oracle_conv []
       & info [ "oracle" ] ~docv:"NAME"
-          ~doc:"Run only the named oracle(s). Repeatable; default: all four.")
+          ~doc:
+            (Printf.sprintf "Run only the named oracle(s): %s. Repeatable; default: all."
+               oracle_names))
   in
   let corpus_arg =
     Arg.(

@@ -17,17 +17,21 @@ dune exec bench/main.exe -- --quick --workers 0 --json BENCH_ci_run.json \
 dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
   --verify-roundtrip > /dev/null
 
-# Fuzz smoke gate: 300 random well-typed programs through all four
-# oracles (roundtrip, typecheck, rewrite, equiv) at a fixed seed; any
-# violation is minimized, written to test/corpus/, and fails the run.
+# Fuzz smoke gate: 300 random well-typed programs through all five
+# oracles (roundtrip, typecheck, rewrite, equiv, compiled) at a fixed
+# seed; "compiled" is the three-way interpreter == lowered IR ==
+# closure-compiled check. Any violation is minimized, written to
+# test/corpus/, and fails the run.
 dune exec bin/prose.exe -- fuzz --cases 300 --seed 42
 
 # Crash-safety smoke gate: SIGKILL a journaled campaign mid-search, resume
 # it, and require the summary to be bit-identical to an uninterrupted run.
-# Only the "trace" counter line (cache hits / replay counts) may differ;
-# everything else -- records, minimal variant, speedups, cluster hours --
-# must match exactly. Runs the real binary (not via dune exec) so the
-# SIGKILL hits the campaign process itself, tearing the journal mid-line.
+# Only the "trace" and "backend" counter lines (cache hits / replay
+# counts / compile and reuse traffic, all functions of how many fresh
+# evaluations ran) may differ; everything else -- records, minimal
+# variant, speedups, cluster hours -- must match exactly. Runs the real
+# binary (not via dune exec) so the SIGKILL hits the campaign process
+# itself, tearing the journal mid-line.
 JDIR=$(mktemp -d)
 _build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
   --json "$JDIR/base.json" > /dev/null
@@ -44,7 +48,7 @@ wait "$KILL_PID" 2> /dev/null || true
 _build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
   --journal "$JDIR/campaign" --resume \
   --json "$JDIR/resumed.json" > /dev/null
-grep -v '"trace"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
-grep -v '"trace"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
+grep -v -e '"trace"' -e '"backend"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
+grep -v -e '"trace"' -e '"backend"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
 diff -u "$JDIR/base_cmp.json" "$JDIR/resumed_cmp.json"
 rm -rf "$JDIR"

@@ -13,6 +13,8 @@ type t = {
   max_variants : int option;
   proc_cache : bool;
   verify_roundtrip : bool;
+  compile : bool;
+  batch_reuse : bool;
 }
 
 let default =
@@ -27,12 +29,15 @@ let default =
     max_variants = None;
     proc_cache = true;
     verify_roundtrip = false;
+    compile = true;
+    batch_reuse = true;
   }
 
 let digest t =
-  (* only fields that change campaign results; proc_cache and
-     verify_roundtrip are execution strategies with identical outcomes, so
-     a journaled campaign may be resumed with either setting *)
+  (* only fields that change campaign results; proc_cache,
+     verify_roundtrip, compile and batch_reuse are execution strategies
+     with identical outcomes, so a journaled campaign may be resumed with
+     any of those settings *)
   let canonical =
     String.concat "|"
       [

@@ -76,6 +76,7 @@ let summary_json (c : Tuner.campaign) =
   "best_speedup": %s,
   "simulated_hours": %s,
   "trace": {"hits": %d, "misses": %d, "live": %d, "appends": %d, "preloaded": %d, "interrupted": %b},
+  "backend": {"compiled_procs": %d, "compile_hits": %d, "reuse_hits": %d, "reuse_misses": %d},
   "minimal": %s
 }
 |}
@@ -88,6 +89,8 @@ let summary_json (c : Tuner.campaign) =
     c.Tuner.trace_stats.Trace.hits c.Tuner.trace_stats.Trace.misses
     c.Tuner.trace_stats.Trace.live c.Tuner.trace_stats.Trace.appends
     c.Tuner.preloaded c.Tuner.interrupted
+    c.Tuner.backend.Tuner.compiled_procs c.Tuner.backend.Tuner.compile_hits
+    c.Tuner.backend.Tuner.reuse_hits c.Tuner.backend.Tuner.reuse_misses
     minimal
 
 let bench_json ~workers entries =

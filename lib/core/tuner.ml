@@ -25,6 +25,102 @@ let eval_stats_read s =
   Mutex.unlock s.es_lock;
   r
 
+type raw = {
+  r_outcome : Runtime.Interp.outcome option;  (* None = transformation failed *)
+  r_detail : string;
+  r_hotspot : float;
+  r_model_time : float;
+  r_rel_error : float;  (* infinity unless the run finished *)
+}
+
+(* Batch-reuse table: raw outcomes shared between variants whose
+   *effective* precision signature (declared kind overridden by the
+   assignment) agrees on every scope that can influence the run — all
+   unit scopes (global initializers execute, and are charged, before
+   "<main>") plus every procedure reachable from the main program. Two
+   assignments with the same key transform into programs whose reachable
+   code is declaration-for-declaration identical, so the raw outcome —
+   a pure function of that code under the fixed machine, budget and
+   wrapper redirection — is bit-identical whoever computes it first.
+   First-write-wins under the mutex, so records do not depend on the
+   worker count. *)
+type share = {
+  sh_lock : Mutex.t;
+  sh_tbl : (string, raw) Hashtbl.t;
+  sh_scopes : Fortran.Symtab.scope list;
+  sh_inert : (Fortran.Symtab.scope * string, unit) Hashtbl.t;
+      (* variables whose kind provably cannot influence a run *)
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+}
+
+let share_create st =
+  let units = List.map Fortran.Ast.unit_name (Fortran.Symtab.program st) in
+  let cg = Analysis.Callgraph.build st in
+  let roots = List.map fst (Analysis.Callgraph.callees cg None) in
+  let scopes =
+    List.map (fun u -> Fortran.Symtab.Unit_scope u) units
+    @ List.map
+        (fun pr -> Fortran.Symtab.Proc_scope pr)
+        (List.sort_uniq compare (Analysis.Callgraph.reachable cg ~roots))
+  in
+  (* A variable with no defs and no uses (and, checked at key time, no
+     initializer) is dropped from the key: it is never read, written,
+     converted or passed, so its declared kind cannot change the outcome
+     or the charged cost. Dummies and function results stay protected —
+     they take part in argument binding and wrapper conversion even when
+     the body never mentions them. *)
+  let protected = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      match u with
+      | Fortran.Ast.Main _ -> ()
+      | Fortran.Ast.Module m ->
+        List.iter
+          (fun (pr : Fortran.Ast.proc) ->
+            let scope = Fortran.Symtab.Proc_scope pr.Fortran.Ast.proc_name in
+            List.iter
+              (fun d -> Hashtbl.replace protected (scope, d) ())
+              pr.Fortran.Ast.params;
+            match pr.Fortran.Ast.proc_kind with
+            | Fortran.Ast.Function { result } -> Hashtbl.replace protected (scope, result) ()
+            | Fortran.Ast.Subroutine -> ())
+          m.Fortran.Ast.mod_procs)
+    (Fortran.Symtab.program st);
+  let touched = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Analysis.Defuse.summary) ->
+      if s.Analysis.Defuse.defs <> [] || s.Analysis.Defuse.uses <> [] then
+        Hashtbl.replace touched (s.Analysis.Defuse.scope, s.Analysis.Defuse.var) ())
+    (Analysis.Defuse.analyze st);
+  let inert = Hashtbl.create 64 in
+  List.iter
+    (fun scope ->
+      List.iter
+        (fun (v : Fortran.Symtab.var_info) ->
+          let key = (scope, v.Fortran.Symtab.v_name) in
+          match v.Fortran.Symtab.v_base with
+          | Fortran.Ast.Treal _
+            when (not (Hashtbl.mem touched key)) && not (Hashtbl.mem protected key) ->
+            Hashtbl.replace inert key ()
+          | _ -> ())
+        (Fortran.Symtab.vars_of_scope st scope))
+    scopes;
+  {
+    sh_lock = Mutex.create ();
+    sh_tbl = Hashtbl.create 256;
+    sh_scopes = scopes;
+    sh_inert = inert;
+    sh_hits = 0;
+    sh_misses = 0;
+  }
+
+let share_read s =
+  Mutex.lock s.sh_lock;
+  let r = (s.sh_hits, s.sh_misses) in
+  Mutex.unlock s.sh_lock;
+  r
+
 type prepared = {
   model : Models.Registry.t;
   config : Config.t;
@@ -41,8 +137,50 @@ type prepared = {
   budget : float;
   baseline_static : Analysis.Static_cost.verdict;
   cache : Runtime.Lower.Cache.t option;  (* per-procedure lowering cache *)
+  ccache : Runtime.Compile.Cache.t option;  (* compiled-procedure cache *)
+  share : share option;  (* batch-reuse table; None disables sharing *)
   eval_stats : eval_stats;
 }
+
+(* Effective precision signature of the reachable program under [asg]:
+   same shape as [Runtime.Lower]'s cache key, but each real declaration
+   reports the kind the assignment gives it rather than the declared one,
+   so an atom explicitly assigned its declared kind keys identically to
+   one the assignment leaves alone. *)
+let share_key p sh asg =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun scope ->
+      (match scope with
+      | Fortran.Symtab.Unit_scope u -> Buffer.add_string buf u
+      | Fortran.Symtab.Proc_scope pr -> Buffer.add_string buf pr);
+      Buffer.add_char buf ':';
+      let vars =
+        List.sort
+          (fun (a : Fortran.Symtab.var_info) (b : Fortran.Symtab.var_info) ->
+            compare a.Fortran.Symtab.v_name b.Fortran.Symtab.v_name)
+          (Fortran.Symtab.vars_of_scope p.st scope)
+      in
+      List.iter
+        (fun (v : Fortran.Symtab.var_info) ->
+          match v.Fortran.Symtab.v_base with
+          | Fortran.Ast.Treal _
+            when v.Fortran.Symtab.v_init = None
+                 && Hashtbl.mem sh.sh_inert (scope, v.Fortran.Symtab.v_name) ->
+            ()
+          | Fortran.Ast.Treal declared ->
+            let k =
+              match Transform.Assignment.lookup asg ~scope v.Fortran.Symtab.v_name with
+              | Some k -> k
+              | None -> declared
+            in
+            Buffer.add_string buf v.Fortran.Symtab.v_name;
+            Buffer.add_string buf (match k with Fortran.Ast.K4 -> "!4;" | Fortran.Ast.K8 -> "!8;")
+          | Fortran.Ast.Tinteger | Fortran.Ast.Tlogical -> ())
+        vars;
+      Buffer.add_char buf '|')
+    sh.sh_scopes;
+  Buffer.contents buf
 
 let hotspot_time_of procs timers =
   List.fold_left (fun acc p -> acc +. Runtime.Timers.exclusive_of timers p) 0.0 procs
@@ -51,14 +189,6 @@ let hotspot_time p timers = hotspot_time_of p.model.Models.Registry.target_procs
 
 (* ------------------------------------------------------------------ *)
 (* One trip through transformation + dynamic evaluation.               *)
-
-type raw = {
-  r_outcome : Runtime.Interp.outcome option;  (* None = transformation failed *)
-  r_detail : string;
-  r_hotspot : float;
-  r_model_time : float;
-  r_rel_error : float;  (* infinity unless the run finished *)
-}
 
 let score_outcome p (out : Runtime.Interp.outcome) : raw =
   let module R = Runtime.Interp in
@@ -106,8 +236,9 @@ let roundtrip_raw p asg : raw =
          ~wrapper_owner:(Transform.Wrappers.owner_fn w) st')
 
 (* The fast path: rewrite and lower the AST directly — no unparse→reparse
-   round trip — then execute the slot-resolved IR, reusing lowered
-   procedures whose precision signature is unchanged. *)
+   round trip — then execute either the closure-compiled form of the
+   slot-resolved IR (default) or the IR itself, reusing lowered and
+   compiled procedures whose precision signature is unchanged. *)
 let direct_raw p asg : raw =
   match
     let prog' = Transform.Rewrite.apply p.st asg in
@@ -123,11 +254,46 @@ let direct_raw p asg : raw =
       Runtime.Lower.lower ?cache:p.cache ~machine:p.config.Config.machine
         ~wrapper_owner:(Transform.Wrappers.owner_fn w) st'
     in
-    score_outcome p (Runtime.Lower.run ~budget:p.budget ir)
+    let out =
+      if p.config.Config.compile then
+        Runtime.Compile.run ~budget:p.budget (Runtime.Compile.compile ?cache:p.ccache ir)
+      else Runtime.Lower.run ~budget:p.budget ir
+    in
+    score_outcome p out
+
+(* Serve the raw outcome from the batch-reuse table when an
+   effectively-identical variant already ran; otherwise run and publish,
+   first write wins (a racing worker adopts the published outcome, so the
+   table's contents never depend on scheduling). *)
+let shared_raw p asg : raw =
+  match p.share with
+  | None -> direct_raw p asg
+  | Some sh -> (
+    let key = share_key p sh asg in
+    Mutex.lock sh.sh_lock;
+    match Hashtbl.find_opt sh.sh_tbl key with
+    | Some raw ->
+      sh.sh_hits <- sh.sh_hits + 1;
+      Mutex.unlock sh.sh_lock;
+      raw
+    | None -> (
+      Mutex.unlock sh.sh_lock;
+      let raw = direct_raw p asg in
+      Mutex.lock sh.sh_lock;
+      match Hashtbl.find_opt sh.sh_tbl key with
+      | Some winner ->
+        sh.sh_hits <- sh.sh_hits + 1;
+        Mutex.unlock sh.sh_lock;
+        winner
+      | None ->
+        sh.sh_misses <- sh.sh_misses + 1;
+        Hashtbl.replace sh.sh_tbl key raw;
+        Mutex.unlock sh.sh_lock;
+        raw))
 
 let transform_and_run p asg : raw =
   let t0 = Unix.gettimeofday () in
-  let raw = direct_raw p asg in
+  let raw = shared_raw p asg in
   eval_stats_note p.eval_stats (Unix.gettimeofday () -. t0);
   if p.config.Config.verify_roundtrip then begin
     let slow = roundtrip_raw p asg in
@@ -215,6 +381,16 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
   let cache =
     if config.Config.proc_cache then Some (Runtime.Lower.Cache.create ()) else None
   in
+  let ccache =
+    if config.Config.compile then Some (Runtime.Compile.Cache.create ()) else None
+  in
+  (* sharing is off under verify_roundtrip: the oracle's whole point is to
+     actually run both pipelines on every variant *)
+  let share =
+    if config.Config.batch_reuse && not config.Config.verify_roundtrip then
+      Some (share_create st)
+    else None
+  in
   let out =
     Runtime.Lower.run (Runtime.Lower.lower ?cache ~machine:config.Config.machine st)
   in
@@ -261,6 +437,8 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
       budget = model.timeout_factor *. baseline_cost;
       baseline_static;
       cache;
+      ccache;
+      share;
       eval_stats = eval_stats_create ();
     }
   in
@@ -335,6 +513,13 @@ let algo_of_name = function
   | "hierarchical" -> Some Hierarchical_algo
   | _ -> None
 
+type backend_stats = {
+  compiled_procs : int;  (* distinct procedure bodies closure-compiled *)
+  compile_hits : int;  (* compiled procedures served from the cache *)
+  reuse_hits : int;  (* variants served from the batch-reuse table *)
+  reuse_misses : int;  (* variants that ran and published their outcome *)
+}
+
 type campaign = {
   prepared : prepared;
   records : Variant.record list;
@@ -344,6 +529,7 @@ type campaign = {
   eval_ms_mean : float;
   eval_ms_max : float;
   trace_stats : Trace.stats;
+  backend : backend_stats;
   preloaded : int;
   interrupted : bool;
   fault_stats : Cluster.Faults.stats option;
@@ -357,6 +543,13 @@ let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace
       ~variant_costs:(List.map (fun (r : Variant.record) -> r.Variant.meas.Variant.model_time) records)
   in
   let count, total, max_s = eval_stats_read p.eval_stats in
+  let backend =
+    let ch, cm =
+      match p.ccache with Some c -> Runtime.Compile.Cache.stats c | None -> (0, 0)
+    in
+    let rh, rm = match p.share with Some s -> share_read s | None -> (0, 0) in
+    { compiled_procs = cm; compile_hits = ch; reuse_hits = rh; reuse_misses = rm }
+  in
   {
     prepared = p;
     records;
@@ -366,6 +559,7 @@ let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace
     eval_ms_mean = (if count = 0 then 0.0 else 1e3 *. total /. float_of_int count);
     eval_ms_max = 1e3 *. max_s;
     trace_stats = Trace.stats trace;
+    backend;
     preloaded;
     interrupted;
     fault_stats;
@@ -544,6 +738,9 @@ let execute p ~algo ?workers ?journal ?faults ~preloaded () =
   let trace = Trace.create ?max_variants:(max_variants_of p) ?sink () in
   Trace.preload trace preloaded;
   let eval = faulted_evaluate p faults in
+  (* schedule effectively-identical candidates on one pool worker so the
+     batch-reuse table is hit instead of raced *)
+  let affinity = Option.map (fun sh asg -> share_key p sh asg) p.share in
   let dd_config = { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor } in
   let interrupted = ref false in
   let minimal =
@@ -558,12 +755,13 @@ let execute p ~algo ?workers ?journal ?faults ~preloaded () =
       | Delta_debug_algo ->
         Some
           (with_pool_opt workers (fun pool ->
-               Delta_debug.search ?pool ~atoms:p.atoms ~trace ~evaluate:eval dd_config))
+               Delta_debug.search ?pool ?affinity ~atoms:p.atoms ~trace ~evaluate:eval
+                 dd_config))
       | Hierarchical_algo ->
         Some
           (with_pool_opt workers (fun pool ->
-               Hierarchical.search ?pool ~atoms:p.atoms ~groups:(flow_groups p) ~trace
-                 ~evaluate:eval dd_config))
+               Hierarchical.search ?pool ?affinity ~atoms:p.atoms ~groups:(flow_groups p)
+                 ~trace ~evaluate:eval dd_config))
     with Cluster.Faults.Preempted _ ->
       interrupted := true;
       None

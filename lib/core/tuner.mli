@@ -15,6 +15,14 @@ type eval_stats
 (** Mutable per-campaign evaluation wall-clock accounting (count, total,
     max); safe to update from pool worker domains. *)
 
+type share
+(** The batch-reuse table: raw outcomes shared between variants whose
+    effective precision signature (declared kinds overridden by the
+    assignment) agrees on every scope that can influence the run — all
+    unit scopes plus every procedure reachable from the main program.
+    Mutex-guarded, first write wins, so the records a campaign commits
+    never depend on the worker count. *)
+
 type prepared = {
   model : Models.Registry.t;
   config : Config.t;
@@ -36,6 +44,14 @@ type prepared = {
       (** the campaign's per-procedure lowering cache ([None] when
           {!Config.t.proc_cache} is off); domain-safe, shared by pool
           workers *)
+  ccache : Runtime.Compile.Cache.t option;
+      (** the campaign's compiled-procedure cache, keyed by the same
+          precision-signature scheme as [cache] ([None] when
+          {!Config.t.compile} is off) *)
+  share : share option;
+      (** the batch-reuse table ([None] when {!Config.t.batch_reuse} is
+          off, or under [verify_roundtrip], whose point is to really run
+          every variant) *)
   eval_stats : eval_stats;
 }
 
@@ -74,6 +90,21 @@ val algo_name : algo -> string
 
 val algo_of_name : string -> algo option
 
+type backend_stats = {
+  compiled_procs : int;
+      (** distinct procedure bodies translated to closures (compile-cache
+          misses) over the whole campaign *)
+  compile_hits : int;  (** compiled procedures served from the cache *)
+  reuse_hits : int;
+      (** dynamic evaluations answered from the batch-reuse table without
+          running anything *)
+  reuse_misses : int;  (** evaluations that ran and published their outcome *)
+}
+(** Evaluation-backend traffic — all zero when the corresponding
+    {!Config.t} switches are off. Diagnostics only: hit/miss splits may
+    shift by a few counts across worker counts (racing workers may both
+    miss), while records and summaries never do. *)
+
 type campaign = {
   prepared : prepared;
   records : Search.Variant.record list;  (** every distinct variant, in order *)
@@ -86,6 +117,7 @@ type campaign = {
       (** memo-cache traffic; [misses] counts fresh dynamic evaluations,
           so a resumed campaign proves it re-evaluated nothing journaled
           by [misses = length records - preloaded] *)
+  backend : backend_stats;  (** compile and batch-reuse traffic *)
   preloaded : int;  (** records replayed from a journal (0 for fresh runs) *)
   interrupted : bool;
       (** the campaign was cut short by an injected preemption; the

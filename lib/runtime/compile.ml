@@ -1,0 +1,1824 @@
+(* Closure-compilation backend over the [Lower] IR.
+
+   [Lower]'s evaluator still pattern-matches on IR opcodes at every node
+   visit. This pass translates each lowered procedure ONCE into a tree of
+   OCaml closures: expressions become [cctx -> rframe -> float/int/bool/
+   value] functions with slots, cost sub-tables and static typing
+   decisions pre-bound, statements become [cctx -> rframe -> unit]. The
+   per-evaluation inner loop then runs no dispatch at all — only the
+   closures the program shape already determined.
+
+   Observable behavior is bit-identical to [Lower.run] (and therefore to
+   [Interp.run]): every charge in the same order, every trap message,
+   every timer bracket. Two mechanisms guarantee that:
+
+   - Typed lanes are used only where the declared base type pins the
+     runtime representation. Cell tags always match declarations: cells
+     are allocated from declared bases, [scalar_store] preserves the
+     current tag, and by-reference argument binding traps on any kind
+     mismatch. A slot declared real(k) therefore always holds
+     [Vreal (_, k)], and the compiled float lane is exact.
+   - Anything not statically typable falls back to the generic lane,
+     which is [Lower.eval_expr] / [Lower.exec_stmt] on the original node
+     — the interpreter itself, bit-identical by construction. Cold paths
+     (parameter forcing, global initialization, copy-out stores) stay
+     interpreted.
+
+   Compiled procedures are cacheable across variants under the same key
+   as [Lower.Cache] ([proc_ir.p_key]): closures never bake procedure
+   indices (callees resolve through [rframe.flinks] at runtime), and
+   every static decision they do bake — cost sub-tables aside from the
+   machine, slot types, callee result types — is a function of the
+   declarations that key signs. *)
+
+open Fortran
+open Lower
+
+(* static type of a slot, derived from its declaration *)
+type sty =
+  | Sreal of Ast.real_kind
+  | Sint
+  | Sbool
+  | Sarr of Ast.base_type
+  | Sunknown
+
+let sty_of_base (b : Ast.base_type) ~is_array =
+  if is_array then Sarr b
+  else
+    match b with
+    | Ast.Treal k -> Sreal k
+    | Ast.Tinteger -> Sint
+    | Ast.Tlogical -> Sbool
+
+(* ------------------------------------------------------------------ *)
+(* Compiled forms                                                      *)
+
+type cctx = { rt : rctx; cprocs : cproc array; scratch : fbox }
+
+and cproc = {
+  ir : proc_ir;
+  cbody : cstmt array;
+  clocals : clocal array;
+  cinits : cinit array;
+}
+
+and cstmt = cctx -> rframe -> unit
+and clocal = { cl_def : local; cl_dims : (cctx -> rframe -> int) array }
+and cinit = { cin_def : initr; cin_rhs : cctx -> rframe -> Value.v }
+
+type ccall = {
+  cc : call_site;  (* names, callee index and arity trap *)
+  cc_args : carg array;
+}
+
+and carg =
+  | CAref of { a : string; ar : ref_ }
+  | CAval of { cv : cctx -> rframe -> Value.v; lit : bool; co : ccopy option }
+
+(* a copy-out destination with its subscripts precompiled: the write-back
+   after the call then runs on the compiled store path instead of
+   re-interpreting the index expressions *)
+and ccopy = { cco : copy_out; cco_idx : (cctx -> rframe -> int) array }
+
+(* an expression compiles into one of four lanes; the typed lanes carry
+   unboxed results and are used only when the static type is certain.
+   The float lane does NOT return its result: an indirect OCaml call
+   returning [float] boxes on every return, so a float closure instead
+   writes [ct.scratch.fv] (a flat store) as its final action and the
+   consumer reads it back immediately — a return register, in effect.
+   Reads must happen before any further evaluation, since nested
+   compiled code reuses the same scratch cell. *)
+type cexpr =
+  | Kf of (cctx -> rframe -> unit) * Ast.real_kind  (* result in scratch *)
+  | Ki of (cctx -> rframe -> int)
+  | Kb of (cctx -> rframe -> bool)
+  | Kv of (cctx -> rframe -> Value.v)
+
+(* ------------------------------------------------------------------ *)
+(* Lane views. Conversions mirror [as_float]/[as_int]/[as_bool]: the
+   operand is always evaluated (with its charges) before any trap.      *)
+
+let force = function
+  | Kf (f, k) ->
+    fun ct fr ->
+      f ct fr;
+      Value.Vreal (ct.scratch.fv, k)
+  | Ki f -> fun ct fr -> Value.Vint (f ct fr)
+  | Kb f -> fun ct fr -> Value.Vlog (f ct fr)
+  | Kv f -> f
+
+(* float view: evaluate and leave the float in [ct.scratch.fv] *)
+let fput = function
+  | Kf (f, _) -> f
+  | Ki f -> fun ct fr -> ct.scratch.fv <- float_of_int (f ct fr)
+  | Kb f ->
+    fun ct fr ->
+      ignore (f ct fr : bool);
+      trap_s "numeric value expected"
+  | Kv f -> fun ct fr -> ct.scratch.fv <- as_float (f ct fr)
+
+let iview = function
+  | Ki f -> f
+  | Kf (f, _) ->
+    fun ct fr ->
+      f ct fr;
+      int_of_float ct.scratch.fv
+  | Kb f ->
+    fun ct fr ->
+      ignore (f ct fr : bool);
+      trap_s "integer value expected"
+  | Kv f -> fun ct fr -> as_int (f ct fr)
+
+let bview = function
+  | Kb f -> f
+  | Kf (f, _) ->
+    fun ct fr ->
+      f ct fr;
+      trap_s "logical value expected"
+  | Ki f ->
+    fun ct fr ->
+      ignore (f ct fr : int);
+      trap_s "logical value expected"
+  | Kv f -> fun ct fr -> as_bool (f ct fr)
+
+(* Shadow [Lower.charge]/[Lower.check_budget] with same-module copies of
+   the same bodies: charging runs once per modeled operation, and a
+   cross-module call that fails to inline boxes the float cost argument
+   each time. The timers update is [Timers.charge] spelled out. *)
+let[@inline] charge rt i c =
+  if rt.rcharging then begin
+    rt.rcost.fv <- rt.rcost.fv +. c;
+    (* [i] is always one of the [ci_*] constants, all below the
+       breakdown array's fixed length — skip the bounds check *)
+    Array.unsafe_set rt.rbreakdown i (Array.unsafe_get rt.rbreakdown i +. c);
+    let tm = rt.rtimers in
+    tm.Timers.top.Timers.exclusive <- tm.Timers.top.Timers.exclusive +. c
+  end
+
+let[@inline] check_budget rt = if rt.rcost.fv > rt.rbudget then raise Rtimeout
+
+(* cost sub-table for a statically-known kind: indexed by [rt.rvec] *)
+let sub3 costs k =
+  let ki = kind_idx k in
+  [| costs.(ki); costs.(2 + ki); costs.(4 + ki) |]
+
+(* [eval_indices] compiled: int_op charged before each index evaluates *)
+let eval_cidx (cidx : (cctx -> rframe -> int) array) ct fr : int array =
+  let rt = ct.rt in
+  let n = Array.length cidx in
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    charge rt ci_flops rt.rmachine.Machine.int_op;
+    out.(i) <- cidx.(i) ct fr
+  done;
+  out
+
+(* [Value.offset] on an int array: same checks, same messages *)
+let offset_arr ~name ~dims (idx : int array) =
+  let rank = Array.length dims in
+  if Array.length idx <> rank then
+    raise
+      (Value.Bounds
+         (Printf.sprintf "%s: rank %d but %d subscripts" name rank (Array.length idx)));
+  let off = ref 0 in
+  let stride = ref 1 in
+  for d = 0 to rank - 1 do
+    let i = idx.(d) in
+    if i < 1 || i > dims.(d) then
+      raise
+        (Value.Bounds
+           (Printf.sprintf "%s: subscript %d of dimension %d out of range [1,%d]" name i (d + 1)
+              dims.(d)));
+    off := !off + ((i - 1) * !stride);
+    stride := !stride * dims.(d)
+  done;
+  !off
+
+(* kept as a direct call so the floats never box: an indirect arithmetic
+   closure would box both arguments and the result on every operation *)
+let[@inline] arith4 op (x : float) (y : float) =
+  match op with
+  | Ast.Add -> x +. y
+  | Ast.Sub -> x -. y
+  | Ast.Mul -> x *. y
+  | Ast.Div -> x /. y
+  | _ -> assert false
+
+let iarith op x y =
+  match op with
+  | Ast.Add -> x + y
+  | Ast.Sub -> x - y
+  | Ast.Mul -> x * y
+  | Ast.Div -> if y = 0 then trap "integer division by zero" else x / y
+  | Ast.Pow ->
+    if y < 0 then trap "negative integer exponent"
+    else begin
+      let rec pow acc n = if n = 0 then acc else pow (acc * x) (n - 1) in
+      pow 1 y
+    end
+  | _ -> assert false
+
+(* Local clones of [Fp32.round]/[Fp32.of_kind]/[Lower.mk_realf]: those
+   are tiny, but a cross-module call that fails to inline boxes its
+   float argument and result on the hottest paths here. The bit-level
+   computation is identical (same externals, same checks); the cold trap
+   path defers to [mk_realf], which recomputes and raises the same
+   message. *)
+let[@inline] round32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let[@inline] cround (k : Ast.real_kind) x =
+  match k with
+  | Ast.K4 -> round32 x
+  | Ast.K8 -> x
+
+let[@inline] cmk_realf k x =
+  let y = cround k x in
+  if Float.is_finite y then y else mk_realf k x
+
+(* small-exponent x**n as the same left-associated chain the generic
+   loop produces (so bit-identical), but inlined: a local recursive
+   helper would allocate its closure and box the accumulator on every
+   call *)
+let[@inline] ipow4 (x : float) (n : int) =
+  match n with
+  | 0 -> 1.0
+  | 1 -> 1.0 *. x
+  | 2 -> 1.0 *. x *. x
+  | 3 -> 1.0 *. x *. x *. x
+  | _ -> 1.0 *. x *. x *. x *. x
+
+(* [Vint] blocks are immutable, so the small values every loop counter
+   passes through can be shared instead of freshly boxed per iteration *)
+let vint_cache = Array.init 4097 (fun i -> Value.Vint i)
+
+let[@inline] vint i = if i >= 0 && i <= 4096 then vint_cache.(i) else Value.Vint i
+
+(* [offset_arr] specialized to one subscript — most accesses in the
+   models are rank-1, and the generic path pays an index-array
+   allocation per access. Same checks, same messages. *)
+let[@inline] offset1 ~name ~(dims : int array) i =
+  if Array.length dims <> 1 then
+    raise
+      (Value.Bounds (Printf.sprintf "%s: rank %d but %d subscripts" name (Array.length dims) 1));
+  if i < 1 || i > dims.(0) then
+    raise
+      (Value.Bounds
+         (Printf.sprintf "%s: subscript %d of dimension %d out of range [1,%d]" name i 1 dims.(0)));
+  i - 1
+
+(* ... and to two subscripts (column-model arrays): same checks in the
+   same order as [offset_arr]'s loop *)
+let[@inline] offset2 ~name ~(dims : int array) i j =
+  if Array.length dims <> 2 then
+    raise
+      (Value.Bounds (Printf.sprintf "%s: rank %d but %d subscripts" name (Array.length dims) 2));
+  if i < 1 || i > dims.(0) then
+    raise
+      (Value.Bounds
+         (Printf.sprintf "%s: subscript %d of dimension %d out of range [1,%d]" name i 1 dims.(0)));
+  if j < 1 || j > dims.(1) then
+    raise
+      (Value.Bounds
+         (Printf.sprintf "%s: subscript %d of dimension %d out of range [1,%d]" name j 2 dims.(1)));
+  i - 1 + ((j - 1) * dims.(0))
+
+let[@inline] cmp_fn op (x : float) (y : float) =
+  match op with
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+  | Ast.Lt -> x < y
+  | Ast.Le -> x <= y
+  | Ast.Gt -> x > y
+  | Ast.Ge -> x >= y
+  | _ -> assert false
+
+(* indexed store with compiled index closures — [store_indexed]'s
+   semantics (same checks, charges and messages), reached from both
+   compiled assignments and the compiled copy-out path *)
+let cstore ct fr name cell cidx ~lit v =
+  if Array.length cidx = 1 then begin
+    (* rank-1: same charge order as [eval_cidx] + the generic arms,
+       minus the index-array allocation *)
+    let rt = ct.rt in
+    charge rt ci_flops rt.rmachine.Machine.int_op;
+    let i = cidx.(0) ct fr in
+    match cell with
+    | Value.Real_array { kind; data; dims } ->
+      charge rt ci_memory rt.rmemtab.((rt.rvec * 2) + kind_idx kind);
+      (match value_kind v with
+      | Some k when k <> kind -> if not lit then charge rt ci_convert rt.rconv.(rt.rvec)
+      | _ -> ());
+      let x = cround kind (as_float v) in
+      if not (Float.is_finite x) then
+        trap "non-finite value stored to %s (real(kind=%d))" name (Token.int_of_kind kind);
+      data.(offset1 ~name ~dims i) <- x
+    | Value.Int_array { data; dims } ->
+      charge rt ci_flops rt.rmachine.Machine.int_op;
+      data.(offset1 ~name ~dims i) <- as_int v
+    | Value.Log_array { data; dims } -> data.(offset1 ~name ~dims i) <- as_bool v
+    | Value.Scalar _ -> trap "scalar %s subscripted" name
+  end
+  else
+  let rt = ct.rt in
+  let ix = eval_cidx cidx ct fr in
+  match cell with
+  | Value.Real_array { kind; data; dims } ->
+    charge rt ci_memory rt.rmemtab.((rt.rvec * 2) + kind_idx kind);
+    (match value_kind v with
+    | Some k when k <> kind -> if not lit then charge rt ci_convert rt.rconv.(rt.rvec)
+    | _ -> ());
+    let x = cround kind (as_float v) in
+    if not (Float.is_finite x) then
+      trap "non-finite value stored to %s (real(kind=%d))" name (Token.int_of_kind kind);
+    data.(offset_arr ~name ~dims ix) <- x
+  | Value.Int_array { data; dims } ->
+    charge rt ci_flops rt.rmachine.Machine.int_op;
+    data.(offset_arr ~name ~dims ix) <- as_int v
+  | Value.Log_array { data; dims } -> data.(offset_arr ~name ~dims ix) <- as_bool v
+  | Value.Scalar _ -> trap "scalar %s subscripted" name
+
+(* ------------------------------------------------------------------ *)
+(* Compiled call protocol — [Lower.exec_call] transcribed, with the
+   argument-binding and result rules shared via [bind_arg_ref] /
+   [bind_by_value], and the callee resolved through [flinks] at runtime
+   so compiled procedures stay cacheable across variants.               *)
+
+(* a [for] rather than [Array.iter]: the iter closure would capture
+   [ct]/[fr] and so allocate on every block execution — once per loop
+   iteration in the models' innermost loops *)
+let exec_cblock ct fr (blk : cstmt array) =
+  for i = 0 to Array.length blk - 1 do
+    blk.(i) ct fr
+  done
+
+let rec copy_back ct fr cells = function
+  | [] -> ()
+  | ((cc : ccopy), slot) :: rest ->
+    (match cells.(slot) with
+    | Some (Value.Scalar r) -> (
+      match resolve_g ct.rt fr cc.cco.co_name cc.cco.co_r with
+      | `Cell cell -> cstore ct fr cc.cco.co_name cell cc.cco_idx ~lit:false !r
+      | `Param _ -> ())
+    | Some _ | None -> ());
+    copy_back ct fr cells rest
+
+let rec cdims_from (cl : clocal) ct callee i acc =
+  if i = Array.length cl.cl_dims then List.rev acc
+  else cdims_from cl ct callee (i + 1) (cl.cl_dims.(i) ct callee :: acc)
+
+let[@inline] cdims cl ct callee = cdims_from cl ct callee 0 []
+
+let exec_ccall ct fr (ca : ccall) : Value.v option =
+  let rt = ct.rt in
+  let cs = ca.cc in
+  if cs.cs_callee = -1 then
+    (* unknown procedure: the reference traps before the depth increment *)
+    trap_s (match cs.cs_arity_trap with Some m -> m | None -> assert false);
+  let name = cs.cs_name in
+  rt.rdepth <- rt.rdepth + 1;
+  if rt.rdepth > 200 then trap "call depth limit exceeded at %s" name;
+  check_budget rt;
+  (match cs.cs_arity_trap with Some m -> trap_s m | None -> ());
+  let pidx = fr.flinks.(cs.cs_callee) in
+  let cp = ct.cprocs.(pidx) in
+  let ir = cp.ir in
+  let cells = Array.make ir.p_nslots None in
+  let copy_out = ref [] in
+  let nargs = Array.length ca.cc_args in
+  for i = 0 to nargs - 1 do
+    let d = ir.p_dummies.(i) in
+    if d.d_undeclared then trap "dummy %s of %s undeclared" d.d_name name;
+    match ca.cc_args.(i) with
+    | CAref { a; ar } -> bind_arg_ref rt fr cells ~callee:name ~d a ar
+    | CAval { cv; lit; co } ->
+      if d.d_is_array then
+        trap "array dummy %s of %s requires a whole-array actual argument" d.d_name name
+      else begin
+        let v = cv ct fr in
+        bind_by_value rt cells ~callee:name ~d ~lit v;
+        match co with
+        | Some c when d.d_writable -> copy_out := (c, d.d_slot) :: !copy_out
+        | Some _ | None -> ()
+      end
+  done;
+  let callee = { pname = ir.p_name; cells; flinks = rt.rlinks.(pidx) } in
+  (* plain [for] loops below: [Array.iter]/[List.iter] thunks would
+     capture [ct]/[callee] and allocate on every call *)
+  for li = 0 to Array.length cp.clocals - 1 do
+    let cl = cp.clocals.(li) in
+    cells.(cl.cl_def.l_slot) <- Some (alloc_cell cl.cl_def.l_base (cdims cl ct callee))
+  done;
+  for ii = 0 to Array.length cp.cinits - 1 do
+    let ci = cp.cinits.(ii) in
+    let v = ci.cin_rhs ct callee in
+    match cells.(ci.cin_def.i_slot) with
+    | Some (Value.Scalar r) -> scalar_store rt r v ~lit:ci.cin_def.i_lit
+    | Some _ | None -> trap "initializer on array %s unsupported" ci.cin_def.i_name
+  done;
+  let is_wrapper = ir.p_is_wrapper in
+  let inl = (not is_wrapper) && (not rt.rin_wrapper) && ir.p_inlinable in
+  if not is_wrapper then
+    Timers.enter_acc rt.rtimers (proc_acc rt pidx ir.p_name) ir.p_name ~now:rt.rcost.fv;
+  if not inl then begin
+    charge rt ci_call rt.rmachine.Machine.call_overhead;
+    if is_wrapper then charge rt ci_call rt.rmachine.Machine.wrapper_overhead
+  end;
+  let saved_vec = rt.rvec in
+  let saved_in_wrapper = rt.rin_wrapper in
+  if not inl then rt.rvec <- 0;
+  rt.rin_wrapper <- is_wrapper;
+  (* [finish] spelled out at both exits rather than bound to a closure:
+     it would be allocated per call *)
+  (match exec_cblock ct callee cp.cbody with
+  | () -> ()
+  | exception Rreturn -> ()
+  | exception e ->
+    if not is_wrapper then Timers.exit_ rt.rtimers ~now:rt.rcost.fv;
+    rt.rvec <- saved_vec;
+    rt.rin_wrapper <- saved_in_wrapper;
+    rt.rdepth <- rt.rdepth - 1;
+    raise e);
+  if not is_wrapper then Timers.exit_ rt.rtimers ~now:rt.rcost.fv;
+  rt.rvec <- saved_vec;
+  rt.rin_wrapper <- saved_in_wrapper;
+  rt.rdepth <- rt.rdepth - 1;
+  copy_back ct fr cells !copy_out;
+  if not ir.p_is_function then None
+  else if ir.p_result = -2 then trap "function %s has no result cell" name
+  else (
+    match cells.(ir.p_result) with
+    | Some (Value.Scalar r) -> Some !r
+    | Some _ -> trap "array-valued function %s unsupported" name
+    | None -> trap "function %s has no result cell" name)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time environment                                            *)
+
+type cenv = {
+  prog : program;
+  gsty : sty array;  (* by global slot *)
+  psty : sty array;  (* by parameter slot *)
+  fsty : sty array;  (* by frame slot of the procedure being compiled *)
+  clinks : int array;  (* this body's callee index -> proc index *)
+}
+
+let sty_of_ref env = function
+  | Rlocal i -> if i >= 0 && i < Array.length env.fsty then env.fsty.(i) else Sunknown
+  | Rglobal i -> if i >= 0 && i < Array.length env.gsty then env.gsty.(i) else Sunknown
+  | Rparam i -> if i >= 0 && i < Array.length env.psty then env.psty.(i) else Sunknown
+  | Rerr _ -> Sunknown
+
+(* result type of the function behind a call site, pinned by the cache
+   key: the callee is reachable, so its scope signature signs every real
+   kind this decision depends on *)
+let callee_result_sty env (cs : call_site) : sty =
+  if cs.cs_callee < 0 || cs.cs_callee >= Array.length env.clinks then Sunknown
+  else
+    match env.clinks.(cs.cs_callee) with
+    | -1 -> Sunknown
+    | pidx ->
+      let ir = env.prog.procs.(pidx) in
+      if (not ir.p_is_function) || ir.p_result < 0 then Sunknown
+      else begin
+        let found = ref Sunknown in
+        Array.iter
+          (fun (l : local) ->
+            if l.l_slot = ir.p_result then
+              found := sty_of_base l.l_base ~is_array:(l.l_dims <> [||]))
+          ir.p_locals;
+        Array.iter
+          (fun (d : dummy) ->
+            if (not d.d_undeclared) && d.d_slot = ir.p_result then
+              found := sty_of_base d.d_base ~is_array:d.d_is_array)
+          ir.p_dummies;
+        !found
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec compile_expr env (e : expr) : cexpr =
+  (* the generic lane: the interpreter itself on the original node *)
+  let gen () = Kv (fun ct fr -> eval_expr ct.rt fr e) in
+  match e with
+  | Elit (Value.Vreal (x, k)) -> Kf ((fun ct _ -> ct.scratch.fv <- x), k)
+  | Elit (Value.Vint i) -> Ki (fun _ _ -> i)
+  | Elit (Value.Vlog b) -> Kb (fun _ _ -> b)
+  | Elit (Value.Vstr _ as v) -> Kv (fun _ _ -> v)
+  | Evar { name; r } -> (
+    match r with
+    | Rerr m -> Kv (fun _ _ -> trap_s m)
+    | Rparam s -> (
+      match env.psty.(s) with
+      | Sreal k -> Kf ((fun ct _ -> ct.scratch.fv <- as_float (force_param ct.rt s)), k)
+      | Sint -> Ki (fun ct _ -> as_int (force_param ct.rt s))
+      | Sbool -> Kb (fun ct _ -> as_bool (force_param ct.rt s))
+      | Sarr _ | Sunknown -> Kv (fun ct _ -> force_param ct.rt s))
+    | Rlocal i -> (
+      match sty_of_ref env r with
+      | Sreal k ->
+        Kf
+          ( (fun ct fr ->
+              match fr.cells.(i) with
+              | Some (Value.Scalar sr) -> ct.scratch.fv <- as_float !sr
+              | Some _ -> trap "whole array %s used as a value" name
+              | None -> trap "variable %s local to %s referenced out of scope" name fr.pname),
+            k )
+      | Sint ->
+        Ki
+          (fun _ fr ->
+            match fr.cells.(i) with
+            | Some (Value.Scalar sr) -> as_int !sr
+            | Some _ -> trap "whole array %s used as a value" name
+            | None -> trap "variable %s local to %s referenced out of scope" name fr.pname)
+      | Sbool ->
+        Kb
+          (fun _ fr ->
+            match fr.cells.(i) with
+            | Some (Value.Scalar sr) -> as_bool !sr
+            | Some _ -> trap "whole array %s used as a value" name
+            | None -> trap "variable %s local to %s referenced out of scope" name fr.pname)
+      | Sarr _ | Sunknown -> gen ())
+    | Rglobal i -> (
+      match sty_of_ref env r with
+      | Sreal k ->
+        Kf
+          ( (fun ct _ ->
+              match ct.rt.rglobals.(i) with
+              | Value.Scalar sr -> ct.scratch.fv <- as_float !sr
+              | _ -> trap "whole array %s used as a value" name),
+            k )
+      | Sint ->
+        Ki
+          (fun ct _ ->
+            match ct.rt.rglobals.(i) with
+            | Value.Scalar sr -> as_int !sr
+            | _ -> trap "whole array %s used as a value" name)
+      | Sbool ->
+        Kb
+          (fun ct _ ->
+            match ct.rt.rglobals.(i) with
+            | Value.Scalar sr -> as_bool !sr
+            | _ -> trap "whole array %s used as a value" name)
+      | Sarr _ | Sunknown -> gen ()))
+  | Eneg { e = e1; costs } -> (
+    match compile_expr env e1 with
+    | Kf (f, k) ->
+      let sub = sub3 costs k in
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            let x = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops sub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (-.x)),
+          k )
+    | Ki f ->
+      Ki
+        (fun ct fr ->
+          let i = f ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          -i)
+    | Kb f ->
+      Kv
+        (fun ct fr ->
+          ignore (f ct fr : bool);
+          trap_s "negation of non-numeric value")
+    | Kv f ->
+      Kv
+        (fun ct fr ->
+          let rt = ct.rt in
+          match f ct fr with
+          | Value.Vint i ->
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            Value.Vint (-i)
+          | Value.Vreal (x, k) ->
+            charge rt ci_flops costs.((rt.rvec * 2) + kind_idx k);
+            mk_real k (-.x)
+          | Value.Vlog _ | Value.Vstr _ -> trap_s "negation of non-numeric value"))
+  | Enot e1 ->
+    let f = bview (compile_expr env e1) in
+    Kb (fun ct fr -> not (f ct fr))
+  | Ebin { op; a; b; exempt; costs; powmul } -> compile_bin env op a b exempt costs powmul
+  | Earr { name; r; idx; mem } -> compile_load env e name r idx mem
+  | Ecall cs -> (
+    let ca = compile_call env cs in
+    match callee_result_sty env cs with
+    | Sreal k ->
+      Kf
+        ( (fun ct fr ->
+            match exec_ccall ct fr ca with
+            | Some v -> ct.scratch.fv <- as_float v
+            | None -> trap "subroutine %s called as a function" cs.cs_name),
+          k )
+    | Sint ->
+      Ki
+        (fun ct fr ->
+          match exec_ccall ct fr ca with
+          | Some v -> as_int v
+          | None -> trap "subroutine %s called as a function" cs.cs_name)
+    | Sbool ->
+      Kb
+        (fun ct fr ->
+          match exec_ccall ct fr ca with
+          | Some v -> as_bool v
+          | None -> trap "subroutine %s called as a function" cs.cs_name)
+    | Sarr _ | Sunknown ->
+      Kv
+        (fun ct fr ->
+          match exec_ccall ct fr ca with
+          | Some v -> v
+          | None -> trap "subroutine %s called as a function" cs.cs_name))
+  | Eintr it -> compile_intr env e it
+  | Etrap m -> Kv (fun _ _ -> trap_s m)
+
+and compile_bin env op a b exempt costs powmul : cexpr =
+  let ca = compile_expr env a in
+  let cb = compile_expr env b in
+  (* exact fallback: both operands forced, then [Lower.bin_values] *)
+  let gen_bin () =
+    let fa = force ca and fb = force cb in
+    Kv
+      (fun ct fr ->
+        let va = fa ct fr in
+        let vb = fb ct fr in
+        bin_values ct.rt op ~exempt ~costs ~powmul va vb)
+  in
+  match op with
+  | Ast.And ->
+    let fa = bview ca and fb = bview cb in
+    Kb (fun ct fr -> if fa ct fr then fb ct fr else false)
+  | Ast.Or ->
+    let fa = bview ca and fb = bview cb in
+    Kb (fun ct fr -> if fa ct fr then true else fb ct fr)
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div -> (
+    match ca, cb with
+    | Ki fa, Ki fb ->
+      Ki
+        (fun ct fr ->
+          let x = fa ct fr in
+          let y = fb ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          iarith op x y)
+    | (Kf _ | Ki _), (Kf _ | Ki _) ->
+      let k, conv =
+        match ca, cb with
+        | Kf (_, k1), Kf (_, k2) ->
+          ((if k1 = Ast.K8 || k2 = Ast.K8 then Ast.K8 else Ast.K4), k1 <> k2 && not exempt)
+        | Kf (_, k), _ | _, Kf (_, k) -> (k, false)
+        | _ -> assert false
+      in
+      let sub = sub3 costs k in
+      let fa = fput ca and fb = fput cb in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            if conv then charge rt ci_convert rt.rconv.(rt.rvec);
+            charge rt ci_flops sub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (arith4 op x y)),
+          k )
+    | _ -> gen_bin ())
+  | Ast.Pow -> (
+    match ca, cb with
+    | Ki fa, Ki fb ->
+      Ki
+        (fun ct fr ->
+          let x = fa ct fr in
+          let y = fb ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          iarith Ast.Pow x y)
+    | Kf (fa, k), Ki fb ->
+      (* runtime integer exponent: strength-reduced when |n| <= 4 *)
+      let psub = sub3 powmul k and csub = sub3 costs k in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            let n = fb ct fr in
+            let rt = ct.rt in
+            if abs n <= 4 then begin
+              charge rt ci_flops (psub.(rt.rvec) *. float_of_int (max 1 (abs n - 1)));
+              let v = ipow4 x (abs n) in
+              ct.scratch.fv <- cmk_realf k (if n < 0 then 1.0 /. v else v)
+            end
+            else begin
+              charge rt ci_flops csub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (Float.pow x (float_of_int n))
+            end),
+          k )
+    | Kf (fa, k1), Kf (fb, k2) ->
+      let k = if k1 = Ast.K8 || k2 = Ast.K8 then Ast.K8 else Ast.K4 in
+      let conv = k1 <> k2 && not exempt in
+      let csub = sub3 costs k in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            if conv then charge rt ci_convert rt.rconv.(rt.rvec);
+            charge rt ci_flops csub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (Float.pow x y)),
+          k )
+    | Ki fa, Kf (fb, k) ->
+      let csub = sub3 costs k in
+      Kf
+        ( (fun ct fr ->
+            let x = float_of_int (fa ct fr) in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops csub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (Float.pow x y)),
+          k )
+    | _ -> gen_bin ())
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+    match ca, cb with
+    | (Kf _ | Ki _), (Kf _ | Ki _) ->
+      let conv =
+        match ca, cb with
+        | Kf (_, k1), Kf (_, k2) -> k1 <> k2 && not exempt
+        | _ -> false
+      in
+      let fa = fput ca and fb = fput cb in
+      Kb
+        (fun ct fr ->
+          fa ct fr;
+          let x = ct.scratch.fv in
+          fb ct fr;
+          let y = ct.scratch.fv in
+          let rt = ct.rt in
+          if conv then charge rt ci_convert rt.rconv.(rt.rvec);
+          charge rt ci_flops rt.rmachine.Machine.compare_cost;
+          cmp_fn op x y)
+    | Kb fa, Kb fb ->
+      Kb
+        (fun ct fr ->
+          let x = fa ct fr in
+          let y = fb ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.compare_cost;
+          match op with
+          | Ast.Eq -> x = y
+          | Ast.Ne -> x <> y
+          | _ -> trap "ordering of logicals")
+    | _ -> gen_bin ())
+
+and compile_load env (e0 : expr) name r idx mem : cexpr =
+  let gen () = Kv (fun ct fr -> eval_expr ct.rt fr e0) in
+  match r with
+  | Rerr _ | Rparam _ -> gen ()
+  | Rlocal _ | Rglobal _ -> (
+    let resolve : cctx -> rframe -> Value.cell =
+      match r with
+      | Rlocal i ->
+        fun _ fr -> (
+          match fr.cells.(i) with
+          | Some c -> c
+          | None -> trap "variable %s local to %s referenced out of scope" name fr.pname)
+      | Rglobal i -> fun ct _ -> ct.rt.rglobals.(i)
+      | Rparam _ | Rerr _ -> assert false
+    in
+    let cidx = Array.map (fun e -> iview (compile_expr env e)) idx in
+    (* resolve the cell, evaluate indices (charging), then dispatch on
+       the tag — the same order as [Earr] + [load_indexed]. Defensive
+       arms replicate load-then-coerce on the (unreachable) mismatched
+       tags. *)
+    match sty_of_ref env r with
+    | Sarr (Ast.Treal k) when Array.length cidx = 1 ->
+      let c0 = cidx.(0) in
+      Kf
+        ( (fun ct fr ->
+            let rt = ct.rt in
+            let cell = resolve ct fr in
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            let i = c0 ct fr in
+            match cell with
+            | Value.Real_array { kind; data; dims } ->
+              charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+              ct.scratch.fv <- data.(offset1 ~name ~dims i)
+            | Value.Int_array { data; dims } ->
+              charge rt ci_flops rt.rmachine.Machine.int_op;
+              ct.scratch.fv <- float_of_int data.(offset1 ~name ~dims i)
+            | Value.Log_array { data; dims } ->
+              ct.scratch.fv <- as_float (Value.Vlog data.(offset1 ~name ~dims i))
+            | Value.Scalar _ -> trap "scalar %s subscripted" name),
+          k )
+    | Sarr (Ast.Treal k) when Array.length cidx = 2 ->
+      let c0 = cidx.(0) and c1 = cidx.(1) in
+      Kf
+        ( (fun ct fr ->
+            let rt = ct.rt in
+            let cell = resolve ct fr in
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            let i = c0 ct fr in
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            let j = c1 ct fr in
+            match cell with
+            | Value.Real_array { kind; data; dims } ->
+              charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+              ct.scratch.fv <- data.(offset2 ~name ~dims i j)
+            | Value.Int_array { data; dims } ->
+              charge rt ci_flops rt.rmachine.Machine.int_op;
+              ct.scratch.fv <- float_of_int data.(offset2 ~name ~dims i j)
+            | Value.Log_array { data; dims } ->
+              ct.scratch.fv <- as_float (Value.Vlog data.(offset2 ~name ~dims i j))
+            | Value.Scalar _ -> trap "scalar %s subscripted" name),
+          k )
+    | Sarr (Ast.Treal k) ->
+      Kf
+        ( (fun ct fr ->
+            let rt = ct.rt in
+            let cell = resolve ct fr in
+            let ix = eval_cidx cidx ct fr in
+            match cell with
+            | Value.Real_array { kind; data; dims } ->
+              charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+              ct.scratch.fv <- data.(offset_arr ~name ~dims ix)
+            | Value.Int_array { data; dims } ->
+              charge rt ci_flops rt.rmachine.Machine.int_op;
+              ct.scratch.fv <- float_of_int data.(offset_arr ~name ~dims ix)
+            | Value.Log_array { data; dims } ->
+              ct.scratch.fv <- as_float (Value.Vlog data.(offset_arr ~name ~dims ix))
+            | Value.Scalar _ -> trap "scalar %s subscripted" name),
+          k )
+    | Sarr Ast.Tinteger when Array.length cidx = 1 ->
+      let c0 = cidx.(0) in
+      Ki
+        (fun ct fr ->
+          let rt = ct.rt in
+          let cell = resolve ct fr in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          let i = c0 ct fr in
+          match cell with
+          | Value.Int_array { data; dims } ->
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            data.(offset1 ~name ~dims i)
+          | Value.Real_array { kind; data; dims } ->
+            charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+            as_int (Value.Vreal (data.(offset1 ~name ~dims i), kind))
+          | Value.Log_array { data; dims } -> as_int (Value.Vlog data.(offset1 ~name ~dims i))
+          | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | Sarr Ast.Tinteger when Array.length cidx = 2 ->
+      let c0 = cidx.(0) and c1 = cidx.(1) in
+      Ki
+        (fun ct fr ->
+          let rt = ct.rt in
+          let cell = resolve ct fr in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          let i = c0 ct fr in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          let j = c1 ct fr in
+          match cell with
+          | Value.Int_array { data; dims } ->
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            data.(offset2 ~name ~dims i j)
+          | Value.Real_array { kind; data; dims } ->
+            charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+            as_int (Value.Vreal (data.(offset2 ~name ~dims i j), kind))
+          | Value.Log_array { data; dims } -> as_int (Value.Vlog data.(offset2 ~name ~dims i j))
+          | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | Sarr Ast.Tinteger ->
+      Ki
+        (fun ct fr ->
+          let rt = ct.rt in
+          let cell = resolve ct fr in
+          let ix = eval_cidx cidx ct fr in
+          match cell with
+          | Value.Int_array { data; dims } ->
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            data.(offset_arr ~name ~dims ix)
+          | Value.Real_array { kind; data; dims } ->
+            charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+            as_int (Value.Vreal (data.(offset_arr ~name ~dims ix), kind))
+          | Value.Log_array { data; dims } -> as_int (Value.Vlog data.(offset_arr ~name ~dims ix))
+          | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | Sarr Ast.Tlogical ->
+      Kb
+        (fun ct fr ->
+          let rt = ct.rt in
+          let cell = resolve ct fr in
+          let ix = eval_cidx cidx ct fr in
+          match cell with
+          | Value.Log_array { data; dims } -> data.(offset_arr ~name ~dims ix)
+          | Value.Real_array { kind; data; dims } ->
+            charge rt ci_memory mem.((rt.rvec * 2) + kind_idx kind);
+            as_bool (Value.Vreal (data.(offset_arr ~name ~dims ix), kind))
+          | Value.Int_array { data; dims } ->
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            as_bool (Value.Vint data.(offset_arr ~name ~dims ix))
+          | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | Sreal _ | Sint | Sbool | Sunknown -> gen ())
+
+and compile_intr env (e0 : expr) (it : intr) : cexpr =
+  let gen () = Kv (fun ct fr -> eval_expr ct.rt fr e0) in
+  match it with
+  | Iabs { e; costs } -> (
+    match compile_expr env e with
+    | Kf (f, k) ->
+      let sub = sub3 costs k in
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            let x = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops sub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (Float.abs x)),
+          k )
+    | Ki f ->
+      Ki
+        (fun ct fr ->
+          let i = f ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          abs i)
+    | Kb _ | Kv _ -> gen ())
+  | Ielem { name; fn; e; costs } -> (
+    match compile_expr env e with
+    | Kf (f, k) -> (
+      let sub = sub3 costs k in
+      (* dispatch on the name once at compile time: the branches call the
+         very functions [elem_fn] maps these names to, but directly — an
+         indirect [fn] application boxes argument and result every time,
+         and elementals sit in the models' innermost loops *)
+      match name with
+      | "sqrt" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (sqrt x)),
+            k )
+      | "exp" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (exp x)),
+            k )
+      | "log" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (log x)),
+            k )
+      | "log10" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (log10 x)),
+            k )
+      | "sin" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (sin x)),
+            k )
+      | "cos" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (cos x)),
+            k )
+      | "tan" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (tan x)),
+            k )
+      | "atan" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (atan x)),
+            k )
+      | "asin" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (asin x)),
+            k )
+      | "acos" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (acos x)),
+            k )
+      | "sinh" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (sinh x)),
+            k )
+      | "cosh" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (cosh x)),
+            k )
+      | "tanh" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (tanh x)),
+            k )
+      | "aint" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (Float.trunc x)),
+            k )
+      | "anint" ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (Float.round x)),
+            k )
+      | _ ->
+        Kf
+          ( (fun ct fr ->
+              f ct fr;
+              let x = ct.scratch.fv in
+              let rt = ct.rt in
+              charge rt ci_flops sub.(rt.rvec);
+              ct.scratch.fv <- cmk_realf k (fn x)),
+            k ))
+    | Ki _ | Kb _ | Kv _ -> gen ())
+  | Iminmax { name; args; costs } -> (
+    let n = Array.length args in
+    if n < 2 then gen ()
+    else
+      let cs = Array.map (compile_expr env) args in
+      let all_int = Array.for_all (function Ki _ -> true | _ -> false) cs in
+      let typed = Array.for_all (function Ki _ | Kf _ -> true | _ -> false) cs in
+      if all_int then begin
+        let fs = Array.map iview cs in
+        let pick : int -> int -> int = if name = "min" then min else max in
+        Ki
+          (fun ct fr ->
+            let rt = ct.rt in
+            let vs = Array.make n 0 in
+            for i = 0 to n - 1 do
+              vs.(i) <- fs.(i) ct fr
+            done;
+            charge rt ci_flops rt.rmachine.Machine.int_op;
+            let acc = ref vs.(0) in
+            for i = 1 to n - 1 do
+              acc := pick !acc vs.(i)
+            done;
+            !acc)
+      end
+      else if typed then begin
+        (* at least one real operand: the promoted kind is static *)
+        let k =
+          Array.fold_left
+            (fun acc c -> match c with Kf (_, Ast.K8) -> Ast.K8 | _ -> acc)
+            Ast.K4 cs
+        in
+        let sub = sub3 costs k in
+        let fs = Array.map fput cs in
+        if n = 2 then begin
+          (* two-argument min/max dominates; [Float.min]/[Float.max] are
+             stdlib-inlinable, so the pair never boxes *)
+          let f0 = fs.(0) and f1 = fs.(1) in
+          let is_min = name = "min" in
+          Kf
+            ( (fun ct fr ->
+                f0 ct fr;
+                let a = ct.scratch.fv in
+                f1 ct fr;
+                let b = ct.scratch.fv in
+                let rt = ct.rt in
+                charge rt ci_flops sub.(rt.rvec);
+                let z = if is_min then Float.min a b else Float.max a b in
+                ct.scratch.fv <- cmk_realf k z),
+              k )
+        end
+        else begin
+          let pick = if name = "min" then Float.min else Float.max in
+          Kf
+            ( (fun ct fr ->
+                let rt = ct.rt in
+                let vs = Array.make n 0.0 in
+                for i = 0 to n - 1 do
+                  fs.(i) ct fr;
+                  vs.(i) <- ct.scratch.fv
+                done;
+                charge rt ci_flops sub.(rt.rvec);
+                let acc = ref vs.(0) in
+                for i = 1 to n - 1 do
+                  acc := pick !acc vs.(i)
+                done;
+                ct.scratch.fv <- cmk_realf k !acc),
+              k )
+        end
+      end
+      else gen ())
+  | Imod { a; b; costs } -> (
+    match compile_expr env a, compile_expr env b with
+    | Ki fa, Ki fb ->
+      Ki
+        (fun ct fr ->
+          let x = fa ct fr in
+          let y = fb ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          if y = 0 then trap "mod with zero divisor" else x - (x / y * y))
+    | ((Kf _ | Ki _) as ca), ((Kf _ | Ki _) as cb) ->
+      let k =
+        match ca, cb with
+        | Kf (_, k1), Kf (_, k2) -> if k1 = Ast.K8 || k2 = Ast.K8 then Ast.K8 else Ast.K4
+        | Kf (_, k), _ | _, Kf (_, k) -> k
+        | _ -> assert false
+      in
+      let sub = sub3 costs k in
+      let fa = fput ca and fb = fput cb in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops sub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (Float.rem x y)),
+          k )
+    | _ -> gen ())
+  | Iatan2 { a; b; costs } -> (
+    match compile_expr env a, compile_expr env b with
+    | ((Kf _ | Ki _) as ca), ((Kf _ | Ki _) as cb)
+      when (match ca, cb with Ki _, Ki _ -> false | _ -> true) ->
+      let k =
+        match ca, cb with
+        | Kf (_, k1), Kf (_, k2) -> if k1 = Ast.K8 || k2 = Ast.K8 then Ast.K8 else Ast.K4
+        | Kf (_, k), _ | _, Kf (_, k) -> k
+        | _ -> assert false
+      in
+      let sub = sub3 costs k in
+      let fa = fput ca and fb = fput cb in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops sub.(rt.rvec);
+            ct.scratch.fv <- cmk_realf k (Float.atan2 x y)),
+          k )
+    | _ -> gen ())
+  | Isign { a; b; costs } -> (
+    match compile_expr env a, compile_expr env b with
+    | Ki fa, Ki fb ->
+      Ki
+        (fun ct fr ->
+          let x = fa ct fr in
+          let y = fb ct fr in
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          let m = abs x in
+          if y >= 0 then m else -m)
+    | ((Kf _ | Ki _) as ca), ((Kf _ | Ki _) as cb) ->
+      let k =
+        match ca, cb with
+        | Kf (_, k1), Kf (_, k2) -> if k1 = Ast.K8 || k2 = Ast.K8 then Ast.K8 else Ast.K4
+        | Kf (_, k), _ | _, Kf (_, k) -> k
+        | _ -> assert false
+      in
+      let sub = sub3 costs k in
+      let fa = fput ca and fb = fput cb in
+      Kf
+        ( (fun ct fr ->
+            fa ct fr;
+            let x = ct.scratch.fv in
+            fb ct fr;
+            let y = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_flops sub.(rt.rvec);
+            let m = Float.abs x in
+            ct.scratch.fv <- cmk_realf k (if y >= 0.0 then m else -.m)),
+          k )
+    | _ -> gen ())
+  | Ireal { e; kind = None } -> (
+    match compile_expr env e with
+    | Kf (f, Ast.K4) ->
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            ct.scratch.fv <- round32 ct.scratch.fv),
+          Ast.K4 )
+    | Kf (f, Ast.K8) ->
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            let x = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_convert rt.rconv.(rt.rvec);
+            ct.scratch.fv <- round32 x),
+          Ast.K4 )
+    | Ki f -> Kf ((fun ct fr -> ct.scratch.fv <- round32 (float_of_int (f ct fr))), Ast.K4)
+    | Kb _ | Kv _ -> gen ())
+  | Ireal { e; kind = Some kk } -> (
+    match compile_expr env e with
+    | Kf (f, k) when k = kk ->
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            ct.scratch.fv <- cround kk ct.scratch.fv),
+          kk )
+    | Kf (f, _) ->
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            let x = ct.scratch.fv in
+            let rt = ct.rt in
+            charge rt ci_convert rt.rconv.(rt.rvec);
+            ct.scratch.fv <- cround kk x),
+          kk )
+    | Ki f -> Kf ((fun ct fr -> ct.scratch.fv <- cround kk (float_of_int (f ct fr))), kk)
+    | Kb _ | Kv _ -> gen ())
+  | Idble e -> (
+    match compile_expr env e with
+    | Kf (f, Ast.K8) -> Kf (f, Ast.K8)
+    | Kf (f, Ast.K4) ->
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            let rt = ct.rt in
+            charge rt ci_convert rt.rconv.(rt.rvec)),
+          Ast.K8 )
+    | Ki f -> Kf ((fun ct fr -> ct.scratch.fv <- float_of_int (f ct fr)), Ast.K8)
+    | Kb _ | Kv _ -> gen ())
+  | Iicvt { which; e } -> (
+    match compile_expr env e with
+    | (Kf _ | Ki _) as c ->
+      (* int_op is charged before the operand evaluates *)
+      let f = fput c in
+      Ki
+        (fun ct fr ->
+          let rt = ct.rt in
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          f ct fr;
+          let x = ct.scratch.fv in
+          match which with
+          | 0 -> int_of_float x
+          | 1 -> int_of_float (Float.round x)
+          | _ -> int_of_float (Float.floor x))
+    | Kb _ | Kv _ -> gen ())
+  | Iinq { name; e } -> (
+    match compile_expr env e with
+    | Kf (f, k) ->
+      let v =
+        match name, k with
+        | "epsilon", Ast.K8 -> epsilon_float
+        | "epsilon", Ast.K4 -> 1.1920928955078125e-07
+        | "huge", Ast.K8 -> max_float
+        | "huge", Ast.K4 -> Fp32.max_finite
+        | "tiny", Ast.K8 -> min_float
+        | "tiny", Ast.K4 -> Fp32.min_positive_normal
+        | _ -> assert false
+      in
+      Kf
+        ( (fun ct fr ->
+            f ct fr;
+            ct.scratch.fv <- v),
+          k )
+    | Ki _ | Kb _ | Kv _ -> gen ())
+  | Ireal_bad _ | Idot _ | Ireduce _ | Isize _ -> gen ()
+
+and cco env (co : copy_out option) : ccopy option =
+  match co with
+  | None -> None
+  | Some c ->
+    Some { cco = c; cco_idx = Array.map (fun e -> iview (compile_expr env e)) c.co_idx }
+
+and compile_call env (cs : call_site) : ccall =
+  {
+    cc = cs;
+    cc_args =
+      Array.map
+        (function
+          | Aref { name; r } -> CAref { a = name; ar = r }
+          (* a literal actual is already a [Value.v]; handing the block
+             out directly is safe (immutable) and skips re-boxing it on
+             every call *)
+          | Aval { e = Elit v; lit; co } -> CAval { cv = (fun _ _ -> v); lit; co = cco env co }
+          | Aval { e; lit; co } ->
+            CAval { cv = force (compile_expr env e); lit; co = cco env co })
+        cs.cs_args;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* [store_indexed] with precompiled indices: same order — indices
+   (charging int_op each), then tag dispatch, charges, rounding, finite
+   trap, and the bounds check last *)
+(* target resolvers, with the [Sassign] trap wording *)
+let lsc_ref name r : cctx -> rframe -> Value.v ref =
+  match r with
+  | Rerr m -> fun _ _ -> trap_s m
+  | Rparam s ->
+    fun ct _ ->
+      ignore (force_param ct.rt s : Value.v);
+      trap "assignment to parameter %s" name
+  | Rlocal i ->
+    fun _ fr -> (
+      match fr.cells.(i) with
+      | Some (Value.Scalar sr) -> sr
+      | Some _ -> trap "assignment to whole array %s unsupported" name
+      | None -> trap "variable %s local to %s referenced out of scope" name fr.pname)
+  | Rglobal i ->
+    fun ct _ -> (
+      match ct.rt.rglobals.(i) with
+      | Value.Scalar sr -> sr
+      | _ -> trap "assignment to whole array %s unsupported" name)
+
+let arr_cell name r : cctx -> rframe -> Value.cell =
+  match r with
+  | Rerr m -> fun _ _ -> trap_s m
+  | Rparam s ->
+    fun ct _ ->
+      ignore (force_param ct.rt s : Value.v);
+      trap "assignment to parameter %s" name
+  | Rlocal i ->
+    fun _ fr -> (
+      match fr.cells.(i) with
+      | Some c -> c
+      | None -> trap "variable %s local to %s referenced out of scope" name fr.pname)
+  | Rglobal i -> fun ct _ -> ct.rt.rglobals.(i)
+
+type ccase =
+  | CCval of (cctx -> rframe -> Value.v)
+  | CCrange of (cctx -> rframe -> int) option * (cctx -> rframe -> int) option
+
+let rec compile_stmt env (s : stmt) : cstmt =
+  match s with
+  | Sassign { tgt = Lsc { name; r; rhs_lit }; rhs } -> (
+    let resolve = lsc_ref name r in
+    let crhs = compile_expr env rhs in
+    (* rhs first, then target resolution, then the store *)
+    match sty_of_ref env r, crhs with
+    | Sreal kind, Kf (f, k) ->
+      let conv = k <> kind && not rhs_lit in
+      fun ct fr ->
+        f ct fr;
+        let x = ct.scratch.fv in
+        let sr = resolve ct fr in
+        let rt = ct.rt in
+        (match !sr with
+        | Value.Vreal _ ->
+          if conv then charge rt ci_convert rt.rconv.(rt.rvec);
+          let y = cround kind x in
+          if not (Float.is_finite y) then
+            trap "non-finite value stored to real(kind=%d) scalar" (Token.int_of_kind kind);
+          sr := Value.Vreal (y, kind)
+        | _ -> scalar_store rt sr (Value.Vreal (x, k)) ~lit:rhs_lit)
+    | Sreal kind, Ki f ->
+      fun ct fr ->
+        let i = f ct fr in
+        let sr = resolve ct fr in
+        let rt = ct.rt in
+        (match !sr with
+        | Value.Vreal _ ->
+          let y = cround kind (float_of_int i) in
+          if not (Float.is_finite y) then
+            trap "non-finite value stored to real(kind=%d) scalar" (Token.int_of_kind kind);
+          sr := Value.Vreal (y, kind)
+        | _ -> scalar_store rt sr (Value.Vint i) ~lit:rhs_lit)
+    | Sint, Ki f ->
+      fun ct fr ->
+        let i = f ct fr in
+        let sr = resolve ct fr in
+        (match !sr with
+        | Value.Vint _ -> sr := vint i
+        | _ -> scalar_store ct.rt sr (Value.Vint i) ~lit:rhs_lit)
+    | Sbool, Kb f ->
+      fun ct fr ->
+        let b = f ct fr in
+        let sr = resolve ct fr in
+        (match !sr with
+        | Value.Vlog _ -> sr := Value.Vlog b
+        | _ -> scalar_store ct.rt sr (Value.Vlog b) ~lit:rhs_lit)
+    | _ ->
+      let fv = force crhs in
+      fun ct fr ->
+        let v = fv ct fr in
+        let sr = resolve ct fr in
+        scalar_store ct.rt sr v ~lit:rhs_lit)
+  | Sassign { tgt = Larr { name; r; idx; rhs_lit }; rhs } -> (
+    let resolve = arr_cell name r in
+    let crhs = compile_expr env rhs in
+    let cidx = Array.map (fun e -> iview (compile_expr env e)) idx in
+    match sty_of_ref env r, crhs with
+    | Sarr (Ast.Treal _), Kf (f, krhs) when Array.length cidx = 1 ->
+      (* hot combination: rank-1 real store with a typed-float rhs; the
+         float stays unboxed from the rhs through the element store *)
+      let c0 = cidx.(0) in
+      fun ct fr ->
+        f ct fr;
+        let xv = ct.scratch.fv in
+        let cell = resolve ct fr in
+        let rt = ct.rt in
+        charge rt ci_flops rt.rmachine.Machine.int_op;
+        let i = c0 ct fr in
+        (match cell with
+        | Value.Real_array { kind; data; dims } ->
+          charge rt ci_memory rt.rmemtab.((rt.rvec * 2) + kind_idx kind);
+          if krhs <> kind && not rhs_lit then charge rt ci_convert rt.rconv.(rt.rvec);
+          let x = cround kind xv in
+          if not (Float.is_finite x) then
+            trap "non-finite value stored to %s (real(kind=%d))" name (Token.int_of_kind kind);
+          data.(offset1 ~name ~dims i) <- x
+        | Value.Int_array { data; dims } ->
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          data.(offset1 ~name ~dims i) <- as_int (Value.Vreal (xv, krhs))
+        | Value.Log_array { data; dims } ->
+          data.(offset1 ~name ~dims i) <- as_bool (Value.Vreal (xv, krhs))
+        | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | Sarr (Ast.Treal _), Kf (f, krhs) when Array.length cidx = 2 ->
+      (* same, rank 2 (MOM6's column fields) *)
+      let c0 = cidx.(0) and c1 = cidx.(1) in
+      fun ct fr ->
+        f ct fr;
+        let xv = ct.scratch.fv in
+        let cell = resolve ct fr in
+        let rt = ct.rt in
+        charge rt ci_flops rt.rmachine.Machine.int_op;
+        let i = c0 ct fr in
+        charge rt ci_flops rt.rmachine.Machine.int_op;
+        let j = c1 ct fr in
+        (match cell with
+        | Value.Real_array { kind; data; dims } ->
+          charge rt ci_memory rt.rmemtab.((rt.rvec * 2) + kind_idx kind);
+          if krhs <> kind && not rhs_lit then charge rt ci_convert rt.rconv.(rt.rvec);
+          let x = cround kind xv in
+          if not (Float.is_finite x) then
+            trap "non-finite value stored to %s (real(kind=%d))" name (Token.int_of_kind kind);
+          data.(offset2 ~name ~dims i j) <- x
+        | Value.Int_array { data; dims } ->
+          charge rt ci_flops rt.rmachine.Machine.int_op;
+          data.(offset2 ~name ~dims i j) <- as_int (Value.Vreal (xv, krhs))
+        | Value.Log_array { data; dims } ->
+          data.(offset2 ~name ~dims i j) <- as_bool (Value.Vreal (xv, krhs))
+        | Value.Scalar _ -> trap "scalar %s subscripted" name)
+    | _ ->
+      let fv = force crhs in
+      fun ct fr ->
+        let v = fv ct fr in
+        let cell = resolve ct fr in
+        cstore ct fr name cell cidx ~lit:rhs_lit v)
+  | Scall cs ->
+    let ca = compile_call env cs in
+    fun ct fr -> ignore (exec_ccall ct fr ca : Value.v option)
+  | Sallreduce { send; send_lit; rn; recv; op } ->
+    let fsend = force (compile_expr env send) in
+    let known_op = op = "sum" || op = "max" || op = "min" in
+    fun ct fr ->
+      let rt = ct.rt in
+      let v = fsend ct fr in
+      charge rt ci_reduction rt.rmachine.Machine.allreduce;
+      if not known_op then trap "mpi_allreduce: unknown op %s" op;
+      let r = scalar_ref rt fr rn recv in
+      scalar_store rt r v ~lit:send_lit
+  | Sbarrier ->
+    fun ct _ ->
+      let rt = ct.rt in
+      charge rt ci_reduction (rt.rmachine.Machine.allreduce /. 2.0)
+  | Sif { arms; els } ->
+    let carms =
+      Array.map (fun (c, blk) -> (bview (compile_expr env c), compile_block env blk)) arms
+    in
+    let cels = compile_block env els in
+    let n = Array.length carms in
+    (* [go] closes over the compiled arms only, so it is allocated once
+       here rather than on every execution of the [if] *)
+    let rec go ct fr i =
+      if i = n then exec_cblock ct fr cels
+      else
+        let cond, blk = carms.(i) in
+        if cond ct fr then exec_cblock ct fr blk else go ct fr (i + 1)
+    in
+    fun ct fr -> go ct fr 0
+  | Sdo { vn; var; from_; to_; step; mode; iter_overhead; body } ->
+    let flo = iview (compile_expr env from_) in
+    let fhi = iview (compile_expr env to_) in
+    let fstep = Option.map (fun e -> iview (compile_expr env e)) step in
+    let cbody = compile_block env body in
+    let midx = mode_idx mode in
+    fun ct fr ->
+      let rt = ct.rt in
+      let r = scalar_ref rt fr vn var in
+      let lo = flo ct fr in
+      let hi = fhi ct fr in
+      let stp = match fstep with Some f -> f ct fr | None -> 1 in
+      if stp = 0 then trap "do loop with zero step";
+      let saved_vec = rt.rvec in
+      rt.rvec <- midx;
+      (try
+         if stp = 1 then
+           for i = lo to hi do
+             r := vint i;
+             charge rt ci_loop iter_overhead;
+             check_budget rt;
+             try exec_cblock ct fr cbody with Rcycle -> ()
+           done
+         else begin
+           let i = ref lo in
+           while (stp > 0 && !i <= hi) || (stp < 0 && !i >= hi) do
+             r := vint !i;
+             charge rt ci_loop iter_overhead;
+             check_budget rt;
+             (try exec_cblock ct fr cbody with Rcycle -> ());
+             i := !i + stp
+           done
+         end
+       with
+      | Rexit -> ()
+      | e ->
+        rt.rvec <- saved_vec;
+        raise e);
+      rt.rvec <- saved_vec
+  | Sdo_while { cond; body } ->
+    let fcond = bview (compile_expr env cond) in
+    let cbody = compile_block env body in
+    fun ct fr ->
+      let rt = ct.rt in
+      (try
+         while fcond ct fr do
+           charge rt ci_loop rt.rmachine.Machine.loop_overhead;
+           check_budget rt;
+           try exec_cblock ct fr cbody with Rcycle -> ()
+         done
+       with Rexit -> ())
+  | Sselect { selector; arms; default } ->
+    let fsel = force (compile_expr env selector) in
+    let carms =
+      Array.map
+        (fun (items, blk) ->
+          ( Array.map
+              (function
+                | Cval e -> CCval (force (compile_expr env e))
+                | Crange (lo, hi) ->
+                  CCrange
+                    ( Option.map (fun e -> iview (compile_expr env e)) lo,
+                      Option.map (fun e -> iview (compile_expr env e)) hi ))
+              items,
+            compile_block env blk ))
+        arms
+    in
+    let cdefault = compile_block env default in
+    let n = Array.length carms in
+    (* as with [Sif]: the helpers take all state as arguments so they
+       are built once at compile time, not per execution *)
+    let matches ct fr sel item =
+      match item, sel with
+      | CCval f, _ -> (
+        match f ct fr, sel with
+        | Value.Vint a, Value.Vint b -> a = b
+        | Value.Vlog a, Value.Vlog b -> a = b
+        | _ -> trap "case value incompatible with selector")
+      | CCrange (lo, hi), Value.Vint x ->
+        let above = match lo with Some f -> x >= f ct fr | None -> true in
+        let below = match hi with Some f -> x <= f ct fr | None -> true in
+        above && below
+      | CCrange _, _ -> trap "case range requires an integer selector"
+    in
+    let rec matches_any ct fr sel (items : ccase array) j =
+      j < Array.length items
+      && (matches ct fr sel items.(j) || matches_any ct fr sel items (j + 1))
+    in
+    let rec go ct fr sel i =
+      if i = n then exec_cblock ct fr cdefault
+      else
+        let items, blk = carms.(i) in
+        if matches_any ct fr sel items 0 then exec_cblock ct fr blk else go ct fr sel (i + 1)
+    in
+    fun ct fr ->
+      let rt = ct.rt in
+      let sel = fsel ct fr in
+      charge rt ci_flops rt.rmachine.Machine.compare_cost;
+      go ct fr sel 0
+  | Sexit -> fun _ _ -> raise Rexit
+  | Scycle -> fun _ _ -> raise Rcycle
+  | Sreturn -> fun _ _ -> raise Rreturn
+  | Sstop m -> fun _ _ -> raise (Rstop m)
+  | Sprint args ->
+    let fs = Array.map (fun e -> force (compile_expr env e)) args in
+    let n = Array.length fs in
+    fun ct fr ->
+      let rt = ct.rt in
+      let vs = Array.make n (Value.Vint 0) in
+      for i = 0 to n - 1 do
+        vs.(i) <- fs.(i) ct fr
+      done;
+      let line = String.concat " " (List.map Value.to_string (Array.to_list vs)) in
+      rt.rprinted <- line :: rt.rprinted;
+      if n > 0 then (
+        match vs.(0) with
+        | Value.Vstr key ->
+          for i = 1 to n - 1 do
+            match vs.(i) with
+            | Value.Vreal (x, _) -> rt.rrecords <- (key, x) :: rt.rrecords
+            | Value.Vint iv -> rt.rrecords <- (key, float_of_int iv) :: rt.rrecords
+            | Value.Vlog _ | Value.Vstr _ -> ()
+          done
+        | _ -> ())
+  | Strap m -> fun _ _ -> trap_s m
+
+and compile_block env (blk : stmt array) : cstmt array = Array.map (compile_stmt env) blk
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program compilation                                           *)
+
+let compile_proc env (ir : proc_ir) : cproc =
+  {
+    ir;
+    cbody = compile_block env ir.p_body;
+    clocals =
+      Array.map
+        (fun (l : local) ->
+          { cl_def = l; cl_dims = Array.map (fun e -> iview (compile_expr env e)) l.l_dims })
+        ir.p_locals;
+    cinits =
+      Array.map
+        (fun (it : initr) -> { cin_def = it; cin_rhs = force (compile_expr env it.i_rhs) })
+        ir.p_inits;
+  }
+
+module Cache = struct
+  (* Same key discipline and locking protocol as [Lower.Cache]:
+     compiled procedures are pure functions of (IR, machine) and the IR
+     is itself pinned by the key, so entries are shared across variants
+     and domains; a publish race keeps the first-published closure tree. *)
+  type t = {
+    tbl : (string, cproc) Hashtbl.t;
+    lock : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = 0; misses = 0 }
+
+  let stats t =
+    Mutex.lock t.lock;
+    let r = (t.hits, t.misses) in
+    Mutex.unlock t.lock;
+    r
+
+  let get_or_compile t key f =
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.tbl key with
+    | Some cp ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      cp
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      let cp = f () in
+      Mutex.lock t.lock;
+      (match Hashtbl.find_opt t.tbl key with
+      | Some winner ->
+        Mutex.unlock t.lock;
+        winner
+      | None ->
+        Hashtbl.replace t.tbl key cp;
+        Mutex.unlock t.lock;
+        cp)
+end
+
+type t = { cl : program; cprocs : cproc array; cmain : cstmt array }
+
+let compile ?cache (p : program) : t =
+  let gsty = Array.make p.nglobals Sunknown in
+  Array.iter
+    (fun (g : global) ->
+      gsty.(g.g_slot) <-
+        (match g.g_extents with
+        | Some [||] -> sty_of_base g.g_base ~is_array:false
+        | Some _ -> Sarr g.g_base
+        | None -> Sunknown))
+    p.globals;
+  let psty =
+    Array.map (fun (pa : param) -> sty_of_base pa.pa_base ~is_array:false) p.params
+  in
+  let fsty_of (ir : proc_ir) =
+    let fsty = Array.make ir.p_nslots Sunknown in
+    Array.iter
+      (fun (d : dummy) ->
+        if not d.d_undeclared then fsty.(d.d_slot) <- sty_of_base d.d_base ~is_array:d.d_is_array)
+      ir.p_dummies;
+    Array.iter
+      (fun (l : local) ->
+        fsty.(l.l_slot) <- sty_of_base l.l_base ~is_array:(l.l_dims <> [||]))
+      ir.p_locals;
+    fsty
+  in
+  let cached key f =
+    match cache with
+    | Some c when key <> "" -> Cache.get_or_compile c key f
+    | Some _ | None -> f ()
+  in
+  let cprocs =
+    Array.mapi
+      (fun i (ir : proc_ir) ->
+        cached ir.p_key (fun () ->
+            compile_proc
+              { prog = p; gsty; psty; fsty = fsty_of ir; clinks = p.links.(i) }
+              ir))
+      p.procs
+  in
+  (* the main body runs in an empty frame: every name it touches is a
+     global or parameter, so [fsty] is empty *)
+  let main_env = { prog = p; gsty; psty; fsty = [||]; clinks = p.main_links } in
+  let cmain =
+    match cache with
+    | Some c when p.main_key <> "" ->
+      let main_ir =
+        {
+          p_name = "";
+          p_key = p.main_key;
+          p_result = -1;
+          p_is_function = false;
+          p_is_wrapper = false;
+          p_inlinable = false;
+          p_nslots = 0;
+          p_dummies = [||];
+          p_locals = [||];
+          p_inits = [||];
+          p_body = p.main_body;
+          p_callees = [||];
+        }
+      in
+      (Cache.get_or_compile c p.main_key (fun () ->
+           {
+             ir = main_ir;
+             cbody = compile_block main_env p.main_body;
+             clocals = [||];
+             cinits = [||];
+           }))
+        .cbody
+    | Some _ | None -> compile_block main_env p.main_body
+  in
+  { cl = p; cprocs; cmain }
+
+let run ?budget (t : t) : Interp.outcome =
+  let rt = fresh_rctx ?budget t.cl in
+  let ct = { rt; cprocs = t.cprocs; scratch = { fv = 0.0 } } in
+  run_with rt t.cl ~exec:(fun () ->
+      let fr = { pname = ""; cells = [||]; flinks = t.cl.main_links } in
+      exec_cblock ct fr t.cmain)
+
+

@@ -143,6 +143,7 @@ type initr = { i_name : string; i_slot : int; i_rhs : expr; i_lit : bool }
 
 type proc_ir = {
   p_name : string;
+  p_key : string;  (* cache key when lowered through a [Cache]; "" otherwise *)
   p_result : int;  (* result slot; -1 = subroutine; -2 = function, no cell *)
   p_is_function : bool;
   p_is_wrapper : bool;
@@ -173,6 +174,7 @@ type program = {
   procs : proc_ir array;
   links : int array array;  (* per proc: local callee index -> proc index (-1 unknown) *)
   main_body : stmt array;
+  main_key : string;  (* cache key of the main pseudo-procedure; "" uncached *)
   main_links : int array;
   aux_links : int array;  (* links for global/parameter initializer expressions *)
   globals : global array;  (* program declaration order *)
@@ -546,6 +548,7 @@ let lower_proc ~st ~machine ~gslot ~pslot ~vec_mode_of ~is_wrapper ~is_inlinable
   in
   {
     p_name = name;
+    p_key = "";
     p_result;
     p_is_function;
     p_is_wrapper = is_wrapper;
@@ -723,7 +726,7 @@ let lower ?cache ?(wrapper_owner = fun _ -> None) ~machine st : program =
     | None -> f ()
     | Some c ->
       let key = proc_cache_key st ~units ~cg:(Lazy.force cg) ~roots key_name in
-      Cache.get_or_lower c key f
+      Cache.get_or_lower c key (fun () -> { (f ()) with p_key = key })
   in
   let procs_src = Ast.all_procs prog in
   let procs =
@@ -761,15 +764,15 @@ let lower ?cache ?(wrapper_owner = fun _ -> None) ~machine st : program =
              in
              let body = lower_block env m.Ast.main_body in
              {
-               p_name = "<main>"; p_result = -1; p_is_function = false; p_is_wrapper = false;
-               p_inlinable = false; p_nslots = 0; p_dummies = [||]; p_locals = [||];
-               p_inits = [||]; p_body = body; p_callees = callee_names ();
+               p_name = "<main>"; p_key = ""; p_result = -1; p_is_function = false;
+               p_is_wrapper = false; p_inlinable = false; p_nslots = 0; p_dummies = [||];
+               p_locals = [||]; p_inits = [||]; p_body = body; p_callees = callee_names ();
              }))
   in
-  let main_body, main_links =
+  let main_body, main_key, main_links =
     match main_ir with
-    | Some ir -> (ir.p_body, Array.map link_of ir.p_callees)
-    | None -> ([||], [||])
+    | Some ir -> (ir.p_body, ir.p_key, Array.map link_of ir.p_callees)
+    | None -> ([||], "", [||])
   in
   (* global + parameter initializer expressions share one callee table *)
   let aux_idx, aux_names = make_interner () in
@@ -827,6 +830,7 @@ let lower ?cache ?(wrapper_owner = fun _ -> None) ~machine st : program =
     procs;
     links;
     main_body;
+    main_key;
     main_links;
     aux_links;
     globals;
@@ -877,13 +881,19 @@ type rframe = {
   flinks : int array;  (* this body's callee index -> proc index *)
 }
 
+(* all-float one-field record: stored flat, in-place float update with
+   no boxing (a [mutable float] field of this mixed record would box on
+   every store — once per charge) *)
+type fbox = { mutable fv : float }
+
 type rctx = {
   rprocs : proc_ir array;
   rlinks : int array array;
   raux : int array;
   rmachine : Machine.t;
   rtimers : Timers.t;
-  mutable rcost : float;
+  raccs : Timers.acc option array;  (* by proc index, resolved on first entry *)
+  rcost : fbox;
   rbudget : float;  (* infinity when unbudgeted *)
   rglobals : Value.cell array;
   rparams : Value.v option array;
@@ -899,21 +909,41 @@ type rctx = {
   rbreakdown : float array;
 }
 
-let charge rt i c =
+let[@inline] charge rt i c =
   if rt.rcharging then begin
-    rt.rcost <- rt.rcost +. c;
+    rt.rcost.fv <- rt.rcost.fv +. c;
     rt.rbreakdown.(i) <- rt.rbreakdown.(i) +. c;
-    Timers.charge rt.rtimers c
+    (* [Timers.charge] spelled out so the float stays unboxed here *)
+    let tm = rt.rtimers in
+    tm.Timers.top.Timers.exclusive <- tm.Timers.top.Timers.exclusive +. c
   end
 
-let check_budget rt = if rt.rcost > rt.rbudget then raise Rtimeout
+let[@inline] check_budget rt = if rt.rcost.fv > rt.rbudget then raise Rtimeout
 
-let mk_real kind x =
-  let x = Fp32.of_kind kind x in
-  if Float.is_finite x then Value.Vreal (x, kind)
-  else if Float.is_nan x then
+(* timer accumulator of proc [pidx], cached per run. Lazy on purpose:
+   resolving every proc up front would add never-entered procedures to
+   the snapshot. *)
+let proc_acc rt pidx name =
+  match rt.raccs.(pidx) with
+  | Some a -> a
+  | None ->
+    let a = Timers.acc_of rt.rtimers name in
+    rt.raccs.(pidx) <- Some a;
+    a
+
+(* cold: called only on a non-finite rounded value; always raises *)
+let bad_real kind x : float =
+  if Float.is_nan x then
     trap "NaN produced in real(kind=%d) arithmetic" (Token.int_of_kind kind)
   else trap "overflow in real(kind=%d) arithmetic" (Token.int_of_kind kind)
+
+(* kept small (trap formatting split into [bad_real]) so the float
+   argument and result stay unboxed at inlined call sites *)
+let[@inline] mk_realf kind x =
+  let x = Fp32.of_kind kind x in
+  if Float.is_finite x then x else bad_real kind x
+
+let mk_real kind x = Value.Vreal (mk_realf kind x, kind)
 
 let as_float = function
   | Value.Vreal (x, _) -> x
@@ -1056,7 +1086,12 @@ and eval_bin rt frame op a b exempt costs powmul =
   | _ ->
     let va = eval_expr rt frame a in
     let vb = eval_expr rt frame b in
-    let ka = value_kind va in
+    bin_values rt op ~exempt ~costs ~powmul va vb
+
+(* everything [eval_bin] does once both operands are values: shared with
+   the compiled backend's generic lane *)
+and bin_values rt op ~exempt ~costs ~powmul va vb =
+  let ka = value_kind va in
     let kb = value_kind vb in
     (match ka, kb with
     | Some k1, Some k2 when k1 <> k2 ->
@@ -1380,45 +1415,7 @@ and exec_call rt frame (cs : call_site) : Value.v option =
     let d = ir.p_dummies.(i) in
     if d.d_undeclared then trap "dummy %s of %s undeclared" d.d_name name;
     match cs.cs_args.(i) with
-    | Aref { name = a; r } ->
-      if d.d_is_array then (
-        match resolve_g rt frame a r with
-        | `Cell (Value.Real_array { kind; _ } as cell) -> (
-          match d.d_base with
-          | Ast.Treal dk when dk = kind -> cells.(d.d_slot) <- Some cell
-          | Ast.Treal dk ->
-            trap
-              "argument %s of %s: real(kind=%d) array passed to real(kind=%d) dummy %s — \
-               wrapper required"
-              a name (Token.int_of_kind kind) (Token.int_of_kind dk) d.d_name
-          | Ast.Tinteger | Ast.Tlogical -> trap "array type mismatch for %s of %s" d.d_name name)
-        | `Cell (Value.Int_array _ as cell) -> (
-          match d.d_base with
-          | Ast.Tinteger -> cells.(d.d_slot) <- Some cell
-          | Ast.Treal _ | Ast.Tlogical -> trap "array type mismatch for %s of %s" d.d_name name)
-        | `Cell (Value.Log_array _ as cell) -> (
-          match d.d_base with
-          | Ast.Tlogical -> cells.(d.d_slot) <- Some cell
-          | Ast.Treal _ | Ast.Tinteger -> trap "array type mismatch for %s of %s" d.d_name name)
-        | `Cell (Value.Scalar _) -> trap "scalar %s passed to array dummy %s of %s" a d.d_name name
-        | `Param _ -> trap "parameter %s passed to array dummy" a)
-      else (
-        match resolve_g rt frame a r with
-        | `Cell (Value.Scalar sr as cell) -> (
-          match !sr, d.d_base with
-          | Value.Vreal (_, ak), Ast.Treal dk ->
-            if ak = dk then cells.(d.d_slot) <- Some cell
-            else
-              trap
-                "argument %s of %s: real(kind=%d) passed to real(kind=%d) dummy %s — wrapper \
-                 required"
-                a name (Token.int_of_kind ak) (Token.int_of_kind dk) d.d_name
-          | Value.Vint _, Ast.Tinteger | Value.Vlog _, Ast.Tlogical ->
-            cells.(d.d_slot) <- Some cell
-          | _ -> trap "type mismatch binding %s to dummy %s of %s" a d.d_name name)
-        | `Param v -> bind_by_value rt cells ~callee:name ~d ~lit:false v
-        | `Cell (Value.Real_array _ | Value.Int_array _ | Value.Log_array _) ->
-          trap "array %s passed to scalar dummy %s of %s" a d.d_name name)
+    | Aref { name = a; r } -> bind_arg_ref rt frame cells ~callee:name ~d a r
     | Aval { e; lit; co } ->
       if d.d_is_array then
         trap "array dummy %s of %s requires a whole-array actual argument" d.d_name name
@@ -1449,7 +1446,8 @@ and exec_call rt frame (cs : call_site) : Value.v option =
     ir.p_inits;
   let is_wrapper = ir.p_is_wrapper in
   let inl = (not is_wrapper) && (not rt.rin_wrapper) && ir.p_inlinable in
-  if not is_wrapper then Timers.enter rt.rtimers ir.p_name ~now:rt.rcost;
+  if not is_wrapper then
+    Timers.enter_acc rt.rtimers (proc_acc rt pidx ir.p_name) ir.p_name ~now:rt.rcost.fv;
   if not inl then begin
     charge rt ci_call rt.rmachine.Machine.call_overhead;
     if is_wrapper then charge rt ci_call rt.rmachine.Machine.wrapper_overhead
@@ -1459,7 +1457,7 @@ and exec_call rt frame (cs : call_site) : Value.v option =
   if not inl then rt.rvec <- 0;
   rt.rin_wrapper <- is_wrapper;
   let finish () =
-    if not is_wrapper then Timers.exit_ rt.rtimers ~now:rt.rcost;
+    if not is_wrapper then Timers.exit_ rt.rtimers ~now:rt.rcost.fv;
     rt.rvec <- saved_vec;
     rt.rin_wrapper <- saved_in_wrapper;
     rt.rdepth <- rt.rdepth - 1
@@ -1487,6 +1485,49 @@ and exec_call rt frame (cs : call_site) : Value.v option =
     | Some (Value.Scalar r) -> Some !r
     | Some _ -> trap "array-valued function %s unsupported" name
     | None -> trap "function %s has no result cell" name)
+
+(* bind a whole-variable actual [a] (resolved through [r]) to dummy [d] of
+   [callee]: by reference when the kinds line up, trapping with the same
+   messages as the tree-walker otherwise. Shared with the compiled backend. *)
+and bind_arg_ref rt frame cells ~callee:name ~(d : dummy) a r =
+  if d.d_is_array then (
+    match resolve_g rt frame a r with
+    | `Cell (Value.Real_array { kind; _ } as cell) -> (
+      match d.d_base with
+      | Ast.Treal dk when dk = kind -> cells.(d.d_slot) <- Some cell
+      | Ast.Treal dk ->
+        trap
+          "argument %s of %s: real(kind=%d) array passed to real(kind=%d) dummy %s — \
+           wrapper required"
+          a name (Token.int_of_kind kind) (Token.int_of_kind dk) d.d_name
+      | Ast.Tinteger | Ast.Tlogical -> trap "array type mismatch for %s of %s" d.d_name name)
+    | `Cell (Value.Int_array _ as cell) -> (
+      match d.d_base with
+      | Ast.Tinteger -> cells.(d.d_slot) <- Some cell
+      | Ast.Treal _ | Ast.Tlogical -> trap "array type mismatch for %s of %s" d.d_name name)
+    | `Cell (Value.Log_array _ as cell) -> (
+      match d.d_base with
+      | Ast.Tlogical -> cells.(d.d_slot) <- Some cell
+      | Ast.Treal _ | Ast.Tinteger -> trap "array type mismatch for %s of %s" d.d_name name)
+    | `Cell (Value.Scalar _) -> trap "scalar %s passed to array dummy %s of %s" a d.d_name name
+    | `Param _ -> trap "parameter %s passed to array dummy" a)
+  else (
+    match resolve_g rt frame a r with
+    | `Cell (Value.Scalar sr as cell) -> (
+      match !sr, d.d_base with
+      | Value.Vreal (_, ak), Ast.Treal dk ->
+        if ak = dk then cells.(d.d_slot) <- Some cell
+        else
+          trap
+            "argument %s of %s: real(kind=%d) passed to real(kind=%d) dummy %s — wrapper \
+             required"
+            a name (Token.int_of_kind ak) (Token.int_of_kind dk) d.d_name
+      | Value.Vint _, Ast.Tinteger | Value.Vlog _, Ast.Tlogical ->
+        cells.(d.d_slot) <- Some cell
+      | _ -> trap "type mismatch binding %s to dummy %s of %s" a d.d_name name)
+    | `Param v -> bind_by_value rt cells ~callee:name ~d ~lit:false v
+    | `Cell (Value.Real_array _ | Value.Int_array _ | Value.Log_array _) ->
+      trap "array %s passed to scalar dummy %s of %s" a d.d_name name)
 
 and bind_by_value rt cells ~callee ~(d : dummy) ~lit v =
   ignore rt;
@@ -1649,41 +1690,45 @@ let prepare_globals rt (p : program) =
     | None -> ()
   done
 
-let run ?budget (p : program) : Interp.outcome =
-  let rt =
-    {
-      rprocs = p.procs;
-      rlinks = p.links;
-      raux = p.aux_links;
-      rmachine = p.machine;
-      rtimers = Timers.create ();
-      rcost = 0.0;
-      rbudget = (match budget with Some b -> b | None -> Float.infinity);
-      rglobals = Array.make p.nglobals (Value.Scalar (ref (Value.Vint 0)));
-      rparams = Array.make (Array.length p.params) None;
-      rparam_defs = p.params;
-      rconv = p.conv_costs;
-      rmemtab = table6 p.machine (fun lanes k -> Machine.mem_cost p.machine ~lanes k);
-      rvec = 0;
-      rrecords = [];
-      rprinted = [];
-      rdepth = 0;
-      rcharging = true;
-      rin_wrapper = false;
-      rbreakdown = Array.make (List.length Machine.categories) 0.0;
-    }
-  in
+let fresh_rctx ?budget (p : program) : rctx =
+  {
+    rprocs = p.procs;
+    rlinks = p.links;
+    raux = p.aux_links;
+    rmachine = p.machine;
+    rtimers = Timers.create ();
+    raccs = Array.make (Array.length p.procs) None;
+    rcost = { fv = 0.0 };
+    rbudget = (match budget with Some b -> b | None -> Float.infinity);
+    rglobals = Array.make p.nglobals (Value.Scalar (ref (Value.Vint 0)));
+    rparams = Array.make (Array.length p.params) None;
+    rparam_defs = p.params;
+    rconv = p.conv_costs;
+    rmemtab = table6 p.machine (fun lanes k -> Machine.mem_cost p.machine ~lanes k);
+    rvec = 0;
+    rrecords = [];
+    rprinted = [];
+    rdepth = 0;
+    rcharging = true;
+    rin_wrapper = false;
+    rbreakdown = Array.make (List.length Machine.categories) 0.0;
+  }
+
+(* shared entry/exit protocol of both evaluation backends: globals,
+   the main timer bracket, status classification, outcome assembly.
+   [exec] runs the main body with whatever execution engine the caller
+   chose; charges and records accumulate in [rt]. *)
+let run_with rt (p : program) ~exec : Interp.outcome =
   let status =
     match
       prepare_globals rt p;
       if not p.has_main then trap "program has no main unit";
-      let frame = { pname = ""; cells = [||]; flinks = p.main_links } in
-      Timers.enter rt.rtimers "<main>" ~now:rt.rcost;
-      (try exec_block rt frame p.main_body
+      Timers.enter rt.rtimers "<main>" ~now:rt.rcost.fv;
+      (try exec ()
        with e ->
-         Timers.exit_ rt.rtimers ~now:rt.rcost;
+         Timers.exit_ rt.rtimers ~now:rt.rcost.fv;
          raise e);
-      Timers.exit_ rt.rtimers ~now:rt.rcost
+      Timers.exit_ rt.rtimers ~now:rt.rcost.fv
     with
     | () -> Interp.Finished
     | exception Rstop m -> Interp.Stopped m
@@ -1696,9 +1741,15 @@ let run ?budget (p : program) : Interp.outcome =
   in
   {
     Interp.status;
-    cost = rt.rcost;
+    cost = rt.rcost.fv;
     timers = Timers.snapshot rt.rtimers;
     records = List.rev rt.rrecords;
     printed = List.rev rt.rprinted;
     breakdown = List.mapi (fun i c -> (c, rt.rbreakdown.(i))) Machine.categories;
   }
+
+let run ?budget (p : program) : Interp.outcome =
+  let rt = fresh_rctx ?budget p in
+  run_with rt p ~exec:(fun () ->
+      let frame = { pname = ""; cells = [||]; flinks = p.main_links } in
+      exec_block rt frame p.main_body)

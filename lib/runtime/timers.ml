@@ -1,52 +1,100 @@
-type acc = { mutable calls : int; mutable exclusive : float; mutable inclusive : float }
+(* Accumulators are all-float records on purpose: OCaml stores those
+   flat (like a float array), so the per-charge field updates allocate
+   nothing. With an int [calls] field the record would be mixed, every
+   float store would box, and [charge] — the hottest operation in an
+   evaluation — would allocate on each call. Call counts are exact in a
+   float far beyond any reachable count. *)
+type acc = { mutable calls : float; mutable exclusive : float; mutable inclusive : float }
 
+(* The attribution stack is three parallel arrays (grown on demand)
+   rather than a list: [enter]/[exit_] run once per modeled procedure
+   call, and cons cells plus a boxed mark float per call were a
+   measurable share of evaluation allocation. [marks] is a float array,
+   so pushing a mark is a flat store. *)
 type t = {
   table : (string, acc) Hashtbl.t;
-  mutable stack : (string * float) list;  (* (name, cost mark at entry) *)
-  mutable top : acc option;  (* accumulator of the stack's top frame *)
+  mutable names : string array;
+  mutable marks : float array;
+  mutable accs : acc array;
+  mutable depth : int;
+  mutable top : acc;  (* accumulator of the stack's top frame *)
+  sentinel : acc;  (* discards charges when the stack is empty *)
 }
 
 type entry = { name : string; calls : int; exclusive : float; inclusive : float }
 
-let create () = { table = Hashtbl.create 32; stack = []; top = None }
+let create () =
+  let sentinel = { calls = 0.0; exclusive = 0.0; inclusive = 0.0 } in
+  {
+    table = Hashtbl.create 32;
+    names = Array.make 64 "";
+    marks = Array.make 64 0.0;
+    accs = Array.make 64 sentinel;
+    depth = 0;
+    top = sentinel;
+    sentinel;
+  }
 
 let acc_of t name =
   match Hashtbl.find_opt t.table name with
   | Some a -> a
   | None ->
-    let a = { calls = 0; exclusive = 0.0; inclusive = 0.0 } in
+    let a = { calls = 0.0; exclusive = 0.0; inclusive = 0.0 } in
     Hashtbl.add t.table name a;
     a
 
-let enter t name ~now =
-  let a = acc_of t name in
-  a.calls <- a.calls + 1;
-  t.stack <- (name, now) :: t.stack;
-  t.top <- Some a
+let grow t =
+  let n = Array.length t.names in
+  let names = Array.make (2 * n) "" in
+  let marks = Array.make (2 * n) 0.0 in
+  let accs = Array.make (2 * n) t.sentinel in
+  Array.blit t.names 0 names 0 n;
+  Array.blit t.marks 0 marks 0 n;
+  Array.blit t.accs 0 accs 0 n;
+  t.names <- names;
+  t.marks <- marks;
+  t.accs <- accs
+
+(* pre-resolved accumulator: the fast-path evaluators look the acc up
+   once per (run, procedure) and then enter with no hashtable traffic *)
+let enter_acc t (a : acc) name ~now =
+  a.calls <- a.calls +. 1.0;
+  let d = t.depth in
+  if d = Array.length t.names then grow t;
+  t.names.(d) <- name;
+  t.marks.(d) <- now;
+  t.accs.(d) <- a;
+  t.depth <- d + 1;
+  t.top <- a
+
+let enter t name ~now = enter_acc t (acc_of t name) name ~now
 
 let exit_ t ~now =
-  match t.stack with
-  | [] -> invalid_arg "Timers.exit_: empty stack"
-  | (name, mark) :: rest ->
-    let a = acc_of t name in
-    a.inclusive <- a.inclusive +. (now -. mark);
-    t.stack <- rest;
-    t.top <- (match rest with [] -> None | (n, _) :: _ -> Some (acc_of t n))
+  if t.depth = 0 then invalid_arg "Timers.exit_: empty stack";
+  let d = t.depth - 1 in
+  let a = t.accs.(d) in
+  a.inclusive <- a.inclusive +. (now -. t.marks.(d));
+  t.depth <- d;
+  t.top <- (if d = 0 then t.sentinel else t.accs.(d - 1))
 
 (* [charge] sits on the interpreter's hottest path (once per charged
-   operation), so it must not pay a string-keyed lookup — the cached
-   [top] accumulator keeps it O(1). *)
-let charge t cost =
-  match t.top with
-  | None -> ()
-  | Some a -> a.exclusive <- a.exclusive +. cost
+   operation): one flat float-field update, no lookup, no allocation.
+   The sentinel absorbs charges outside any frame, as the empty-stack
+   no-op used to. *)
+let[@inline] charge t cost = t.top.exclusive <- t.top.exclusive +. cost
 
-let current t = match t.stack with [] -> None | (name, _) :: _ -> Some name
+let current t = if t.depth = 0 then None else Some t.names.(t.depth - 1)
 
 let snapshot t =
   Hashtbl.fold
     (fun name (a : acc) l ->
-      { name; calls = a.calls; exclusive = a.exclusive; inclusive = a.inclusive } :: l)
+      {
+        name;
+        calls = int_of_float a.calls;
+        exclusive = a.exclusive;
+        inclusive = a.inclusive;
+      }
+      :: l)
     t.table []
   |> List.sort (fun a b -> compare b.inclusive a.inclusive)
 

@@ -17,7 +17,28 @@
     - inclusive time (callees included) and call counts are kept per
       procedure; Fig. 6 plots average inclusive time per call. *)
 
-type t
+type acc = { mutable calls : float; mutable exclusive : float; mutable inclusive : float }
+(** A procedure's accumulator. All-float so the record is stored flat
+    and charging never allocates. Fast-path evaluators resolve it once
+    per (run, procedure) with {!acc_of} and then {!enter_acc} with no
+    hashtable traffic.
+
+    The representation (and [t] below) is exposed so the evaluators can
+    inline the per-operation charge — a single flat float-field update
+    on [top] — instead of paying a cross-module call with a boxed float
+    argument on their hottest path. Treat both as read/charge-only
+    outside this module: all stack discipline goes through
+    {!enter}/{!enter_acc}/{!exit_}. *)
+
+type t = {
+  table : (string, acc) Hashtbl.t;
+  mutable names : string array;
+  mutable marks : float array;
+  mutable accs : acc array;
+  mutable depth : int;
+  mutable top : acc;  (** accumulator of the stack's top frame *)
+  sentinel : acc;  (** discards charges when the stack is empty *)
+}
 
 type entry = {
   name : string;
@@ -28,8 +49,17 @@ type entry = {
 
 val create : unit -> t
 
+val acc_of : t -> string -> acc
+(** The accumulator for [name], created (and added to the table, hence
+    to future {!snapshot}s) on first use. Resolve accumulators only for
+    procedures actually being entered, or snapshots grow zero-call
+    entries a name-keyed user would never produce. *)
+
 val enter : t -> string -> now:float -> unit
 (** Push procedure [name]; [now] is the global cost accumulator. *)
+
+val enter_acc : t -> acc -> string -> now:float -> unit
+(** {!enter} with the accumulator pre-resolved. *)
 
 val exit_ : t -> now:float -> unit
 (** Pop the top procedure, folding [now - entry_mark] into its inclusive

@@ -32,6 +32,7 @@ type result = {
 
 val search :
   ?pool:Pool.t ->
+  ?affinity:(Transform.Assignment.t -> string) ->
   atoms:Transform.Assignment.atom list ->
   trace:Trace.t ->
   evaluate:(Transform.Assignment.t -> Variant.measurement) ->

@@ -26,6 +26,7 @@
 
 val search :
   ?pool:Pool.t ->
+  ?affinity:(Transform.Assignment.t -> string) ->
   atoms:Transform.Assignment.atom list ->
   groups:Transform.Assignment.atom list list ->
   trace:Trace.t ->

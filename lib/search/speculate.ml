@@ -14,11 +14,32 @@ type t = {
   pool : Pool.t option;
   trace : Trace.t;
   evaluate : Transform.Assignment.t -> Variant.measurement;
+  affinity : (Transform.Assignment.t -> string) option;
   results : (string, Variant.measurement) Hashtbl.t;
 }
 
-let create ?pool ~trace ~evaluate () =
-  { pool; trace; evaluate; results = Hashtbl.create 64 }
+let create ?pool ?affinity ~trace ~evaluate () =
+  { pool; trace; evaluate; affinity; results = Hashtbl.create 64 }
+
+(* Partition a batch into same-affinity runs, preserving first-seen order
+   of groups and batch order within each. Candidates that share an
+   affinity key evaluate to the same raw outcome downstream, so running
+   them on one worker back to back lets the later ones reuse the first's
+   work instead of racing to recompute it on other workers. *)
+let affinity_groups aff todo =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ((_, asg) as item) ->
+      let a = aff asg in
+      match Hashtbl.find_opt tbl a with
+      | Some r -> r := item :: !r
+      | None ->
+        let r = ref [ item ] in
+        Hashtbl.add tbl a r;
+        order := r :: !order)
+    todo;
+  List.rev_map (fun r -> List.rev !r) !order
 
 let prefetch t asgs =
   match t.pool with
@@ -39,11 +60,19 @@ let prefetch t asgs =
           end)
         asgs
     in
-    if todo <> [] then
+    if todo <> [] then begin
+      let groups =
+        match t.affinity with
+        | None -> List.map (fun item -> [ item ]) todo
+        | Some aff -> affinity_groups aff todo
+      in
+      let evaluated =
+        Pool.map pool (fun group -> List.map (fun (_, asg) -> t.evaluate asg) group) groups
+      in
       List.iter2
-        (fun (key, _) m -> Hashtbl.replace t.results key m)
-        todo
-        (Pool.map pool (fun (_, asg) -> t.evaluate asg) todo)
+        (List.iter2 (fun (key, _) m -> Hashtbl.replace t.results key m))
+        groups evaluated
+    end
 
 let evaluate t asg =
   Trace.evaluate t.trace

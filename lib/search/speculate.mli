@@ -13,15 +13,22 @@ type t
 
 val create :
   ?pool:Pool.t ->
+  ?affinity:(Transform.Assignment.t -> string) ->
   trace:Trace.t ->
   evaluate:(Transform.Assignment.t -> Variant.measurement) ->
   unit ->
   t
+(** [affinity] labels assignments that evaluate to the same underlying
+    outcome (e.g. {!Core}'s batch-reuse signature); [prefetch] schedules
+    same-label candidates back to back on one worker so the later ones
+    hit the evaluator's reuse table instead of racing to recompute it.
+    Purely a scheduling hint: results and records are unchanged. *)
 
 val prefetch : t -> Transform.Assignment.t list -> unit
 (** Evaluate the not-yet-known assignments of a batch on the pool
     (deduplicated against the trace cache, earlier speculation, and
-    within the batch). No-op without a pool. *)
+    within the batch), grouped by [affinity] when given. No-op without a
+    pool. *)
 
 val evaluate : t -> Transform.Assignment.t -> Variant.measurement
 (** [Trace.evaluate] that serves speculative results before falling back

@@ -1,19 +1,20 @@
 open Fortran
 
-type id = Roundtrip | Typecheck | Rewrite | Equiv
+type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled
 
 type violation = {
   oracle : id;
   detail : string;
 }
 
-let all = [ Roundtrip; Typecheck; Rewrite; Equiv ]
+let all = [ Roundtrip; Typecheck; Rewrite; Equiv; Compiled ]
 
 let name = function
   | Roundtrip -> "roundtrip"
   | Typecheck -> "typecheck"
   | Rewrite -> "rewrite"
   | Equiv -> "equiv"
+  | Compiled -> "compiled"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -21,6 +22,7 @@ let of_name s =
   | "typecheck" -> Some Typecheck
   | "rewrite" -> Some Rewrite
   | "equiv" -> Some Equiv
+  | "compiled" -> Some Compiled
   | _ -> None
 
 let budget = 1e6
@@ -171,6 +173,30 @@ let check_equiv (c : Gen.case) =
       };
     ]
 
+(* Three-way bit-identity: the tree-walker on the unparse→reparse round
+   trip, the slot-resolved evaluator, and the closure-compiled backend
+   must produce the same outcome on the same wrapped variant. *)
+let check_compiled (c : Gen.case) =
+  let _, _, _, w = transform c in
+  let owner = Transform.Wrappers.owner_fn w in
+  let text = Unparse.program w.Transform.Wrappers.program in
+  let st_rt = Symtab.build (Parser.parse ~file:"fuzz_variant.f90" text) in
+  let ref_out = Runtime.Interp.run ~machine ~budget ~wrapper_owner:owner st_rt in
+  let st_d = Symtab.build w.Transform.Wrappers.program in
+  let lowered = Runtime.Lower.lower ~wrapper_owner:owner ~machine st_d in
+  let lower_out = Runtime.Lower.run ~budget lowered in
+  let compiled_out = Runtime.Compile.run ~budget (Runtime.Compile.compile lowered) in
+  if compare ref_out lower_out = 0 && compare lower_out compiled_out = 0 then []
+  else
+    [
+      {
+        oracle = Compiled;
+        detail =
+          Printf.sprintf "interp: %s / lower: %s / compiled: %s" (pp_outcome ref_out)
+            (pp_outcome lower_out) (pp_outcome compiled_out);
+      };
+    ]
+
 let guarded oracle f c =
   try f c
   with e ->
@@ -190,5 +216,6 @@ let check ~ids c =
         | Roundtrip -> guarded Roundtrip check_roundtrip c
         | Typecheck -> guarded Typecheck check_typecheck c
         | Rewrite -> guarded Rewrite check_rewrite c
-        | Equiv -> guarded Equiv check_equiv c)
+        | Equiv -> guarded Equiv check_equiv c
+        | Compiled -> guarded Compiled check_compiled c)
     all

@@ -1,6 +1,6 @@
 (** Pipeline invariants checked on every generated case.
 
-    Four oracles, each a whole-pipeline differential check:
+    Five oracles, each a whole-pipeline differential check:
 
     - {b roundtrip}: the canonical source is a fixpoint of
       unparse ∘ parse — pretty-printing what the parser read reproduces
@@ -16,13 +16,17 @@
       of the wrapped variant and {!Runtime.Lower.run} on its direct
       lowering produce bit-identical outcomes — status, cost, timers,
       records, printed lines and breakdown — under a fixed cost budget.
+    - {b compiled}: three-way bit-identity — {!Runtime.Interp.run},
+      {!Runtime.Lower.run} and {!Runtime.Compile.run} (the
+      closure-compiled backend) all agree on the same wrapped variant,
+      outcome for outcome.
 
     Unexpected exceptions anywhere in a check are themselves violations:
     a generated program may legally trap at runtime (both paths must
     agree on the trap), but the frontend and transformer must never
     raise on a well-typed input. *)
 
-type id = Roundtrip | Typecheck | Rewrite | Equiv
+type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled
 
 type violation = {
   oracle : id;
@@ -30,7 +34,7 @@ type violation = {
 }
 
 val all : id list
-(** In pipeline order: roundtrip, typecheck, rewrite, equiv. *)
+(** In pipeline order: roundtrip, typecheck, rewrite, equiv, compiled. *)
 
 val name : id -> string
 val of_name : string -> id option

@@ -1,8 +1,9 @@
-(* Lower tests: the slot-resolved IR evaluator must be observably
-   indistinguishable from the string-keyed tree-walker — same status,
-   cost, timers, records, printed lines and breakdown, bit for bit — on
-   baselines and on transformed variants, with and without the
-   per-procedure lowering cache, sequentially and under the worker pool. *)
+(* Lower tests: the slot-resolved IR evaluator and the closure-compiled
+   backend must be observably indistinguishable from the string-keyed
+   tree-walker — same status, cost, timers, records, printed lines and
+   breakdown, bit for bit — on baselines and on transformed variants,
+   with and without the per-procedure caches and the batch-reuse table,
+   sequentially and under the worker pool. *)
 
 open Fortran
 
@@ -119,7 +120,7 @@ let model_fixture name =
       Models.Registry.source = Models.Mpas.source ~p:Models.Mpas.small () }
   | _ -> assert false
 
-let equiv_on_assignment (model : Models.Registry.t) cache st atoms bits =
+let equiv_on_assignment (model : Models.Registry.t) cache ccache st atoms bits =
   let lowered = List.filteri (fun i _ -> (bits lsr (i mod 62)) land 1 = 1) atoms in
   let asg = Transform.Assignment.of_lowered atoms ~lowered in
   let prog' = Transform.Rewrite.apply st asg in
@@ -130,12 +131,14 @@ let equiv_on_assignment (model : Models.Registry.t) cache st atoms bits =
   let st_rt = Symtab.build (Parser.parse ~file:(model.name ^ "_variant.f90") text) in
   Typecheck.check_program st_rt;
   let ref_out = Runtime.Interp.run ~machine ~wrapper_owner:owner st_rt in
-  (* fast path: lowered directly from the transformed AST, with the
-     shared per-procedure cache *)
+  (* fast paths: lowered directly from the transformed AST with the
+     shared per-procedure cache, then additionally closure-compiled *)
   let st_d = Symtab.build w.Transform.Wrappers.program in
   Typecheck.check_program st_d;
-  let fast_out = lower_run ~cache ~wrapper_owner:owner st_d in
-  compare ref_out fast_out = 0
+  let ir = Runtime.Lower.lower ~cache ~wrapper_owner:owner ~machine st_d in
+  let fast_out = Runtime.Lower.run ir in
+  let compiled_out = Runtime.Compile.run (Runtime.Compile.compile ~cache:ccache ir) in
+  compare ref_out fast_out = 0 && compare fast_out compiled_out = 0
 
 let equiv_property name =
   let model = model_fixture name in
@@ -146,12 +149,14 @@ let equiv_property name =
       ~exclude:model.Models.Registry.exclude_atoms
   in
   let cache = Runtime.Lower.Cache.create () in
+  let ccache = Runtime.Compile.Cache.create () in
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make
-       ~name:(name ^ ": lowered IR == string-keyed interpreter on random assignments")
+       ~name:
+         (name ^ ": interpreter == lowered IR == compiled closures on random assignments")
        ~count:30
        QCheck.(int_bound max_int)
-       (fun bits -> equiv_on_assignment model cache st atoms bits))
+       (fun bits -> equiv_on_assignment model cache ccache st atoms bits))
 
 let equiv_tests =
   [
@@ -238,8 +243,123 @@ let cache_tests =
           (c.Core.Tuner.summary.Search.Variant.total > 0));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Evaluation backends: the compiled closures and the batch-reuse table
+   must leave campaigns record-for-record identical at every worker
+   count                                                               *)
+
+let check_campaigns_equal (reference : Core.Tuner.campaign) (candidate : Core.Tuner.campaign) =
+  Alcotest.(check int) "same variant count"
+    (List.length reference.Core.Tuner.records)
+    (List.length candidate.Core.Tuner.records);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d identical" a.Search.Variant.index)
+        true
+        (compare (record_key a) (record_key b) = 0))
+    reference.Core.Tuner.records candidate.Core.Tuner.records;
+  Alcotest.(check bool) "same minimal" true
+    (compare
+       (Option.map
+          (fun (r : Search.Delta_debug.result) -> r.Search.Delta_debug.high_set)
+          reference.Core.Tuner.minimal)
+       (Option.map
+          (fun (r : Search.Delta_debug.result) -> r.Search.Delta_debug.high_set)
+          candidate.Core.Tuner.minimal)
+     = 0)
+
+let run_backend model ~compile ~batch_reuse ~workers ~max_variants =
+  Core.Tuner.run_delta_debug
+    ~config:
+      { Core.Config.default with
+        Core.Config.max_variants = Some max_variants;
+        compile;
+        batch_reuse;
+      }
+    ~workers model
+
+(* funarc with two never-referenced reals in the search space: variants
+   that differ only in the spares' kinds are effectively identical, so
+   the batch-reuse table gets genuine within-campaign hits *)
+let funarc_spares =
+  let base = Models.Registry.funarc in
+  let marker = "real(kind=8) :: s1, h, t1, t2, dppi\n" in
+  let insert = "    real(kind=8) :: spare1, spare2\n" in
+  let src = base.Models.Registry.source in
+  let i =
+    let n = String.length src and m = String.length marker in
+    let rec go i =
+      if i + m > n then Alcotest.fail "funarc marker not found"
+      else if String.equal (String.sub src i m) marker then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let cut = i + String.length marker in
+  { base with
+    Models.Registry.source =
+      String.sub src 0 cut ^ insert ^ String.sub src cut (String.length src - cut);
+  }
+
+let backend_tests =
+  [
+    ts "compiled backend == IR evaluator, record for record (workers 0 and 4)" (fun () ->
+        let reference =
+          run_backend small_mpas ~compile:false ~batch_reuse:false ~workers:0
+            ~max_variants:20
+        in
+        List.iter
+          (fun workers ->
+            let c =
+              run_backend small_mpas ~compile:true ~batch_reuse:false ~workers
+                ~max_variants:20
+            in
+            Alcotest.(check bool) "procedures were compiled" true
+              (c.Core.Tuner.backend.Core.Tuner.compiled_procs > 0);
+            check_campaigns_equal reference c)
+          [ 0; 4 ]);
+    ts "batched reuse == unbatched, record for record (workers 0 and 4)" (fun () ->
+        let reference =
+          run_backend small_mpas ~compile:true ~batch_reuse:false ~workers:0
+            ~max_variants:20
+        in
+        Alcotest.(check int) "reuse disabled reports no traffic" 0
+          (reference.Core.Tuner.backend.Core.Tuner.reuse_hits
+          + reference.Core.Tuner.backend.Core.Tuner.reuse_misses);
+        List.iter
+          (fun workers ->
+            let c =
+              run_backend small_mpas ~compile:true ~batch_reuse:true ~workers
+                ~max_variants:20
+            in
+            check_campaigns_equal reference c)
+          [ 0; 4 ]);
+    ts "batch-reuse table hits on effectively-identical variants" (fun () ->
+        (* brute force enumerates atom subsets by counter bits, so with
+           the never-referenced spares as the two highest-order atoms,
+           every mask >= 256 repeats an earlier variant's effective
+           program — the reuse table must serve those without re-running,
+           and the records must not change *)
+        let run batch_reuse =
+          Core.Tuner.run_brute_force
+            ~config:
+              { Core.Config.default with
+                Core.Config.max_variants = Some 300;
+                batch_reuse;
+              }
+            funarc_spares
+        in
+        let reference = run false in
+        let batched = run true in
+        Alcotest.(check bool) "reuse table was hit" true
+          (batched.Core.Tuner.backend.Core.Tuner.reuse_hits > 0);
+        check_campaigns_equal reference batched);
+  ]
+
 let () =
   Alcotest.run "lower"
     [
       ("slots", slot_tests); ("equivalence", equiv_tests); ("cache", cache_tests);
+      ("backends", backend_tests);
     ]
