@@ -39,7 +39,19 @@
                               injected preemption ("kill"), resume from
                               the journal, and require record-for-record
                               and summary-identical results with zero
-                              re-evaluations of the journaled prefix     *)
+                              re-evaluations of the journaled prefix
+     main.exe --shards S      run the sharded campaigns (mpas_whole,
+                              mpas_joint) on the work-stealing shard
+                              scheduler with S simulated node-shards;
+                              results are identical, only the simulated
+                              makespan accounting is added
+     main.exe --scaling       shards x workers scaling curve on the
+                              whole-model campaign: run the same search
+                              at (1,0) (2,2) (2,4) (4,4), require every
+                              point bit-identical in records and summary,
+                              require >= 2x simulated-makespan improvement
+                              at 4x4 over 1x0, and emit the curve into
+                              the --json trajectory                      *)
 
 let pf = Printf.printf
 
@@ -58,6 +70,8 @@ type selection = {
   mutable verify_roundtrip : bool;
   mutable no_compile : bool;
   mutable kill_resume : bool;
+  mutable shards : int option;
+  mutable scaling : bool;
 }
 
 let parse_args () =
@@ -65,7 +79,7 @@ let parse_args () =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
       quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
       json = None; check_against = None; verify_roundtrip = false; no_compile = false;
-      kill_resume = false }
+      kill_resume = false; shards = None; scaling = false }
   in
   let rec go = function
     | [] -> ()
@@ -116,6 +130,13 @@ let parse_args () =
       sel.kill_resume <- true;
       sel.all <- false;
       go rest
+    | "--shards" :: n :: rest ->
+      sel.shards <- Some (int_of_string n);
+      go rest
+    | "--scaling" :: rest ->
+      sel.scaling <- true;
+      sel.all <- false;
+      go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -131,13 +152,19 @@ let want_figure sel n = sel.all || List.mem n sel.figures
 (* minimal scan for the {"name": ..., "wall_seconds": ..., ...,
    "eval_ms_mean": ...} triples written by [Core.Export.bench_json];
    no JSON dependency needed.  eval_ms_mean is optional so baselines
-   recorded before it existed still parse. *)
+   recorded before it existed still parse, and a malformed entry is
+   skipped (reported by name when one was read) rather than aborting
+   the whole guard. *)
 let baseline_walls path =
-  let ic = open_in path in
   let s =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      pf "bench-regression guard: cannot read baseline %s (%s); skipping the guard\n%!" path msg;
+      ""
   in
   let find pat from =
     let n = String.length s and m = String.length pat in
@@ -147,66 +174,103 @@ let baseline_walls path =
   let number from =
     let l = ref from in
     while !l < String.length s && String.contains "0123456789.eE+-" s.[!l] do incr l done;
-    if !l = from then None else Some (float_of_string (String.sub s from (!l - from)), !l)
+    if !l = from then None
+    else
+      match float_of_string_opt (String.sub s from (!l - from)) with
+      | Some v -> Some (v, !l)
+      | None -> None
   in
-  let rec scan from acc =
+  let rec scan from acc malformed =
     match find "{\"name\": \"" from with
-    | None -> List.rev acc
+    | None -> (List.rev acc, List.rev malformed)
     | Some i -> (
-      let j = String.index_from s i '"' in
-      let name = String.sub s i (j - i) in
-      match Option.bind (find "\"wall_seconds\": " j) number with
-      | None -> List.rev acc
-      | Some (wall, l) ->
-        (* eval_ms_mean precedes the embedded summary, so the first
-           occurrence after wall_seconds — if it lies before the next
-           entry — belongs to this campaign *)
+      match String.index_from_opt s i '"' with
+      | None -> (List.rev acc, List.rev malformed)
+      | Some j -> (
+        let name = String.sub s i (j - i) in
+        (* stay inside this entry: the next {"name": ... opens the next one *)
         let bound =
-          match find "{\"name\": \"" l with Some b -> b | None -> String.length s
+          match find "{\"name\": \"" j with Some b -> b | None -> String.length s
         in
-        let eval_ms, l =
-          match find "\"eval_ms_mean\": " l with
-          | Some k when k < bound -> (
-            match number k with
-            | Some (v, l') -> (Some v, l')
-            | None -> (None, l) (* "null" *))
-          | _ -> (None, l)
-        in
-        scan l ((name, (wall, eval_ms)) :: acc))
+        match
+          Option.bind (find "\"wall_seconds\": " j) (fun k ->
+              if k < bound then number k else None)
+        with
+        | None ->
+          (* an entry without a parseable wall clock predates the
+             bench_json format (or is damaged): skip it, keep scanning *)
+          scan (max j (bound - 10)) acc (name :: malformed)
+        | Some (wall, l) ->
+          (* eval_ms_mean precedes the embedded summary, so the first
+             occurrence after wall_seconds — if it lies before the next
+             entry — belongs to this campaign *)
+          let eval_ms, l =
+            match find "\"eval_ms_mean\": " l with
+            | Some k when k < bound -> (
+              match number k with
+              | Some (v, l') -> (Some v, l')
+              | None -> (None, l) (* "null" *))
+            | _ -> (None, l)
+          in
+          scan l ((name, (wall, eval_ms)) :: acc) malformed))
   in
-  scan 0 []
+  scan 0 [] []
 
 let check_against ~seed path entries =
-  let baseline = baseline_walls path in
-  let slowdowns =
-    List.concat_map
-      (fun (name, wall, (c : Core.Tuner.campaign)) ->
-        match List.assoc_opt name baseline with
-        | None -> []
-        | Some (base_wall, base_eval) ->
-          let wall_bad =
-            if base_wall > 0.0 && wall > 2.0 *. base_wall then
-              [ Printf.sprintf "  %s: %.2fs vs baseline %.2fs (%.1fx slower)" name wall
-                  base_wall (wall /. base_wall) ]
-            else []
-          in
-          let eval_bad =
-            let ms = c.Core.Tuner.eval_ms_mean in
-            match base_eval with
-            | Some base when base > 0.0 && ms > 2.0 *. base ->
-              [ Printf.sprintf "  %s: eval_ms_mean %.3fms vs baseline %.3fms (%.1fx slower)"
-                  name ms base (ms /. base) ]
-            | _ -> []
-          in
-          wall_bad @ eval_bad)
-      entries
-  in
-  if slowdowns = [] then
-    pf "bench-regression guard: all campaigns within 2x of %s\n%!" path
+  let baseline, malformed = baseline_walls path in
+  if malformed <> [] then
+    pf "bench-regression guard: skipping malformed baseline entries: %s\n%!"
+      (String.concat ", " malformed);
+  if baseline = [] then
+    pf
+      "bench-regression guard: no parseable campaign entries in %s (baseline predates the \
+       bench_json format?); skipping the guard\n%!"
+      path
   else begin
-    pf "bench-regression guard FAILED against %s (seed=%d):\n%s\n%!" path seed
-      (String.concat "\n" slowdowns);
-    exit 1
+    let skipped_missing = ref [] and skipped_eval = ref [] in
+    let slowdowns =
+      List.concat_map
+        (fun (name, wall, (c : Core.Tuner.campaign)) ->
+          match List.assoc_opt name baseline with
+          | None ->
+            skipped_missing := name :: !skipped_missing;
+            []
+          | Some (base_wall, base_eval) ->
+            let wall_bad =
+              if base_wall > 0.0 && wall > 2.0 *. base_wall then
+                [ Printf.sprintf "  %s: %.2fs vs baseline %.2fs (%.1fx slower)" name wall
+                    base_wall (wall /. base_wall) ]
+              else []
+            in
+            let eval_bad =
+              let ms = c.Core.Tuner.eval_ms_mean in
+              match base_eval with
+              | None ->
+                skipped_eval := name :: !skipped_eval;
+                []
+              | Some base when base > 0.0 && ms > 2.0 *. base ->
+                [ Printf.sprintf "  %s: eval_ms_mean %.3fms vs baseline %.3fms (%.1fx slower)"
+                    name ms base (ms /. base) ]
+              | Some _ -> []
+            in
+            wall_bad @ eval_bad)
+        entries
+    in
+    if !skipped_missing <> [] then
+      pf "bench-regression guard: campaigns not in the baseline, skipped: %s\n%!"
+        (String.concat ", " (List.rev !skipped_missing));
+    if !skipped_eval <> [] then
+      pf
+        "bench-regression guard: baseline predates eval_ms_mean, per-evaluation check \
+         skipped for: %s\n%!"
+        (String.concat ", " (List.rev !skipped_eval));
+    if slowdowns = [] then
+      pf "bench-regression guard: all compared campaigns within 2x of %s\n%!" path
+    else begin
+      pf "bench-regression guard FAILED against %s (seed=%d):\n%s\n%!" path seed
+        (String.concat "\n" slowdowns);
+      exit 1
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -254,10 +318,16 @@ let rec main () =
       (timed ~key:"mom6" "MOM6 search" (fun () ->
            Core.Experiments.hotspot_campaign ~config ?workers "mom6"))
   in
+  let shards = sel.shards in
   let mpas_whole =
     lazy
       (timed ~key:"mpas_whole" "MPAS-A whole-model search" (fun () ->
-           Core.Experiments.whole_model_campaign ~config ?workers ()))
+           Core.Experiments.whole_model_campaign ~config ?workers ?shards ()))
+  in
+  let mpas_joint =
+    lazy
+      (timed ~key:"mpas_joint" "MPAS-A joint multi-hotspot search" (fun () ->
+           Core.Experiments.joint_campaign ~config ?workers ?shards ()))
   in
   let hotspot_campaigns () = [ Lazy.force mpas; Lazy.force adcirc; Lazy.force mom6 ] in
 
@@ -352,9 +422,10 @@ let rec main () =
 
   if sel.all || sel.bechamel then bechamel_suite ();
   if sel.kill_resume then kill_resume_suite ~config ?workers ();
+  let scaling = if sel.scaling then Some (scaling_suite ~config ()) else None in
 
   (* perf trajectory: per-campaign wall clock + evaluation counts (forces
-     the five campaigns, so `--json` or `--check-against` alone is a
+     the six campaigns, so `--json` or `--check-against` alone is a
      meaningful selection) *)
   if sel.json <> None || sel.check_against <> None then begin
     let effective =
@@ -366,11 +437,12 @@ let rec main () =
           let c = Lazy.force c in
           (key, Option.value ~default:0.0 (Hashtbl.find_opt wall_clocks key), c))
         [ ("funarc", funarc); ("mpas", mpas); ("adcirc", adcirc); ("mom6", mom6);
-          ("mpas_whole", mpas_whole) ]
+          ("mpas_whole", mpas_whole); ("mpas_joint", mpas_joint) ]
     in
     Option.iter
       (fun path ->
-        Core.Export.write_file ~path (Core.Export.bench_json ~workers:effective entries);
+        Core.Export.write_file ~path
+          (Core.Export.bench_json ?scaling ~workers:effective entries);
         pf "wrote %s\n%!" path)
       sel.json;
     Option.iter (fun path -> check_against ~seed:sel.seed path entries) sel.check_against
@@ -468,6 +540,67 @@ and kill_resume_suite ~config ?workers () =
     exit 1
   end
   else pf "kill-and-resume check passed\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Shard-scheduler scaling curve: the same whole-model campaign at
+   several shards x workers points.  Every point must agree record for
+   record and summary-bit-identically with the sequential (1, 0) point
+   — sharding is an execution strategy, not part of the experiment —
+   and the simulated work-stealing makespan at 4x4 must beat the
+   sequential makespan by at least 2x.                                 *)
+
+and scaling_suite ~config () =
+  pf "SHARD-SCHEDULER SCALING CURVE (mpas whole-model, simulated cluster makespan)\n";
+  let grid = [ (1, 0); (2, 2); (2, 4); (4, 4) ] in
+  let key_of (r : Search.Variant.record) =
+    (r.Search.Variant.index, Transform.Assignment.signature r.Search.Variant.asg,
+     r.Search.Variant.meas)
+  in
+  let runs =
+    List.map
+      (fun (s, w) ->
+        let c =
+          timed (Printf.sprintf "mpas_whole shards=%d workers=%d" s w) (fun () ->
+              Core.Experiments.whole_model_campaign ~config ~workers:w ~shards:s ())
+        in
+        ((s, w), c))
+      grid
+  in
+  let base = snd (List.hd runs) in
+  let base_summary = Core.Export.summary_json base in
+  let base_keys = List.map key_of base.Core.Tuner.records in
+  let failures = ref 0 in
+  let sim_of (c : Core.Tuner.campaign) =
+    match c.Core.Tuner.sched with
+    | Some s -> s.Core.Tuner.sched_sim_hours
+    | None -> nan
+  in
+  let base_sim = sim_of base in
+  List.iter
+    (fun ((s, w), (c : Core.Tuner.campaign)) ->
+      let ok_records = List.map key_of c.Core.Tuner.records = base_keys in
+      let ok_summary = Core.Export.summary_json c = base_summary in
+      let sim = sim_of c in
+      let speedup = base_sim /. sim in
+      let st = Option.get c.Core.Tuner.sched in
+      pf "  %dx%d: %2d slots, simulated %.3f h (%.2fx vs 1x0), %d steals, %d rounds, %d+%d evals\n"
+        s w st.Core.Tuner.sched_slots sim speedup st.Core.Tuner.sched_steals
+        st.Core.Tuner.sched_rounds st.Core.Tuner.sched_batched st.Core.Tuner.sched_serial;
+      if not (ok_records && ok_summary) then begin
+        pf "  FAIL %dx%d: records identical %b, summary identical %b\n" s w ok_records ok_summary;
+        incr failures
+      end;
+      if (s, w) = (4, 4) && not (speedup >= 2.0) then begin
+        pf "  FAIL 4x4: simulated speedup %.2fx < 2x over the sequential 1x0 point\n" speedup;
+        incr failures
+      end)
+    runs;
+  if !failures > 0 then begin
+    pf "scaling check FAILED (%d)\n%!" !failures;
+    exit 1
+  end
+  else pf "scaling check passed: every point bit-identical, >= 2x simulated speedup at 4x4\n%!";
+  List.filter_map (fun (_, (c : Core.Tuner.campaign)) -> c.Core.Tuner.sched) runs
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the

@@ -34,7 +34,7 @@ let models_cmd =
     List.iter
       (fun (m : Models.Registry.t) ->
         pf "%-8s %-10s target %s: %s\n" m.name m.title m.target_module m.description)
-      (Models.Registry.funarc :: Models.Registry.all)
+      ((Models.Registry.funarc :: Models.Registry.all) @ [ Models.Registry.mpas_joint ])
   in
   Cmd.v (Cmd.info "models" ~doc) Term.(const run $ const ())
 
@@ -62,6 +62,19 @@ let workers_arg =
         ~doc:
           "Worker domains for parallel variant evaluation (default: cores - 1; 0 = \
            sequential). Results are identical for every N; only wall clock changes.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Run the campaign on the work-stealing shard scheduler: each speculative \
+           round's candidates are block-partitioned over $(i,S) simulated node-shards of \
+           $(b,--workers) slots each, and shards that drain early steal from their \
+           neighbours. Records, the minimal set and the summary are bit-identical at \
+           every shards x workers point; the deterministic simulated makespan is \
+           reported separately.")
 
 let whole_model_arg =
   Arg.(
@@ -189,7 +202,7 @@ let faults_term =
 
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json workers verify
+  let run m seed max_variants whole static brute hierarchical csv json workers shards verify
       no_compile no_batch_reuse journal resume faults =
     let config =
       {
@@ -216,15 +229,16 @@ let tune_cmd =
           prerr_endline "prose tune: --resume requires --journal DIR";
           exit 2
         | Some dir -> (
-          try Core.Tuner.resume ~config ?workers ?faults ~model:m ~journal:dir ()
+          try Core.Tuner.resume ~config ?workers ?shards ?faults ~model:m ~journal:dir ()
           with
           | Core.Tuner.Resume_mismatch msg | Persist.Journal.Corrupt msg ->
             prerr_endline ("prose tune: " ^ msg);
             exit 1)
       end
       else if brute then Core.Tuner.run_brute_force ~config ?journal ?faults m
-      else if hierarchical then Core.Tuner.run_hierarchical ~config ?workers ?journal ?faults m
-      else Core.Tuner.run_delta_debug ~config ?workers ?journal ?faults m
+      else if hierarchical then
+        Core.Tuner.run_hierarchical ~config ?workers ?shards ?journal ?faults m
+      else Core.Tuner.run_delta_debug ~config ?workers ?shards ?journal ?faults m
     in
     print_string (Core.Report.campaign_header campaign);
     print_newline ();
@@ -242,6 +256,15 @@ let tune_cmd =
        batch-reuse misses\n"
       bs.Core.Tuner.compiled_procs bs.Core.Tuner.compile_hits bs.Core.Tuner.reuse_hits
       bs.Core.Tuner.reuse_misses;
+    Option.iter
+      (fun (ss : Core.Tuner.sched_stats) ->
+        pf
+          "sched: %d shards x %d workers (%d slots), simulated makespan %.3f h, %d steals, \
+           %d rounds, %d batched + %d serial evaluations\n"
+          ss.Core.Tuner.sched_shards ss.Core.Tuner.sched_workers ss.Core.Tuner.sched_slots
+          ss.Core.Tuner.sched_sim_hours ss.Core.Tuner.sched_steals ss.Core.Tuner.sched_rounds
+          ss.Core.Tuner.sched_batched ss.Core.Tuner.sched_serial)
+      campaign.Core.Tuner.sched;
     if campaign.Core.Tuner.preloaded > 0 then
       pf "resume: %d records replayed from the journal\n" campaign.Core.Tuner.preloaded;
     Option.iter
@@ -273,7 +296,7 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
-      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg
+      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg $ shards_arg
       $ verify_roundtrip_arg $ no_compile_arg $ no_batch_reuse_arg $ journal_arg $ resume_arg
       $ faults_term)
 

@@ -9,7 +9,12 @@ dune runtest
 
 # Quick campaigns at workers=0 (same setting the committed baseline was
 # recorded with); any campaign >2x slower than BENCH_ci.json fails the run.
-dune exec bench/main.exe -- --quick --workers 0 --json BENCH_ci_run.json \
+# --scaling additionally runs the whole-model campaign at four
+# shards x workers grid points, requires every point bit-identical in
+# records and summary with a >=2x simulated-makespan improvement at 4x4,
+# and lands the curve in the JSON trajectory. Campaigns the committed
+# baseline predates are skipped with a warning, not a crash.
+dune exec bench/main.exe -- --quick --workers 0 --scaling --json BENCH_ci_run.json \
   --check-against BENCH_ci.json
 
 # One campaign with every evaluation cross-checked against the historical
@@ -24,14 +29,33 @@ dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
 # test/corpus/, and fails the run.
 dune exec bin/prose.exe -- fuzz --cases 300 --seed 42
 
+# Sharded-scheduler gate: one joint multi-hotspot campaign (the atm_srk3
+# driver inside the search space) at shards=2/workers=2 with fault
+# injection on, diffed record-for-record (CSV) and summary-for-summary
+# against the sequential shards=1/workers=0 run. Faults are pure coins
+# over (seed, kind, signature, attempt) and backend counters replay the
+# committed stream, so both files must be byte-identical.
+SDIR=$(mktemp -d)
+_build/default/bin/prose.exe tune mpas_joint --whole-model --max-variants 40 \
+  --shards 1 --workers 0 --journal "$SDIR/seq" \
+  --fault-transient 0.02 --fault-seed 7 \
+  --csv "$SDIR/seq.csv" --json "$SDIR/seq.json" > /dev/null
+_build/default/bin/prose.exe tune mpas_joint --whole-model --max-variants 40 \
+  --shards 2 --workers 2 --journal "$SDIR/sharded" \
+  --fault-transient 0.02 --fault-seed 7 \
+  --csv "$SDIR/sharded.csv" --json "$SDIR/sharded.json" > /dev/null
+diff -u "$SDIR/seq.csv" "$SDIR/sharded.csv"
+diff -u "$SDIR/seq.json" "$SDIR/sharded.json"
+rm -rf "$SDIR"
+
 # Crash-safety smoke gate: SIGKILL a journaled campaign mid-search, resume
 # it, and require the summary to be bit-identical to an uninterrupted run.
-# Only the "trace" and "backend" counter lines (cache hits / replay
-# counts / compile and reuse traffic, all functions of how many fresh
-# evaluations ran) may differ; everything else -- records, minimal
-# variant, speedups, cluster hours -- must match exactly. Runs the real
-# binary (not via dune exec) so the SIGKILL hits the campaign process
-# itself, tearing the journal mid-line.
+# Only the "trace" line (cache hits / replay counts, functions of how many
+# fresh evaluations ran) may differ; everything else -- records, minimal
+# variant, speedups, cluster hours, and since the counters replay the
+# committed record stream also the "backend" line -- must match exactly.
+# Runs the real binary (not via dune exec) so the SIGKILL hits the
+# campaign process itself, tearing the journal mid-line.
 JDIR=$(mktemp -d)
 _build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
   --json "$JDIR/base.json" > /dev/null
@@ -48,7 +72,7 @@ wait "$KILL_PID" 2> /dev/null || true
 _build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
   --journal "$JDIR/campaign" --resume \
   --json "$JDIR/resumed.json" > /dev/null
-grep -v -e '"trace"' -e '"backend"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
-grep -v -e '"trace"' -e '"backend"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
+grep -v -e '"trace"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
+grep -v -e '"trace"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
 diff -u "$JDIR/base_cmp.json" "$JDIR/resumed_cmp.json"
 rm -rf "$JDIR"

@@ -4,6 +4,7 @@ type suite = {
   adcirc : Tuner.campaign;
   mom6 : Tuner.campaign;
   mpas_whole : Tuner.campaign;
+  whole_model_joint : Tuner.campaign;
 }
 
 let funarc_campaign ?config () = Tuner.run_brute_force ?config Models.Registry.funarc
@@ -11,18 +12,24 @@ let funarc_campaign ?config () = Tuner.run_brute_force ?config Models.Registry.f
 let hotspot_campaign ?config ?workers name =
   Tuner.run_delta_debug ?config ?workers (Models.Registry.find name)
 
-let whole_model_campaign ?(config = Config.default) ?workers () =
+let whole_model_campaign ?(config = Config.default) ?workers ?shards () =
   Tuner.run_delta_debug
     ~config:{ config with Config.mode = Config.Whole_model_guided }
-    ?workers Models.Registry.mpas
+    ?workers ?shards Models.Registry.mpas
 
-let run_suite ?config ?workers () =
+let joint_campaign ?(config = Config.default) ?workers ?shards () =
+  Tuner.run_delta_debug
+    ~config:{ config with Config.mode = Config.Whole_model_guided }
+    ?workers ?shards Models.Registry.mpas_joint
+
+let run_suite ?config ?workers ?shards () =
   {
     funarc = funarc_campaign ?config ();
     mpas = hotspot_campaign ?config ?workers "mpas";
     adcirc = hotspot_campaign ?config ?workers "adcirc";
     mom6 = hotspot_campaign ?config ?workers "mom6";
-    mpas_whole = whole_model_campaign ?config ?workers ();
+    mpas_whole = whole_model_campaign ?config ?workers ?shards ();
+    whole_model_joint = joint_campaign ?config ?workers ?shards ();
   }
 
 type ablation = {

@@ -15,21 +15,33 @@ type suite = {
   adcirc : Tuner.campaign;
   mom6 : Tuner.campaign;
   mpas_whole : Tuner.campaign;
+  whole_model_joint : Tuner.campaign;
 }
 
-val run_suite : ?config:Config.t -> ?workers:int -> unit -> suite
+val run_suite : ?config:Config.t -> ?workers:int -> ?shards:int -> unit -> suite
 (** Runs everything (minutes of CPU). The same [config] seeds every
     campaign, so a suite is reproducible. [workers] (default: one per
     spare core; [0] = sequential) parallelizes each delta-debug
     campaign's variant evaluations without changing any result — see
-    {!Tuner.run_delta_debug}. *)
+    {!Tuner.run_delta_debug}. [shards] runs the two whole-model
+    campaigns on the {!Search.Shard} work-stealing scheduler, again
+    without changing any result. *)
 
 val funarc_campaign : ?config:Config.t -> unit -> Tuner.campaign
 val hotspot_campaign : ?config:Config.t -> ?workers:int -> string -> Tuner.campaign
 (** By model name ("mpas", "adcirc", "mom6"). *)
 
-val whole_model_campaign : ?config:Config.t -> ?workers:int -> unit -> Tuner.campaign
+val whole_model_campaign :
+  ?config:Config.t -> ?workers:int -> ?shards:int -> unit -> Tuner.campaign
 (** MPAS-A guided by whole-model time (Sec. IV-C). *)
+
+val joint_campaign :
+  ?config:Config.t -> ?workers:int -> ?shards:int -> unit -> Tuner.campaign
+(** The joint multi-hotspot campaign ({!Models.Registry.mpas_joint}):
+    whole-model-guided search over every [atm_time_integration]
+    procedure including the [atm_srk3] driver, so cross-procedure
+    boundary casts are tuned rather than fixed. The scenario the shard
+    scheduler targets. *)
 
 type ablation = {
   label : string;

@@ -93,7 +93,15 @@ let summary_json (c : Tuner.campaign) =
     c.Tuner.backend.Tuner.reuse_hits c.Tuner.backend.Tuner.reuse_misses
     minimal
 
-let bench_json ~workers entries =
+let sched_json (s : Tuner.sched_stats) =
+  Printf.sprintf
+    "{\"shards\": %d, \"workers\": %d, \"slots\": %d, \"sim_hours\": %s, \"steals\": %d, \
+     \"rounds\": %d, \"batched\": %d, \"serial\": %d}"
+    s.Tuner.sched_shards s.Tuner.sched_workers s.Tuner.sched_slots
+    (jfloat s.Tuner.sched_sim_hours) s.Tuner.sched_steals s.Tuner.sched_rounds
+    s.Tuner.sched_batched s.Tuner.sched_serial
+
+let bench_json ?scaling ~workers entries =
   let entry (name, wall_seconds, c) =
     let summary = String.trim (summary_json c) in
     Printf.sprintf
@@ -104,8 +112,17 @@ let bench_json ~workers entries =
       (jfloat c.Tuner.eval_ms_mean) (jfloat c.Tuner.eval_ms_max)
       summary
   in
-  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]\n}\n" workers
+  let scaling_section =
+    match scaling with
+    | None | Some [] -> ""
+    | Some points ->
+      Printf.sprintf ",\n  \"scaling\": [\n%s\n  ]"
+        (String.concat ",\n"
+           (List.map (fun s -> "    " ^ sched_json s) points))
+  in
+  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]%s\n}\n" workers
     (String.concat ",\n" (List.map entry entries))
+    scaling_section
 
 let write_file ~path content =
   let oc = open_out path in

@@ -23,10 +23,17 @@ val summary_json : Tuner.campaign -> string
     simulated cluster hours, memo-cache traffic ({!Search.Trace.stats}
     under ["trace"], with the resume bookkeeping), as a JSON object. *)
 
-val bench_json : workers:int -> (string * float * Tuner.campaign) list -> string
+val bench_json :
+  ?scaling:Tuner.sched_stats list ->
+  workers:int ->
+  (string * float * Tuner.campaign) list ->
+  string
 (** The bench harness's perf-trajectory record ([BENCH_*.json]): worker
     count plus, per campaign, its label, measured wall-clock seconds,
     number of dynamic evaluations, the mean and max wall-clock
-    milliseconds per evaluation, and the full {!summary_json} object. *)
+    milliseconds per evaluation, and the full {!summary_json} object.
+    [scaling] appends the shard scheduler's workers x shards curve
+    ([bench --scaling]): one object per grid point with the simulated
+    makespan and steal/batch accounting. *)
 
 val write_file : path:string -> string -> unit

@@ -50,8 +50,12 @@ type share = {
   sh_scopes : Fortran.Symtab.scope list;
   sh_inert : (Fortran.Symtab.scope * string, unit) Hashtbl.t;
       (* variables whose kind provably cannot influence a run *)
-  mutable sh_hits : int;
-  mutable sh_misses : int;
+  (* live traffic counters: atomics aggregated across worker domains
+     (torn-read-free), though speculation still makes them
+     schedule-dependent — the campaign's reported backend stats are
+     replayed from committed records instead, see [replay_backend] *)
+  sh_hits : int Atomic.t;
+  sh_misses : int Atomic.t;
 }
 
 let share_create st =
@@ -111,15 +115,9 @@ let share_create st =
     sh_tbl = Hashtbl.create 256;
     sh_scopes = scopes;
     sh_inert = inert;
-    sh_hits = 0;
-    sh_misses = 0;
+    sh_hits = Atomic.make 0;
+    sh_misses = Atomic.make 0;
   }
-
-let share_read s =
-  Mutex.lock s.sh_lock;
-  let r = (s.sh_hits, s.sh_misses) in
-  Mutex.unlock s.sh_lock;
-  r
 
 type prepared = {
   model : Models.Registry.t;
@@ -273,7 +271,7 @@ let shared_raw p asg : raw =
     Mutex.lock sh.sh_lock;
     match Hashtbl.find_opt sh.sh_tbl key with
     | Some raw ->
-      sh.sh_hits <- sh.sh_hits + 1;
+      Atomic.incr sh.sh_hits;
       Mutex.unlock sh.sh_lock;
       raw
     | None -> (
@@ -282,11 +280,11 @@ let shared_raw p asg : raw =
       Mutex.lock sh.sh_lock;
       match Hashtbl.find_opt sh.sh_tbl key with
       | Some winner ->
-        sh.sh_hits <- sh.sh_hits + 1;
+        Atomic.incr sh.sh_hits;
         Mutex.unlock sh.sh_lock;
         winner
       | None ->
-        sh.sh_misses <- sh.sh_misses + 1;
+        Atomic.incr sh.sh_misses;
         Hashtbl.replace sh.sh_tbl key raw;
         Mutex.unlock sh.sh_lock;
         raw))
@@ -520,6 +518,17 @@ type backend_stats = {
   reuse_misses : int;  (* variants that ran and published their outcome *)
 }
 
+type sched_stats = {
+  sched_shards : int;
+  sched_workers : int;
+  sched_slots : int;
+  sched_sim_hours : float;
+  sched_steals : int;
+  sched_rounds : int;
+  sched_batched : int;
+  sched_serial : int;
+}
+
 type campaign = {
   prepared : prepared;
   records : Variant.record list;
@@ -530,12 +539,74 @@ type campaign = {
   eval_ms_max : float;
   trace_stats : Trace.stats;
   backend : backend_stats;
+  sched : sched_stats option;
   preloaded : int;
   interrupted : bool;
   fault_stats : Cluster.Faults.stats option;
 }
 
-let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace minimal =
+(* Static-filter rejections never reach the cluster, so no fault can touch
+   them; every fault-accounting site must agree with [faulted_evaluate]. *)
+let off_cluster (m : Variant.measurement) = m.Variant.detail = "static-filter"
+
+(* The per-procedure cache keys evaluating [asg] requests from
+   [Lower.Cache] and [Compile.Cache], derived statically (rewrite +
+   wrapper insertion + symtab, nothing lowered or run). Empty when the
+   transformed program does not build — such variants never reached the
+   backends either. *)
+let variant_cache_keys p asg =
+  match
+    let prog' = Transform.Rewrite.apply p.st asg in
+    let w = Transform.Wrappers.insert prog' in
+    Fortran.Symtab.build w.Transform.Wrappers.program
+  with
+  | exception Fortran.Symtab.Error _ -> []
+  | st' -> Runtime.Lower.cache_keys st'
+
+(* Deterministic backend diagnostics: replay the committed record stream
+   — identical at every worker and shard count, and covering a resumed
+   campaign's journaled prefix — charging the compile and reuse traffic
+   a sequential, speculation-free run of exactly these records performs.
+   The live cache counters (atomics) keep counting real work, including
+   speculation later discarded, which is why they are not reported. *)
+let replay_backend p records =
+  let compile_on = p.ccache <> None && p.cache <> None in
+  let classes = Hashtbl.create 256 in
+  let keys_seen = Hashtbl.create 512 in
+  let rh = ref 0 and rm = ref 0 and compiled = ref 0 and chits = ref 0 in
+  List.iter
+    (fun (r : Variant.record) ->
+      if not (off_cluster r.Variant.meas) then begin
+        let cls =
+          match p.share with
+          | Some sh -> share_key p sh r.Variant.asg
+          | None -> Transform.Assignment.signature r.Variant.asg
+        in
+        if Hashtbl.mem classes cls then incr rh
+        else begin
+          Hashtbl.add classes cls ();
+          incr rm;
+          if compile_on then
+            List.iter
+              (fun k ->
+                if Hashtbl.mem keys_seen k then incr chits
+                else begin
+                  Hashtbl.add keys_seen k ();
+                  incr compiled
+                end)
+              (variant_cache_keys p r.Variant.asg)
+        end
+      end)
+    records;
+  {
+    compiled_procs = !compiled;
+    compile_hits = !chits;
+    reuse_hits = (if p.share = None then 0 else !rh);
+    reuse_misses = (if p.share = None then 0 else !rm);
+  }
+
+let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats ?sched p trace
+    minimal =
   let records = Trace.records trace in
   let cluster = Cluster.for_model p.model in
   let simulated_hours =
@@ -543,13 +614,6 @@ let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace
       ~variant_costs:(List.map (fun (r : Variant.record) -> r.Variant.meas.Variant.model_time) records)
   in
   let count, total, max_s = eval_stats_read p.eval_stats in
-  let backend =
-    let ch, cm =
-      match p.ccache with Some c -> Runtime.Compile.Cache.stats c | None -> (0, 0)
-    in
-    let rh, rm = match p.share with Some s -> share_read s | None -> (0, 0) in
-    { compiled_procs = cm; compile_hits = ch; reuse_hits = rh; reuse_misses = rm }
-  in
   {
     prepared = p;
     records;
@@ -559,7 +623,8 @@ let finish_campaign ?(preloaded = 0) ?(interrupted = false) ?fault_stats p trace
     eval_ms_mean = (if count = 0 then 0.0 else 1e3 *. total /. float_of_int count);
     eval_ms_max = 1e3 *. max_s;
     trace_stats = Trace.stats trace;
-    backend;
+    backend = replay_backend p records;
+    sched;
     preloaded;
     interrupted;
     fault_stats;
@@ -639,10 +704,6 @@ let snapshot_every = 32
 
 let hours_of_seconds jc secs = secs /. float_of_int jc.jcluster.nodes /. 3600.0
 
-(* Static-filter rejections never reach the cluster, so no fault can touch
-   them; every fault-accounting site must agree with [faulted_evaluate]. *)
-let off_cluster (m : Variant.measurement) = m.Variant.detail = "static-filter"
-
 (* Simulated cluster seconds one committed record accounts for, including
    the node time its injected-fault retries burned. *)
 let record_seconds jc ~signature (m : Variant.measurement) =
@@ -706,7 +767,7 @@ let faulted_evaluate p faults asg =
     if m.Variant.detail = "static-filter" then m
     else Cluster.Faults.perturb fspec ~signature:(Transform.Assignment.signature asg) m
 
-let execute p ~algo ?workers ?journal ?faults ~preloaded () =
+let execute p ~algo ?workers ?shards ?journal ?faults ~preloaded () =
   let fstate = Option.map Cluster.Faults.create faults in
   let jctx =
     Option.map
@@ -741,6 +802,42 @@ let execute p ~algo ?workers ?journal ?faults ~preloaded () =
   (* schedule effectively-identical candidates on one pool worker so the
      batch-reuse table is hit instead of raced *)
   let affinity = Option.map (fun sh asg -> share_key p sh asg) p.share in
+  (* simulated node-seconds of one evaluation, for the shard scheduler's
+     cluster clock; statically filtered variants never leave the login
+     node *)
+  let sched_cluster = Cluster.for_model p.model in
+  let cost (m : Variant.measurement) =
+    if off_cluster m then 0.0
+    else
+      Cluster.variant_seconds sched_cluster ~baseline_cost:p.baseline_cost
+        ~variant_cost:m.Variant.model_time
+  in
+  let sched = ref None in
+  let note_sched sh =
+    let s = Shard.stats sh in
+    sched :=
+      Some
+        {
+          sched_shards = Shard.shards sh;
+          sched_workers = Shard.workers sh;
+          sched_slots = Shard.slots sh;
+          sched_sim_hours = s.Shard.sim_seconds /. 3600.0;
+          sched_steals = s.Shard.stolen;
+          sched_rounds = s.Shard.rounds;
+          sched_batched = s.Shard.batched;
+          sched_serial = s.Shard.serial_tasks;
+        }
+  in
+  (* [shards] replaces the pool with a work-stealing shard scheduler;
+     its stats are harvested even when a preemption aborts the search *)
+  let with_sched f =
+    match shards with
+    | None -> with_pool_opt workers (fun pool -> f pool None)
+    | Some s ->
+      let w = max 0 (match workers with Some w -> w | None -> default_workers ()) in
+      Shard.with_shards ~shards:(max 1 s) ~workers:w (fun sh ->
+          Fun.protect ~finally:(fun () -> note_sched sh) (fun () -> f None (Some sh)))
+  in
   let dd_config = { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor } in
   let interrupted = ref false in
   let minimal =
@@ -754,14 +851,14 @@ let execute p ~algo ?workers ?journal ?faults ~preloaded () =
         None
       | Delta_debug_algo ->
         Some
-          (with_pool_opt workers (fun pool ->
-               Delta_debug.search ?pool ?affinity ~atoms:p.atoms ~trace ~evaluate:eval
-                 dd_config))
+          (with_sched (fun pool shard ->
+               Delta_debug.search ?pool ?shard ~cost ?affinity ~atoms:p.atoms ~trace
+                 ~evaluate:eval dd_config))
       | Hierarchical_algo ->
         Some
-          (with_pool_opt workers (fun pool ->
-               Hierarchical.search ?pool ?affinity ~atoms:p.atoms ~groups:(flow_groups p)
-                 ~trace ~evaluate:eval dd_config))
+          (with_sched (fun pool shard ->
+               Hierarchical.search ?pool ?shard ~cost ?affinity ~atoms:p.atoms
+                 ~groups:(flow_groups p) ~trace ~evaluate:eval dd_config))
     with Cluster.Faults.Preempted _ ->
       interrupted := true;
       None
@@ -775,7 +872,7 @@ let execute p ~algo ?workers ?journal ?faults ~preloaded () =
     ~preloaded:(List.length preloaded)
     ~interrupted:!interrupted
     ?fault_stats:(Option.map Cluster.Faults.stats fstate)
-    p trace minimal
+    ?sched:!sched p trace minimal
 
 let journal_header p ~algo ~workers =
   {
@@ -791,19 +888,19 @@ let journal_header p ~algo ~workers =
 let start_journal p ~algo ~workers dir =
   (dir, Persist.Journal.create ~dir (journal_header p ~algo ~workers))
 
-let run_algo ~algo ?config ?workers ?journal ?faults model =
+let run_algo ~algo ?config ?workers ?shards ?journal ?faults model =
   let p = prepare ?config model in
   let journal = Option.map (start_journal p ~algo ~workers) journal in
-  execute p ~algo ?workers ?journal ?faults ~preloaded:[] ()
+  execute p ~algo ?workers ?shards ?journal ?faults ~preloaded:[] ()
 
-let run_delta_debug ?config ?workers ?journal ?faults model =
-  run_algo ~algo:Delta_debug_algo ?config ?workers ?journal ?faults model
+let run_delta_debug ?config ?workers ?shards ?journal ?faults model =
+  run_algo ~algo:Delta_debug_algo ?config ?workers ?shards ?journal ?faults model
 
 let run_brute_force ?config ?journal ?faults model =
   run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults model
 
-let run_hierarchical ?config ?workers ?journal ?faults model =
-  run_algo ~algo:Hierarchical_algo ?config ?workers ?journal ?faults model
+let run_hierarchical ?config ?workers ?shards ?journal ?faults model =
+  run_algo ~algo:Hierarchical_algo ?config ?workers ?shards ?journal ?faults model
 
 let run_random ?config ~samples model =
   let p = prepare ?config model in
@@ -831,7 +928,7 @@ let record_of_entry atoms (e : Persist.Journal.entry) : Variant.record =
     meas = e.Persist.Journal.e_meas;
   }
 
-let resume ?(config = Config.default) ?workers ?faults ?model ~journal:dir () =
+let resume ?(config = Config.default) ?workers ?shards ?faults ?model ~journal:dir () =
   let loaded, jw = Persist.Journal.reopen ~dir () in
   let h = loaded.Persist.Journal.l_header in
   let model =
@@ -866,4 +963,4 @@ let resume ?(config = Config.default) ?workers ?faults ?model ~journal:dir () =
   let preloaded =
     List.map (record_of_entry p.atoms) loaded.Persist.Journal.l_entries
   in
-  execute p ~algo ?workers ~journal:(dir, jw) ?faults ~preloaded ()
+  execute p ~algo ?workers ?shards ~journal:(dir, jw) ?faults ~preloaded ()

@@ -92,18 +92,41 @@ val algo_of_name : string -> algo option
 
 type backend_stats = {
   compiled_procs : int;
-      (** distinct procedure bodies translated to closures (compile-cache
-          misses) over the whole campaign *)
+      (** distinct procedure bodies translated to closures over the whole
+          campaign *)
   compile_hits : int;  (** compiled procedures served from the cache *)
   reuse_hits : int;
-      (** dynamic evaluations answered from the batch-reuse table without
+      (** committed variants the batch-reuse table answers without
           running anything *)
-  reuse_misses : int;  (** evaluations that ran and published their outcome *)
+  reuse_misses : int;  (** committed variants that run and publish their outcome *)
 }
 (** Evaluation-backend traffic — all zero when the corresponding
-    {!Config.t} switches are off. Diagnostics only: hit/miss splits may
-    shift by a few counts across worker counts (racing workers may both
-    miss), while records and summaries never do. *)
+    {!Config.t} switches are off. Derived by replaying the committed
+    record stream in commit order (batch-reuse classes first, then the
+    per-procedure cache keys of each fresh class), so the numbers are
+    identical at every worker and shard count — speculative evaluations
+    a parallel round later discards never show up — and a resumed
+    campaign reports the same counters as an uninterrupted one. The
+    caches' own live counters (atomics aggregated across domains) keep
+    counting real work and are deliberately not reported. *)
+
+type sched_stats = {
+  sched_shards : int;  (** simulated node-shards *)
+  sched_workers : int;  (** evaluation slots per shard ([0] = sequential) *)
+  sched_slots : int;  (** total simulated slots (1 when workers = 0) *)
+  sched_sim_hours : float;
+      (** simulated cluster wall clock: per-round work-stealing makespans
+          plus serially accounted on-demand evaluations *)
+  sched_steals : int;  (** tasks a non-home shard slot executed *)
+  sched_rounds : int;  (** speculative batches scheduled *)
+  sched_batched : int;  (** tasks that went through the sharded deques *)
+  sched_serial : int;  (** on-demand evaluations accounted serially *)
+}
+(** Shard-scheduler accounting for campaigns run with [?shards]. The
+    simulated clock is a deterministic function of the committed
+    trajectory and the partition — not of real thread interleaving — so
+    scaling curves reproduce on any machine. Kept out of the summary:
+    summaries stay bit-identical across every shards × workers point. *)
 
 type campaign = {
   prepared : prepared;
@@ -118,6 +141,7 @@ type campaign = {
           so a resumed campaign proves it re-evaluated nothing journaled
           by [misses = length records - preloaded] *)
   backend : backend_stats;  (** compile and batch-reuse traffic *)
+  sched : sched_stats option;  (** [Some] iff the campaign ran with [?shards] *)
   preloaded : int;  (** records replayed from a journal (0 for fresh runs) *)
   interrupted : bool;
       (** the campaign was cut short by an injected preemption; the
@@ -134,6 +158,7 @@ val default_workers : unit -> int
 val run_delta_debug :
   ?config:Config.t ->
   ?workers:int ->
+  ?shards:int ->
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
   Models.Registry.t ->
@@ -147,6 +172,17 @@ val run_delta_debug :
     fan-out. The search trajectory, [records] and the Table-II summary
     are bit-identical across worker counts; only wall clock changes
     ([simulated_hours] stays variant-count-based).
+
+    [shards] switches the campaign to the {!Search.Shard} work-stealing
+    scheduler: each round's candidates are block-partitioned over
+    [shards] simulated node-shards of [workers] slots each (so
+    [~shards:s ~workers:0] is the sequential trajectory), shards that
+    drain early steal from their neighbours, and the deterministic
+    simulated makespan lands in [sched]. Records, minimal sets, the
+    summary and the cluster-hours books are bit-identical at every
+    shards × workers point — sharding is an execution strategy, not part
+    of the experiment, which is also why it never enters
+    {!Config.digest} or the journal header.
 
     [journal] makes the campaign durable: every committed record is
     appended (write-ahead, fsynced) to [DIR/journal.jsonl] before the
@@ -182,13 +218,14 @@ val flow_groups : prepared -> Transform.Assignment.atom list list
 val run_hierarchical :
   ?config:Config.t ->
   ?workers:int ->
+  ?shards:int ->
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
   Models.Registry.t ->
   campaign
 (** The community-structure search ({!Search.Hierarchical}) over the
     flow-graph groups — the clustering approach the paper's Sec. V points
-    to for scaling FPPT. [workers], [journal], [faults] as in
+    to for scaling FPPT. [workers], [shards], [journal], [faults] as in
     {!run_delta_debug}. *)
 
 exception Resume_mismatch of string
@@ -197,6 +234,7 @@ exception Resume_mismatch of string
 val resume :
   ?config:Config.t ->
   ?workers:int ->
+  ?shards:int ->
   ?faults:Cluster.Faults.spec ->
   ?model:Models.Registry.t ->
   journal:string ->

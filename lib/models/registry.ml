@@ -181,12 +181,38 @@ let lulesh =
     paper = None;  (* not part of the case study; the intro's contrast case *)
   }
 
+(* The joint multi-hotspot scenario: the same MPAS-A proxy, but the
+   search space spans every atm_time_integration procedure *including*
+   the atm_srk3 driver, so driver↔work-routine boundary casts are inside
+   the space rather than fixed at its edge. This is the whole-model
+   campaign the shard scheduler exists for: one cross-procedure
+   assignment per variant, judged on whole-model time. *)
+let mpas_joint =
+  {
+    mpas with
+    name = "mpas_joint";
+    title = "MPAS-A (joint)";
+    description =
+      "joint multi-hotspot campaign: all atm_time_integration work routines plus the \
+       atm_srk3 driver in one cross-procedure search space";
+    target_procs = Mpas.target_procs @ [ "atm_srk3" ];
+    (* With the driver inside the space the all-lowered variant *is* the
+       supported uniform-32-bit build, so MPAS-A's From_uniform32 1.0
+       threshold would accept it immediately and end the search in two
+       evaluations. Halving the budget makes the joint campaign dig for
+       the subset whose boundary casts it can actually afford. *)
+    threshold = From_uniform32 0.5;
+    max_variants = Some 180;
+    paper = None;  (* a scaling scenario, not a paper table row *)
+  }
+
 let all = [ mpas; adcirc; mom6 ]
 
 let find name =
   match name with
   | "funarc" -> funarc
   | "mpas" | "mpas-a" -> mpas
+  | "mpas_joint" | "mpas-joint" -> mpas_joint
   | "adcirc" -> adcirc
   | "mom6" -> mom6
   | "lulesh" -> lulesh

@@ -61,6 +61,12 @@ val lulesh : t
 (** The Sec.-I contrast case: a hotspot-dominated proxy application where
     the canonical FPPT cycle works cleanly — not part of Table I/II. *)
 
+val mpas_joint : t
+(** The joint multi-hotspot scenario: MPAS-A with the [atm_srk3] driver
+    included in the search space, so cross-procedure assignments carry
+    their boundary-cast cost inside the space. The whole-model campaign
+    the sharded scheduler targets; not part of Table I/II. *)
+
 val all : t list
 (** The three weather/climate models, in paper order ([lulesh] and
     [funarc] are separate). *)

@@ -1705,27 +1705,27 @@ module Cache = struct
   type t = {
     tbl : (string, cproc) Hashtbl.t;
     lock : Mutex.t;
-    mutable hits : int;
-    mutable misses : int;
+    (* atomics, as in [Lower.Cache]: domains aggregate traffic without
+       holding [lock] and totals are never torn *)
+    hits : int Atomic.t;
+    misses : int Atomic.t;
   }
 
-  let create () = { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = 0; misses = 0 }
+  let create () =
+    { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = Atomic.make 0;
+      misses = Atomic.make 0 }
 
-  let stats t =
-    Mutex.lock t.lock;
-    let r = (t.hits, t.misses) in
-    Mutex.unlock t.lock;
-    r
+  let stats t = (Atomic.get t.hits, Atomic.get t.misses)
 
   let get_or_compile t key f =
     Mutex.lock t.lock;
     match Hashtbl.find_opt t.tbl key with
     | Some cp ->
-      t.hits <- t.hits + 1;
+      Atomic.incr t.hits;
       Mutex.unlock t.lock;
       cp
     | None ->
-      t.misses <- t.misses + 1;
+      Atomic.incr t.misses;
       Mutex.unlock t.lock;
       let cp = f () in
       Mutex.lock t.lock;

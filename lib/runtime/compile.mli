@@ -29,7 +29,8 @@ module Cache : sig
 
   val stats : t -> int * int
   (** [(hits, misses)] since creation. Each miss is one procedure
-      compiled; each hit is one compilation avoided. *)
+      compiled; each hit is one compilation avoided. Atomics aggregated
+      across worker domains, as in [Lower.Cache.stats]. *)
 end
 
 val compile : ?cache:Cache.t -> Lower.program -> t

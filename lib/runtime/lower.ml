@@ -574,27 +574,28 @@ module Cache = struct
   type t = {
     tbl : (string, proc_ir) Hashtbl.t;
     lock : Mutex.t;
-    mutable hits : int;
-    mutable misses : int;
+    (* traffic counters are atomics, not lock-guarded fields: worker
+       domains aggregate into them without contending on [lock], and a
+       reader never observes a torn total *)
+    hits : int Atomic.t;
+    misses : int Atomic.t;
   }
 
-  let create () = { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = 0; misses = 0 }
+  let create () =
+    { tbl = Hashtbl.create 512; lock = Mutex.create (); hits = Atomic.make 0;
+      misses = Atomic.make 0 }
 
-  let stats t =
-    Mutex.lock t.lock;
-    let r = (t.hits, t.misses) in
-    Mutex.unlock t.lock;
-    r
+  let stats t = (Atomic.get t.hits, Atomic.get t.misses)
 
   let get_or_lower t key f =
     Mutex.lock t.lock;
     match Hashtbl.find_opt t.tbl key with
     | Some ir ->
-      t.hits <- t.hits + 1;
+      Atomic.incr t.hits;
       Mutex.unlock t.lock;
       ir
     | None ->
-      t.misses <- t.misses + 1;
+      Atomic.incr t.misses;
       Mutex.unlock t.lock;
       let ir = f () in
       Mutex.lock t.lock;
@@ -648,6 +649,28 @@ let proc_cache_key st ~units ~cg ~roots name =
       Buffer.add_char buf '|')
     (List.sort_uniq compare (Analysis.Callgraph.reachable cg ~roots));
   Buffer.contents buf
+
+(* Every cache key one lowering of [st] through a [Cache] would request
+   (and [Compile.compile ?cache] re-requests, one for one): each
+   procedure keyed with itself as root, then the main pseudo-procedure
+   over main's callees — computed without lowering anything. The tuner
+   replays these over a campaign's committed records to derive
+   scheduling-independent backend traffic counters. *)
+let cache_keys st =
+  let prog = Symtab.program st in
+  let cg = Analysis.Callgraph.build st in
+  let units = List.map Ast.unit_name prog in
+  let proc_keys =
+    List.map
+      (fun (p : Ast.proc) ->
+        proc_cache_key st ~units ~cg ~roots:[ p.Ast.proc_name ] p.Ast.proc_name)
+      (Ast.all_procs prog)
+  in
+  match Ast.main_of prog with
+  | None -> proc_keys
+  | Some _ ->
+    let roots = List.map fst (Analysis.Callgraph.callees cg None) in
+    proc_keys @ [ proc_cache_key st ~units ~cg ~roots "<main>" ]
 
 (* ------------------------------------------------------------------ *)
 (* Program assembly                                                    *)

@@ -175,8 +175,20 @@ module Cache : sig
   val create : unit -> t
 
   val stats : t -> int * int
-  (** [(hits, misses)] since creation. *)
+  (** [(hits, misses)] since creation. The counters are atomics
+      aggregated across every domain that used the cache, so the read is
+      never torn — but speculative evaluation can still make live
+      traffic schedule-dependent; deterministic per-campaign diagnostics
+      are derived by replaying committed records over {!cache_keys}. *)
 end
+
+val cache_keys : Fortran.Symtab.t -> string list
+(** The cache keys one [lower ?cache] pass over this (already
+    transformed) program requests, in request order: one per procedure,
+    plus the ["<main>"] pseudo-procedure when a main program exists.
+    [Compile.compile ?cache] requests exactly the same keys. Computed
+    statically — nothing is lowered — so callers can account compile
+    traffic for a variant without running it. *)
 
 val lower :
   ?cache:Cache.t ->

@@ -15,11 +15,11 @@ let accepted cfg (m : Variant.measurement) =
   && m.Variant.rel_error <= cfg.error_threshold
   && m.Variant.speedup >= cfg.perf_floor
 
-let search ?pool ?affinity ~atoms ~trace ~evaluate cfg =
+let search ?pool ?shard ?cost ?affinity ~atoms ~trace ~evaluate cfg =
   let module A = Transform.Assignment in
   let diff big small = List.filter (fun a -> not (List.memq a small)) big in
   let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
-  let spec = Speculate.create ?pool ?affinity ~trace ~evaluate () in
+  let spec = Speculate.create ?pool ?shard ?cost ?affinity ~trace ~evaluate () in
   (* best accepted assignment seen so far, for budget-exhausted returns *)
   let best_high = ref atoms in
   let test high =

@@ -32,6 +32,8 @@ type result = {
 
 val search :
   ?pool:Pool.t ->
+  ?shard:Shard.t ->
+  ?cost:(Variant.measurement -> float) ->
   ?affinity:(Transform.Assignment.t -> string) ->
   atoms:Transform.Assignment.atom list ->
   trace:Trace.t ->
@@ -47,7 +49,12 @@ val search :
     evaluated speculatively in parallel and consumed in sequential order
     ({!Speculate}): [records], [minimal] and the budget cut-off are
     bit-identical to the sequential run — only wall clock changes.
-    [evaluate] must then be re-entrant. *)
+    [evaluate] must then be re-entrant.
+
+    [shard] runs those rounds on a work-stealing {!Shard} scheduler
+    instead (and advances its simulated cluster clock using [cost]);
+    the same bit-identity argument applies at any shards × workers
+    grid. *)
 
 val accepted : config -> Variant.measurement -> bool
 (** The oracle: passes, error within threshold, speedup above the floor. *)

@@ -1,4 +1,4 @@
-let search ?pool ?affinity ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_debug.result =
+let search ?pool ?shard ?cost ?affinity ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.config) : Delta_debug.result =
   let module A = Transform.Assignment in
   (* groups must partition the atom list *)
   let grouped = List.concat groups in
@@ -8,7 +8,7 @@ let search ?pool ?affinity ~atoms ~groups ~trace ~evaluate (cfg : Delta_debug.co
   then invalid_arg "Hierarchical.search: groups must partition the atoms";
   let diff big small = List.filter (fun a -> not (List.memq a small)) big in
   let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
-  let spec = Speculate.create ?pool ?affinity ~trace ~evaluate () in
+  let spec = Speculate.create ?pool ?shard ?cost ?affinity ~trace ~evaluate () in
   let best_high = ref atoms in
   let test high =
     let m = Speculate.evaluate spec (variant_of high) in

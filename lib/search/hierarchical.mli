@@ -26,6 +26,8 @@
 
 val search :
   ?pool:Pool.t ->
+  ?shard:Shard.t ->
+  ?cost:(Variant.measurement -> float) ->
   ?affinity:(Transform.Assignment.t -> string) ->
   atoms:Transform.Assignment.atom list ->
   groups:Transform.Assignment.atom list list ->
@@ -35,6 +37,7 @@ val search :
   Delta_debug.result
 (** [groups] must partition [atoms] (checked; raises [Invalid_argument]
     otherwise). Budget exhaustion returns the best accepted variant seen,
-    with [finished = false], as in {!Delta_debug.search}. [pool] enables
-    speculative batch evaluation in both phases with a bit-identical
-    trajectory, as in {!Delta_debug.search}. *)
+    with [finished = false], as in {!Delta_debug.search}. [pool] (or a
+    {!Shard} scheduler via [shard]/[cost]) enables speculative batch
+    evaluation in both phases with a bit-identical trajectory, as in
+    {!Delta_debug.search}. *)

@@ -1,0 +1,114 @@
+(** Sharded work-stealing scheduler for whole-model joint campaigns.
+
+    The paper's campaigns fan each search round out over 20 dedicated
+    cluster nodes (Sec. IV-A); {!Pool} is the laptop analogue of one such
+    node's worker set. This module simulates the next scale tier: the
+    variant space of a round is block-partitioned over [shards] simulated
+    node-shards, each shard owning a deque of tasks consumed by its
+    [workers] slots, and a shard whose partition drains early steals from
+    its neighbours in cyclic order ("lock-free-ish": deques are plain
+    arrays with an atomic take cursor, so a steal is one
+    [Atomic.fetch_and_add] — no locks on the task path).
+
+    Two clocks run per batch:
+
+    - {b real execution}: tasks run on however many domains the machine
+      actually has ([min (slots t) (Pool.default_workers ())], plus the
+      submitting domain), all of them taking through the same deques;
+    - {b simulated schedule}: a deterministic event-driven list-scheduling
+      simulation replays the batch over the full [shards × workers] slot
+      grid using the caller-supplied per-task costs, yielding the
+      simulated makespan and steal count. The simulation depends only on
+      the partition and the costs — never on real thread interleaving —
+      so the scaling curve is reproducible on any machine, including a
+      single-core one.
+
+    {!map} preserves submission order in its result list and re-raises
+    the first (by submission order) exception a task threw, exactly like
+    {!Pool.map}: consumers commit results sequentially, so steal order
+    can never reorder the commit stream. Only driven from the domain
+    that created it. *)
+
+type t
+
+val create : shards:int -> workers:int -> t
+(** [shards >= 1] simulated node-shards of [workers >= 0] evaluation
+    slots each. [workers = 0] means a single sequential slot overall
+    (the classic no-speculation trajectory); raises [Invalid_argument]
+    on a negative argument or [shards < 1]. *)
+
+val shutdown : t -> unit
+(** Terminates and joins the helper domains. Idempotent; mapping on a
+    shut-down scheduler raises [Invalid_argument]. *)
+
+val with_shards : shards:int -> workers:int -> (t -> 'a) -> 'a
+(** Fresh scheduler for the call's duration, shut down on exit. *)
+
+val shards : t -> int
+val workers : t -> int
+
+val slots : t -> int
+(** Simulated evaluation slots: [1] when [workers = 0], else
+    [shards * workers]. Callers gate speculation on [slots t > 1]. *)
+
+val partition : shards:int -> 'a list -> 'a list array
+(** Order-preserving block partition into exactly [shards] lists (later
+    ones may be empty): concatenating the result restores the input, so
+    every element is assigned to exactly one shard. Raises
+    [Invalid_argument] when [shards < 1]. *)
+
+(** The steal target: an immutable task array consumed through one
+    atomic cursor. [take] is total-ordered across domains, so each
+    element is handed out exactly once no matter how many thieves
+    race. *)
+module Deque : sig
+  type 'a t
+
+  val of_list : 'a list -> 'a t
+  val take : 'a t -> 'a option
+  (** Next unconsumed element in submission order, or [None] when
+      drained. Safe from any domain. *)
+
+  val remaining : 'a t -> int
+  (** Elements not yet taken (a racing snapshot; exact once quiescent). *)
+end
+
+(** Pure deterministic schedule simulation, exposed for property
+    tests. *)
+module Sim : sig
+  type outcome = {
+    makespan : float;  (** simulated seconds until the last slot finishes *)
+    steals : int;  (** tasks executed by a slot outside their home shard *)
+  }
+
+  val schedule : shards:int -> workers:int -> queues:float array array -> outcome
+  (** List-schedule the per-shard cost queues over the slot grid: the
+      earliest-idle slot (ties to the lowest slot index) takes the next
+      task from its home shard's queue, stealing from the next shards in
+      cyclic order when home is dry. [workers = 0] collapses to one slot
+      draining every queue in order ([makespan] = total cost, no
+      steals). [queues] must have exactly [shards] rows. *)
+end
+
+val map : t -> cost:('b -> float) -> ('a -> 'b) -> 'a list -> 'b list
+(** Evaluate one batch: block-partition the tasks over the shards, run
+    them work-stealingly, then advance the simulated clock by the
+    batch's simulated makespan under [cost] (per-result simulated
+    seconds). Results come back in submission order; if any task raised,
+    the first such exception (in submission order) is re-raised after
+    the batch drains and the batch is not accounted. *)
+
+val serial : t -> float -> unit
+(** Account one non-batched (on-demand) evaluation of the given
+    simulated cost: it runs alone, so the clock advances by the full
+    cost. *)
+
+type stats = {
+  rounds : int;  (** batches scheduled *)
+  batched : int;  (** tasks that went through the sharded deques *)
+  stolen : int;  (** batched tasks a non-home slot executed (simulated) *)
+  serial_tasks : int;  (** on-demand evaluations accounted by {!serial} *)
+  sim_seconds : float;  (** simulated cluster wall clock, both kinds *)
+}
+
+val stats : t -> stats

@@ -1,25 +1,38 @@
 (* Speculative batch evaluation shared by the batched searches.
 
    A ddmin round announces its candidates via [prefetch]; with a pool
-   they are evaluated in parallel into [results] (raw [evaluate] calls,
-   no trace, no budget). The search then consumes candidates in the
-   sequential order through [evaluate], which commits to the trace with
-   the speculative result when one exists — so records, budget accounting
-   and the trajectory are identical to a sequential run. Results are kept
-   across rounds: speculation wasted in one round can still pay off
-   later. Only [prefetch]'s pool workers run concurrently; this table and
-   the trace commits stay on the submitting domain. *)
+   (or a sharded scheduler) they are evaluated in parallel into
+   [results] (raw [evaluate] calls, no trace, no budget). The search
+   then consumes candidates in the sequential order through [evaluate],
+   which commits to the trace with the speculative result when one
+   exists — so records, budget accounting and the trajectory are
+   identical to a sequential run. Results are kept across rounds:
+   speculation wasted in one round can still pay off later. Only
+   [prefetch]'s workers run concurrently; this table and the trace
+   commits stay on the submitting domain.
+
+   With a shard scheduler, each affinity group becomes one shard task
+   whose simulated cost is the sum of its members' costs, and on-demand
+   evaluations that bypassed a batch are accounted serially — the
+   sharded cluster clock advances exactly as if the batch had run on
+   the simulated shards×workers grid. A scheduler with a single slot
+   disables speculation entirely: the classic sequential trajectory,
+   with every fresh evaluation accounted serially. *)
 
 type t = {
   pool : Pool.t option;
+  shard : Shard.t option;
+  cost : (Variant.measurement -> float) option;
   trace : Trace.t;
   evaluate : Transform.Assignment.t -> Variant.measurement;
   affinity : (Transform.Assignment.t -> string) option;
   results : (string, Variant.measurement) Hashtbl.t;
 }
 
-let create ?pool ?affinity ~trace ~evaluate () =
-  { pool; trace; evaluate; affinity; results = Hashtbl.create 64 }
+let create ?pool ?shard ?cost ?affinity ~trace ~evaluate () =
+  { pool; shard; cost; trace; evaluate; affinity; results = Hashtbl.create 64 }
+
+let cost_of t m = match t.cost with Some c -> c m | None -> 0.0
 
 (* Partition a batch into same-affinity runs, preserving first-seen order
    of groups and batch order within each. Candidates that share an
@@ -41,43 +54,66 @@ let affinity_groups aff todo =
     todo;
   List.rev_map (fun r -> List.rev !r) !order
 
+let fresh_batch t asgs =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun asg ->
+      let key = Transform.Assignment.signature asg in
+      if
+        Hashtbl.mem t.results key || Hashtbl.mem seen key
+        || Trace.find_cached t.trace asg <> None
+      then None
+      else begin
+        Hashtbl.add seen key ();
+        Some (key, asg)
+      end)
+    asgs
+
+let groups_of t todo =
+  match t.affinity with
+  | None -> List.map (fun item -> [ item ]) todo
+  | Some aff -> affinity_groups aff todo
+
+let record_group_results groups evaluated t =
+  List.iter2
+    (List.iter2 (fun (key, _) m -> Hashtbl.replace t.results key m))
+    groups evaluated
+
 let prefetch t asgs =
-  match t.pool with
-  | None -> ()
-  | Some pool ->
-    let seen = Hashtbl.create 16 in
-    let todo =
-      List.filter_map
-        (fun asg ->
-          let key = Transform.Assignment.signature asg in
-          if
-            Hashtbl.mem t.results key || Hashtbl.mem seen key
-            || Trace.find_cached t.trace asg <> None
-          then None
-          else begin
-            Hashtbl.add seen key ();
-            Some (key, asg)
-          end)
-        asgs
-    in
-    if todo <> [] then begin
-      let groups =
-        match t.affinity with
-        | None -> List.map (fun item -> [ item ]) todo
-        | Some aff -> affinity_groups aff todo
+  match (t.shard, t.pool) with
+  | Some sh, _ when Shard.slots sh > 1 -> (
+    match fresh_batch t asgs with
+    | [] -> ()
+    | todo ->
+      let groups = groups_of t todo in
+      let evaluated =
+        Shard.map sh
+          ~cost:(fun ms -> List.fold_left (fun acc m -> acc +. cost_of t m) 0.0 ms)
+          (fun group -> List.map (fun (_, asg) -> t.evaluate asg) group)
+          groups
       in
+      record_group_results groups evaluated t)
+  | Some _, _ -> ()  (* single simulated slot: no speculation *)
+  | None, Some pool -> (
+    match fresh_batch t asgs with
+    | [] -> ()
+    | todo ->
+      let groups = groups_of t todo in
       let evaluated =
         Pool.map pool (fun group -> List.map (fun (_, asg) -> t.evaluate asg) group) groups
       in
-      List.iter2
-        (List.iter2 (fun (key, _) m -> Hashtbl.replace t.results key m))
-        groups evaluated
-    end
+      record_group_results groups evaluated t)
+  | None, None -> ()
 
 let evaluate t asg =
   Trace.evaluate t.trace
     ~f:(fun asg ->
       match Hashtbl.find_opt t.results (Transform.Assignment.signature asg) with
       | Some m -> m
-      | None -> t.evaluate asg)
+      | None ->
+        let m = t.evaluate asg in
+        (* a fresh evaluation outside any batch runs alone on the
+           simulated cluster *)
+        Option.iter (fun sh -> Shard.serial sh (cost_of t m)) t.shard;
+        m)
     asg
