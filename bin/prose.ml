@@ -6,7 +6,11 @@
      prose source MODEL         print a model's Fortran source
      prose tune MODEL [...]     run a tuning campaign and report
      prose reduce MODEL         taint-based program reduction (Sec. III-C)
-     prose report               regenerate every table/figure/checklist    *)
+     prose report               regenerate every table/figure/checklist
+     prose serve                multiplex queued campaigns over one pool
+     prose submit MODEL [...]   queue a campaign with the service
+     prose watch JOB            stream a job's status events
+     prose jobs ls|show|cancel  inspect the service queue                  *)
 
 open Cmdliner
 
@@ -334,33 +338,46 @@ let status_counts entries =
 let campaign_ls_cmd =
   let doc = "List campaign journals under a directory" in
   let run root =
+    (* a listing must survive whatever else lives under the root: service
+       job state, foreign files, broken symlinks, even a corrupt journal
+       gets a note instead of killing the whole listing *)
     let dirs =
       if is_campaign_dir root then [ root ]
-      else if Sys.file_exists root && Sys.is_directory root then
-        Sys.readdir root |> Array.to_list |> List.sort compare
-        |> List.filter_map (fun n ->
-               let d = Filename.concat root n in
-               if Sys.is_directory d && is_campaign_dir d then Some d else None)
+      else if (try Sys.is_directory root with Sys_error _ -> false) then
+        Persist.Journal.find_campaigns ~root ()
       else begin
         prerr_endline ("prose campaign: no such directory " ^ root);
         exit 1
       end
     in
+    let display dir =
+      if dir = root then "."
+      else
+        let prefix = root ^ Filename.dir_sep in
+        let n = String.length prefix in
+        if String.length dir > n && String.sub dir 0 n = prefix then
+          String.sub dir n (String.length dir - n)
+        else dir
+    in
     if dirs = [] then pf "no campaign journals under %s\n" root
     else
       List.iter
         (fun dir ->
-          let loaded = load_or_die dir in
-          let h = loaded.Persist.Journal.l_header in
-          let n = List.length loaded.Persist.Journal.l_entries in
-          let state =
-            match Persist.Snapshot.read ~dir with
-            | Some s when s.Persist.Snapshot.s_finished -> "finished"
-            | Some _ | None -> "in progress"
-          in
-          pf "%-24s %-8s %-12s seed %-6d %4d records  %s%s\n" (Filename.basename dir)
-            h.Persist.Journal.model h.Persist.Journal.algo h.Persist.Journal.seed n state
-            (if loaded.Persist.Journal.l_torn then "  (torn tail)" else ""))
+          match Persist.Journal.load ~dir with
+          | exception Persist.Journal.Corrupt msg ->
+            pf "%-24s (unreadable: %s)\n" (display dir) msg
+          | exception Sys_error msg -> pf "%-24s (unreadable: %s)\n" (display dir) msg
+          | loaded ->
+            let h = loaded.Persist.Journal.l_header in
+            let n = List.length loaded.Persist.Journal.l_entries in
+            let state =
+              match Persist.Snapshot.read ~dir with
+              | Some s when s.Persist.Snapshot.s_finished -> "finished"
+              | Some _ | None -> "in progress"
+            in
+            pf "%-24s %-8s %-12s seed %-6d %4d records  %s%s\n" (display dir)
+              h.Persist.Journal.model h.Persist.Journal.algo h.Persist.Journal.seed n state
+              (if loaded.Persist.Journal.l_torn then "  (torn tail)" else ""))
         dirs
   in
   Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ dir_arg)
@@ -447,6 +464,277 @@ let campaign_cmd =
   let doc = "Inspect durable campaign journals" in
   Cmd.group (Cmd.info "campaign" ~doc)
     [ campaign_ls_cmd; campaign_show_cmd; campaign_replay_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* prose serve / submit / watch / jobs — the multiplexing campaign
+   service. The CLI talks to a running server over ROOT/prose.sock and
+   falls back to the on-disk store (submit queues, watch/jobs read)
+   when no server is listening. *)
+
+let root_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "root" ] ~docv:"DIR"
+        ~doc:"Service root directory (holds the socket, job state and campaign journals).")
+
+let job_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id, e.g. j001.")
+
+let open_store root =
+  if try Sys.is_directory root with Sys_error _ -> false then Service.Store.open_ ~root
+  else begin
+    prerr_endline ("prose: no such directory " ^ root);
+    exit 1
+  end
+
+let job_line (j : Service.Job.t) =
+  let { Service.Job.id; spec; state; records; hours; best_speedup } = j in
+  let extra = match state with Service.Job.Failed msg -> "  (" ^ msg ^ ")" | _ -> "" in
+  Printf.sprintf "%-6s %-8s %-12s %-8s %5d records %10.4f h  best %.3fx%s" id
+    spec.Service.Job.sp_model spec.Service.Job.sp_algo (Service.Job.state_name state) records
+    hours best_speedup extra
+
+let serve_cmd =
+  let doc = "Serve tuning campaigns from a job queue (SIGTERM drains)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the campaign service on $(b,--root): admitted jobs are multiplexed over one \
+         shared evaluation pool in fair round-robin time slices, each slice a journaled \
+         run/resume segment. Every job's journal, minimal set and summary are byte-identical \
+         to the same campaign run solo with $(b,prose tune). SIGTERM/SIGINT drain: the \
+         in-flight slice pauses at its next durable record and a restarted server resumes \
+         every job bit-identically with zero re-evaluation.";
+    ]
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "slots" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the shared evaluation pool lent to every job slice (0 = \
+             strictly sequential). Job results never depend on it.")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "slice" ] ~docv:"K"
+          ~doc:"Fresh durable records per scheduler time slice (>= 1).")
+  in
+  let run root slots slice =
+    match
+      Service.Server.run ~slice_records:slice ~log:(fun m -> pf "%s\n%!" m) ~root ~slots ()
+    with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("prose serve: " ^ msg);
+      exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const run $ root_arg $ slots_arg $ slice_arg)
+
+let submit_cmd =
+  let doc = "Submit a tuning campaign to the service queue" in
+  let submit_model_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Tuning target (validated at admission).")
+  in
+  let sworkers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker count recorded in the job's journal header, exactly as a solo $(b,prose \
+             tune --workers N) run's would be. Results are identical for every N; the \
+             server's $(b,--slots) bounds actual parallelism.")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "quota" ] ~docv:"H"
+          ~doc:
+            "Per-job budget in simulated cluster hours (fault losses included). The job goes \
+             terminal at the first durable record whose accumulated hours reach the quota — \
+             the same stopping record a preemption at that boundary produces.")
+  in
+  let tenant_arg =
+    Arg.(value & opt string "default" & info [ "tenant" ] ~doc:"Accounting label for the job.")
+  in
+  let run root model seed max_variants whole brute hierarchical workers quota tenant faults =
+    let spec =
+      {
+        Service.Job.sp_model = String.lowercase_ascii model;
+        sp_algo =
+          (if brute then "brute_force" else if hierarchical then "hierarchical" else "delta_debug");
+        sp_seed = seed;
+        sp_workers = workers;
+        sp_max_variants = max_variants;
+        sp_whole_model = whole;
+        sp_quota_hours = quota;
+        sp_faults = faults;
+        sp_tenant = tenant;
+      }
+    in
+    match Service.Proto.roundtrip ~root (Service.Proto.Submit spec) with
+    | Some (Ok resp) ->
+      let id =
+        match Option.bind (Persist.Json.member "job" resp) (fun j ->
+            match Service.Job.of_json j with
+            | Ok job -> Some job.Service.Job.id
+            | Error _ -> None)
+        with
+        | Some id -> id
+        | None -> "?"
+      in
+      pf "submitted %s\n" id
+    | Some (Error msg) ->
+      prerr_endline ("prose submit: " ^ msg);
+      exit 1
+    | None -> (
+      (* no server listening: admit straight into the store; a later
+         server picks the job up from its Queued state *)
+      let store = open_store root in
+      match Service.Store.submit store ~find_model:Models.Registry.find spec with
+      | Ok j ->
+        pf "queued %s (no server running; start one with: prose serve --root %s)\n"
+          j.Service.Job.id root
+      | Error msg ->
+        prerr_endline ("prose submit: rejected: " ^ msg);
+        exit 1)
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ root_arg $ submit_model_arg $ seed_arg $ max_variants_arg $ whole_model_arg
+      $ brute_arg $ hierarchical_arg $ sworkers_arg $ quota_arg $ tenant_arg $ faults_term)
+
+let watch_cmd =
+  let doc = "Stream a job's status events until it completes" in
+  let exit_for = function Service.Job.Done -> exit 0 | _ -> exit 1 in
+  let fallback root id =
+    let store = open_store root in
+    match Service.Store.load store id with
+    | None ->
+      prerr_endline ("prose watch: no such job " ^ id);
+      exit 1
+    | Some j ->
+      pf "%s\n" (job_line j);
+      if Service.Job.terminal j.Service.Job.state then exit_for j.Service.Job.state
+      else begin
+        prerr_endline
+          ("prose watch: no server running; start one with: prose serve --root " ^ root);
+        exit 3
+      end
+  in
+  let run root id =
+    let session =
+      Service.Proto.with_client ~root (fun (ic, oc) ->
+          Service.Proto.send oc (Service.Proto.request_json (Service.Proto.Watch id));
+          match Service.Proto.recv ic with
+          | None -> `Lost
+          | Some resp when not (Service.Proto.is_ok resp) ->
+            `Refused (Service.Proto.error_of resp)
+          | Some _ ->
+            let rec loop () =
+              match Service.Proto.recv ic with
+              | None -> `Lost (* server drained mid-watch; re-read the store *)
+              | Some line -> (
+                match Service.Proto.event_of_json line with
+                | None -> loop ()
+                | Some ev ->
+                  let { Service.Sched.ev_job; ev_state; ev_records; ev_hours; ev_best;
+                        ev_detail } =
+                    ev
+                  in
+                  pf "%-6s %-8s %5d records %10.4f h  best %.3fx%s\n%!" ev_job
+                    (Service.Job.state_name ev_state)
+                    ev_records ev_hours ev_best
+                    (if ev_detail = "" then "" else "  [" ^ ev_detail ^ "]");
+                  if Service.Job.terminal ev_state then `Terminal ev_state else loop ())
+            in
+            loop ())
+    in
+    match session with
+    | None | Some `Lost -> fallback root id
+    | Some (`Refused msg) ->
+      prerr_endline ("prose watch: " ^ msg);
+      exit 1
+    | Some (`Terminal st) -> exit_for st
+  in
+  Cmd.v (Cmd.info "watch" ~doc) Term.(const run $ root_arg $ job_arg)
+
+let jobs_cmd =
+  let doc = "List, inspect and cancel service jobs" in
+  let ls_cmd =
+    let run root =
+      let store = open_store root in
+      match Service.Store.list store with
+      | [] -> pf "no jobs under %s\n" root
+      | jobs -> List.iter (fun j -> pf "%s\n" (job_line j)) jobs
+    in
+    Cmd.v (Cmd.info "ls" ~doc:"List all jobs") Term.(const run $ root_arg)
+  in
+  let show_cmd =
+    let run root id =
+      let store = open_store root in
+      match Service.Store.load store id with
+      | None ->
+        prerr_endline ("prose jobs: no such job " ^ id);
+        exit 1
+      | Some j ->
+        let { Service.Job.sp_model; sp_algo; sp_seed; sp_workers; sp_max_variants;
+              sp_whole_model; sp_quota_hours; sp_faults; sp_tenant } =
+          j.Service.Job.spec
+        in
+        pf "%s\n" (job_line j);
+        pf "  model %s  algo %s  seed %d  workers %d  tenant %s\n" sp_model sp_algo sp_seed
+          sp_workers sp_tenant;
+        pf "  budget: %s variants, %s cluster-hours quota\n"
+          (match sp_max_variants with Some n -> string_of_int n | None -> "model default")
+          (match sp_quota_hours with Some h -> Printf.sprintf "%.3f" h | None -> "unlimited");
+        pf "  guidance: %s\n" (if sp_whole_model then "whole-model" else "hotspot");
+        Option.iter
+          (fun (f : Core.Cluster.Faults.spec) ->
+            pf "  faults: seed %d, transient %.3f, node %.3f, %d retries\n"
+              f.Core.Cluster.Faults.fault_seed f.Core.Cluster.Faults.transient_prob
+              f.Core.Cluster.Faults.node_failure_prob f.Core.Cluster.Faults.max_retries)
+          sp_faults;
+        let dir = Service.Store.campaign_dir store id in
+        if Sys.file_exists (Persist.Journal.file ~dir) then pf "  journal: %s\n" dir;
+        let published p = if Sys.file_exists p then pf "  published: %s\n" p in
+        published (Service.Store.summary_file store id);
+        published (Service.Store.minimal_file store id)
+    in
+    Cmd.v (Cmd.info "show" ~doc:"Show one job's spec, progress and artifacts")
+      Term.(const run $ root_arg $ job_arg)
+  in
+  let cancel_cmd =
+    let run root id =
+      match Service.Proto.roundtrip ~root (Service.Proto.Cancel id) with
+      | Some (Ok _) -> pf "cancelled %s\n" id
+      | Some (Error msg) ->
+        prerr_endline ("prose jobs: " ^ msg);
+        exit 1
+      | None -> (
+        let store = open_store root in
+        match Service.Store.load store id with
+        | None ->
+          prerr_endline ("prose jobs: no such job " ^ id);
+          exit 1
+        | Some j when Service.Job.terminal j.Service.Job.state ->
+          prerr_endline
+            ("prose jobs: " ^ id ^ " is already " ^ Service.Job.state_name j.Service.Job.state);
+          exit 1
+        | Some j ->
+          Service.Store.update store
+            { j with Service.Job.state = Service.Job.Failed "cancelled" };
+          pf "cancelled %s (no server running)\n" id)
+    in
+    Cmd.v (Cmd.info "cancel" ~doc:"Terminal-state a runnable job")
+      Term.(const run $ root_arg $ job_arg)
+  in
+  Cmd.group (Cmd.info "jobs" ~doc) [ ls_cmd; show_cmd; cancel_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -627,6 +915,10 @@ let () =
             source_cmd;
             tune_cmd;
             campaign_cmd;
+            serve_cmd;
+            submit_cmd;
+            watch_cmd;
+            jobs_cmd;
             analyze_cmd;
             reduce_cmd;
             fuzz_cmd;

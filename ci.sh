@@ -76,3 +76,50 @@ grep -v -e '"trace"' "$JDIR/base.json" > "$JDIR/base_cmp.json"
 grep -v -e '"trace"' "$JDIR/resumed.json" > "$JDIR/resumed_cmp.json"
 diff -u "$JDIR/base_cmp.json" "$JDIR/resumed_cmp.json"
 rm -rf "$JDIR"
+
+# Service gate: serve two concurrent campaigns (one fault-injected) over a
+# shared pool, SIGTERM the server mid-run, restart it, watch both jobs to
+# completion, and byte-diff each job's journal and summary against the
+# same campaign run solo with `prose tune`. Slices are journaled
+# run/resume segments, so multiplexing and the drain/restart may only
+# move the summary's "trace" line (cache/replay counters, functions of
+# where the slice boundaries fell); journals must match byte for byte.
+VDIR=$(mktemp -d)
+_build/default/bin/prose.exe serve --root "$VDIR" --slots 2 --slice 4 \
+  > "$VDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+while [ ! -S "$VDIR/prose.sock" ]; do sleep 0.02; done
+_build/default/bin/prose.exe submit --root "$VDIR" funarc --workers 0
+_build/default/bin/prose.exe submit --root "$VDIR" funarc --seed 7 --workers 0 \
+  --fault-transient 0.05 --fault-seed 7
+# drain once the first job has real progress, so the SIGTERM lands
+# mid-campaign (poll, because wall time is machine-fast)
+while [ "$(wc -l < "$VDIR/jobs/j001/campaign/journal.jsonl" 2> /dev/null || echo 0)" -lt 8 ]; do
+  sleep 0.02
+done
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+# a restarted server resumes every in-flight journal bit-identically
+# (zero re-evaluation of the journaled prefix) and finishes both jobs
+_build/default/bin/prose.exe serve --root "$VDIR" --slots 2 --slice 4 \
+  >> "$VDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+while [ ! -S "$VDIR/prose.sock" ]; do sleep 0.02; done
+_build/default/bin/prose.exe watch --root "$VDIR" j001
+_build/default/bin/prose.exe watch --root "$VDIR" j002
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+_build/default/bin/prose.exe tune funarc --workers 0 \
+  --journal "$VDIR/solo1" --json "$VDIR/solo1.json" > /dev/null
+_build/default/bin/prose.exe tune funarc --seed 7 --workers 0 \
+  --fault-transient 0.05 --fault-seed 7 \
+  --journal "$VDIR/solo2" --json "$VDIR/solo2.json" > /dev/null
+diff "$VDIR/solo1/journal.jsonl" "$VDIR/jobs/j001/campaign/journal.jsonl"
+diff "$VDIR/solo2/journal.jsonl" "$VDIR/jobs/j002/campaign/journal.jsonl"
+grep -v -e '"trace"' "$VDIR/solo1.json" > "$VDIR/solo1_cmp.json"
+grep -v -e '"trace"' "$VDIR/jobs/j001/summary.json" > "$VDIR/j001_cmp.json"
+diff -u "$VDIR/solo1_cmp.json" "$VDIR/j001_cmp.json"
+grep -v -e '"trace"' "$VDIR/solo2.json" > "$VDIR/solo2_cmp.json"
+grep -v -e '"trace"' "$VDIR/jobs/j002/summary.json" > "$VDIR/j002_cmp.json"
+diff -u "$VDIR/solo2_cmp.json" "$VDIR/j002_cmp.json"
+rm -rf "$VDIR"

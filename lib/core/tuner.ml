@@ -637,11 +637,18 @@ let max_variants_of p =
 
 let default_workers = Pool.default_workers
 
-(* [workers]: None = one per spare core, 0 = sequential. The pool lives
-   for exactly one campaign. *)
-let with_pool_opt workers f =
+(* [workers]: None = one per spare core, 0 = sequential. Without a
+   borrowed [pool] the pool lives for exactly one campaign; a caller that
+   multiplexes several campaigns over one substrate lends its own pool,
+   which is used whenever the effective worker count is positive and is
+   never shut down here. *)
+let with_pool_opt ?pool workers f =
   let w = match workers with Some w -> w | None -> default_workers () in
-  if w <= 0 then f None else Pool.with_pool ~workers:w (fun pool -> f (Some pool))
+  if w <= 0 then f None
+  else
+    match pool with
+    | Some _ as borrowed -> f borrowed
+    | None -> Pool.with_pool ~workers:w (fun pool -> f (Some pool))
 
 (* Atoms grouped by connected components of the interprocedural FP flow
    graph: variables linked by parameter passing move together in the
@@ -700,6 +707,12 @@ type journal_ctx = {
   mutable jbest : float;
 }
 
+type progress = { pg_records : int; pg_hours : float; pg_best : float }
+
+exception Paused
+
+let progress_of jc = { pg_records = jc.jrecords; pg_hours = jc.jhours; pg_best = jc.jbest }
+
 let snapshot_every = 32
 
 let hours_of_seconds jc secs = secs /. float_of_int jc.jcluster.nodes /. 3600.0
@@ -739,8 +752,10 @@ let note_record jc ~signature (m : Variant.measurement) =
 
 (* The trace's append sink: journal the record (write-ahead, fsynced),
    settle the cluster books, checkpoint periodically, and only then let a
-   configured preemption kill the "job" — the record is already durable. *)
-let journal_sink jc (r : Variant.record) =
+   caller's checkpoint hook or a configured preemption kill the "job" —
+   the record is already durable either way, so interrupting here is
+   always resumable with zero re-evaluation. *)
+let journal_sink ?checkpoint jc (r : Variant.record) =
   Persist.Journal.append jc.jw (Persist.Journal.entry_of_record r);
   let signature = Transform.Assignment.signature r.Variant.asg in
   (match jc.jfaults with
@@ -752,6 +767,7 @@ let journal_sink jc (r : Variant.record) =
   note_record jc ~signature r.Variant.meas;
   if jc.jrecords mod snapshot_every = 0 then
     Persist.Snapshot.write ~dir:jc.jdir (snapshot_of_ctx jc ~finished:false);
+  Option.iter (fun cp -> cp (progress_of jc)) checkpoint;
   match jc.jfaults with
   | Some f -> Cluster.Faults.check_preempt f ~hours:jc.jhours
   | None -> ()
@@ -767,7 +783,7 @@ let faulted_evaluate p faults asg =
     if m.Variant.detail = "static-filter" then m
     else Cluster.Faults.perturb fspec ~signature:(Transform.Assignment.signature asg) m
 
-let execute p ~algo ?workers ?shards ?journal ?faults ~preloaded () =
+let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preloaded () =
   let fstate = Option.map Cluster.Faults.create faults in
   let jctx =
     Option.map
@@ -795,7 +811,7 @@ let execute p ~algo ?workers ?shards ?journal ?faults ~preloaded () =
             r.Variant.meas)
         preloaded)
     jctx;
-  let sink = Option.map (fun jc -> journal_sink jc) jctx in
+  let sink = Option.map (fun jc -> journal_sink ?checkpoint jc) jctx in
   let trace = Trace.create ?max_variants:(max_variants_of p) ?sink () in
   Trace.preload trace preloaded;
   let eval = faulted_evaluate p faults in
@@ -830,18 +846,32 @@ let execute p ~algo ?workers ?shards ?journal ?faults ~preloaded () =
   in
   (* [shards] replaces the pool with a work-stealing shard scheduler;
      its stats are harvested even when a preemption aborts the search *)
+  (* between-batch yield: a second look for the checkpoint hook, so a
+     multiplexing caller can pause even a stretch served entirely from
+     the memo cache (which commits no fresh records and hence never
+     fires the journal sink) *)
+  let yield =
+    match (jctx, checkpoint) with
+    | Some jc, Some cp -> Some (fun () -> cp (progress_of jc))
+    | _ -> None
+  in
   let with_sched f =
     match shards with
-    | None -> with_pool_opt workers (fun pool -> f pool None)
+    | None -> with_pool_opt ?pool workers (fun pool -> f pool None)
     | Some s ->
       let w = max 0 (match workers with Some w -> w | None -> default_workers ()) in
-      Shard.with_shards ~shards:(max 1 s) ~workers:w (fun sh ->
+      Shard.with_shards ?yield ~shards:(max 1 s) ~workers:w (fun sh ->
           Fun.protect ~finally:(fun () -> note_sched sh) (fun () -> f None (Some sh)))
   in
   let dd_config = { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor } in
   let interrupted = ref false in
   let minimal =
     try
+      (* a journaled prefix may already exhaust a caller's quota: give the
+         checkpoint one look before any fresh work is scheduled *)
+      (match (jctx, checkpoint) with
+      | Some jc, Some cp -> cp (progress_of jc)
+      | _ -> ());
       match algo with
       | Brute_force_algo ->
         (* a budget truncates the enumeration rather than aborting the
@@ -859,7 +889,7 @@ let execute p ~algo ?workers ?shards ?journal ?faults ~preloaded () =
           (with_sched (fun pool shard ->
                Hierarchical.search ?pool ?shard ~cost ?affinity ~atoms:p.atoms
                  ~groups:(flow_groups p) ~trace ~evaluate:eval dd_config))
-    with Cluster.Faults.Preempted _ ->
+    with Cluster.Faults.Preempted _ | Paused ->
       interrupted := true;
       None
   in
@@ -888,19 +918,21 @@ let journal_header p ~algo ~workers =
 let start_journal p ~algo ~workers dir =
   (dir, Persist.Journal.create ~dir (journal_header p ~algo ~workers))
 
-let run_algo ~algo ?config ?workers ?shards ?journal ?faults model =
+let run_algo ~algo ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
   let p = prepare ?config model in
   let journal = Option.map (start_journal p ~algo ~workers) journal in
-  execute p ~algo ?workers ?shards ?journal ?faults ~preloaded:[] ()
+  execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preloaded:[] ()
 
-let run_delta_debug ?config ?workers ?shards ?journal ?faults model =
-  run_algo ~algo:Delta_debug_algo ?config ?workers ?shards ?journal ?faults model
+let run_delta_debug ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
+  run_algo ~algo:Delta_debug_algo ?config ?workers ?shards ?pool ?journal ?faults
+    ?checkpoint model
 
-let run_brute_force ?config ?journal ?faults model =
-  run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults model
+let run_brute_force ?config ?journal ?faults ?checkpoint model =
+  run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults ?checkpoint model
 
-let run_hierarchical ?config ?workers ?shards ?journal ?faults model =
-  run_algo ~algo:Hierarchical_algo ?config ?workers ?shards ?journal ?faults model
+let run_hierarchical ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
+  run_algo ~algo:Hierarchical_algo ?config ?workers ?shards ?pool ?journal ?faults
+    ?checkpoint model
 
 let run_random ?config ~samples model =
   let p = prepare ?config model in
@@ -928,7 +960,8 @@ let record_of_entry atoms (e : Persist.Journal.entry) : Variant.record =
     meas = e.Persist.Journal.e_meas;
   }
 
-let resume ?(config = Config.default) ?workers ?shards ?faults ?model ~journal:dir () =
+let resume ?(config = Config.default) ?workers ?shards ?pool ?faults ?checkpoint ?model
+    ~journal:dir () =
   let loaded, jw = Persist.Journal.reopen ~dir () in
   let h = loaded.Persist.Journal.l_header in
   let model =
@@ -963,4 +996,4 @@ let resume ?(config = Config.default) ?workers ?shards ?faults ?model ~journal:d
   let preloaded =
     List.map (record_of_entry p.atoms) loaded.Persist.Journal.l_entries
   in
-  execute p ~algo ?workers ?shards ~journal:(dir, jw) ?faults ~preloaded ()
+  execute p ~algo ?workers ?shards ?pool ~journal:(dir, jw) ?faults ?checkpoint ~preloaded ()

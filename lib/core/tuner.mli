@@ -155,12 +155,28 @@ val default_workers : unit -> int
 (** The default evaluation parallelism: one worker domain per spare core
     ([Domain.recommended_domain_count () - 1], never negative). *)
 
+type progress = {
+  pg_records : int;  (** records committed so far, incl. a resumed prefix *)
+  pg_hours : float;  (** simulated cluster hours consumed, incl. fault losses *)
+  pg_best : float;  (** best passing speedup committed so far *)
+}
+(** What a [?checkpoint] hook sees: the campaign's durable progress at a
+    moment when everything committed is already fsynced to the journal. *)
+
+exception Paused
+(** Raised by a caller's [?checkpoint] hook to suspend the campaign at
+    the current durable record. The runner returns a campaign with
+    [interrupted = true]; {!resume} later continues it bit-identically
+    (exactly like an injected preemption, but caller-controlled). *)
+
 val run_delta_debug :
   ?config:Config.t ->
   ?workers:int ->
   ?shards:int ->
+  ?pool:Search.Pool.t ->
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
+  ?checkpoint:(progress -> unit) ->
   Models.Registry.t ->
   campaign
 (** The paper's search (Sec. III-B) on the model's search space, bounded
@@ -196,12 +212,27 @@ val run_delta_debug :
     ([interrupted = true]) after the current record is durable. Fault
     bookkeeping and the preemption clock live in the journal's commit
     sink, so [faults] should be combined with [journal]; without it only
-    the measurement perturbation applies. *)
+    the measurement perturbation applies.
+
+    [pool] lends an externally owned {!Search.Pool} instead of creating
+    one per campaign — the substrate a multiplexing service shares
+    between jobs. It is used whenever the effective worker count is
+    positive and is never shut down by the runner; the journal header
+    still records [workers], so journals stay byte-identical to
+    solo runs.
+
+    [checkpoint] is called with the campaign's {!progress} after every
+    fresh durable record (from the journal's commit sink, so it only
+    fires on journaled campaigns), once before any fresh work is
+    scheduled, and — under [shards] — between speculative batches. The
+    hook may raise {!Paused} to suspend the campaign gracefully at that
+    durable point. *)
 
 val run_brute_force :
   ?config:Config.t ->
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
+  ?checkpoint:(progress -> unit) ->
   Models.Registry.t ->
   campaign
 (** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B.
@@ -219,14 +250,16 @@ val run_hierarchical :
   ?config:Config.t ->
   ?workers:int ->
   ?shards:int ->
+  ?pool:Search.Pool.t ->
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
+  ?checkpoint:(progress -> unit) ->
   Models.Registry.t ->
   campaign
 (** The community-structure search ({!Search.Hierarchical}) over the
     flow-graph groups — the clustering approach the paper's Sec. V points
-    to for scaling FPPT. [workers], [shards], [journal], [faults] as in
-    {!run_delta_debug}. *)
+    to for scaling FPPT. [workers], [shards], [pool], [journal],
+    [faults], [checkpoint] as in {!run_delta_debug}. *)
 
 exception Resume_mismatch of string
 (** The offered model/configuration disagrees with the journal header. *)
@@ -235,7 +268,9 @@ val resume :
   ?config:Config.t ->
   ?workers:int ->
   ?shards:int ->
+  ?pool:Search.Pool.t ->
   ?faults:Cluster.Faults.spec ->
+  ?checkpoint:(progress -> unit) ->
   ?model:Models.Registry.t ->
   journal:string ->
   unit ->

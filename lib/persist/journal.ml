@@ -218,6 +218,30 @@ let load ~dir =
     let entries, valid = records [] hend rest in
     { l_header = h; l_entries = entries; l_valid_bytes = valid; l_torn = valid < n }
 
+(* Campaign discovery: every directory under [root] (bounded depth)
+   holding a journal.jsonl, in deterministic depth-first lexicographic
+   order. Foreign files, broken symlinks and unreadable directories are
+   skipped silently — a service root interleaves job state files with
+   campaign dirs, and listing must tolerate all of it. *)
+let find_campaigns ?(max_depth = 3) ~root () =
+  let out = ref [] in
+  let rec go depth dir =
+    if Sys.file_exists (file ~dir) then out := dir :: !out
+    else if depth < max_depth then
+      match Sys.readdir dir with
+      | exception Sys_error _ -> ()
+      | entries ->
+        Array.sort compare entries;
+        Array.iter
+          (fun e ->
+            let sub = Filename.concat dir e in
+            let is_dir = try Sys.is_directory sub with Sys_error _ -> false in
+            if is_dir then go (depth + 1) sub)
+          entries
+  in
+  go 0 root;
+  List.rev !out
+
 let reopen ?(fsync = true) ~dir () =
   let l = load ~dir in
   let path = file ~dir in

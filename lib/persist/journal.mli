@@ -73,3 +73,12 @@ val load : dir:string -> loaded
 val reopen : ?fsync:bool -> dir:string -> unit -> loaded * writer
 (** {!load}, then truncate the file to [l_valid_bytes] (dropping any torn
     tail) and reopen it for appending. *)
+
+val find_campaigns : ?max_depth:int -> root:string -> unit -> string list
+(** Every directory at or below [root] (descending at most [max_depth]
+    levels, default 3) that holds a [journal.jsonl], in deterministic
+    depth-first lexicographic order; campaign directories are not
+    descended into. Foreign files, broken symlinks and unreadable
+    directories are skipped silently, so the scan is safe on a root that
+    mixes campaign dirs with other state (e.g. a service root). Never
+    raises; journals are located, not validated. *)

@@ -31,17 +31,24 @@
 
 type t
 
-val create : shards:int -> workers:int -> t
+val create : ?yield:(unit -> unit) -> shards:int -> workers:int -> unit -> t
 (** [shards >= 1] simulated node-shards of [workers >= 0] evaluation
     slots each. [workers = 0] means a single sequential slot overall
     (the classic no-speculation trajectory); raises [Invalid_argument]
-    on a negative argument or [shards < 1]. *)
+    on a negative argument or [shards < 1].
+
+    [yield] is a cooperative scheduling hook fired at the start of every
+    {!map} call — i.e. {e between} batches, never inside one. At that
+    point every record the consumer committed is durable and no task of
+    the next batch has started, so a multiplexing campaign service can
+    use it to pause or interleave campaigns (the hook may raise; the
+    batch is then never scheduled). It runs on the driving domain. *)
 
 val shutdown : t -> unit
 (** Terminates and joins the helper domains. Idempotent; mapping on a
     shut-down scheduler raises [Invalid_argument]. *)
 
-val with_shards : shards:int -> workers:int -> (t -> 'a) -> 'a
+val with_shards : ?yield:(unit -> unit) -> shards:int -> workers:int -> (t -> 'a) -> 'a
 (** Fresh scheduler for the call's duration, shut down on exit. *)
 
 val shards : t -> int

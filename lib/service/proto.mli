@@ -1,0 +1,79 @@
+(** The service wire protocol: line-delimited JSON over a Unix-domain
+    socket at [ROOT/prose.sock].
+
+    Every connection carries exactly one request line; the server answers
+    with one response line and — for [watch] — a stream of event lines.
+
+    {2 Requests}
+
+    One JSON object per line, selected by ["cmd"]:
+
+    - [{"cmd":"ping"}] — liveness probe.
+    - [{"cmd":"submit","spec":SPEC}] — admit a job; [SPEC] is
+      {!Job.spec_json} (model, algo, seed, workers, max_variants,
+      whole_model, quota_hours, faults, tenant; floats as [%h] hex
+      strings).
+    - [{"cmd":"jobs"}] — list all jobs.
+    - [{"cmd":"show","id":"j001"}] — one job's state.
+    - [{"cmd":"cancel","id":"j001"}] — terminal-state a runnable job.
+    - [{"cmd":"watch","id":"j001"}] — subscribe to the job's status
+      events.
+
+    {2 Responses}
+
+    One JSON object per line: [{"ok":true, ...}] with a ["job"] or
+    ["jobs"] payload ({!Job.to_json}), or [{"ok":false,"error":MSG}].
+
+    {2 Events}
+
+    After a successful [watch] response the connection stays open and
+    receives one event object per line:
+    [{"event":"status","job":ID,"state":S,"error":E,"records":N,
+    "hours":H,"best":B,"detail":D}] — [detail] is [""] for progress
+    ticks, else the transition kind (["slice"], ["drained"],
+    ["finished"], ["quota-exhausted"], ["cancelled"], ["error"]). The
+    server closes the connection after a terminal ([done]/[failed])
+    event. *)
+
+type request =
+  | Ping
+  | Submit of Job.spec
+  | Jobs
+  | Show of string
+  | Cancel of string
+  | Watch of string
+
+val socket_file : root:string -> string
+(** [ROOT/prose.sock]. *)
+
+val request_json : request -> Persist.Json.t
+val request_of_string : string -> (request, string) result
+(** Parse one request line (never raises). *)
+
+val ok : (string * Persist.Json.t) list -> Persist.Json.t
+(** [{"ok":true, ...fields}]. *)
+
+val error : string -> Persist.Json.t
+(** [{"ok":false,"error":msg}]. *)
+
+val is_ok : Persist.Json.t -> bool
+val error_of : Persist.Json.t -> string
+
+val event_json : Sched.event -> Persist.Json.t
+val event_of_json : Persist.Json.t -> Sched.event option
+
+val send : out_channel -> Persist.Json.t -> unit
+(** One JSON line, flushed. *)
+
+val recv : in_channel -> Persist.Json.t option
+(** One JSON line; [None] on EOF or unparsable input. *)
+
+val connect : root:string -> (in_channel * out_channel) option
+(** Connect to the root's socket; [None] when absent or refusing. *)
+
+val with_client : root:string -> (in_channel * out_channel -> 'a) -> 'a option
+(** {!connect}, run, close. [None] when no server is reachable. *)
+
+val roundtrip : root:string -> request -> ((Persist.Json.t, string) result) option
+(** One request/response exchange: [None] when no server is reachable,
+    [Some (Ok json)] on an [ok] response, [Some (Error msg)] otherwise. *)

@@ -1,0 +1,70 @@
+(* Shared plumbing for the durable-campaign test suites: temp
+   directories, the SIGKILL-style journal tear, and the campaign
+   equality / zero-re-evaluation checks. Linked into every test
+   executable of the (tests) stanza; keep it dependency-light. *)
+
+let temp_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s/prose_test_%d_%d" (Filename.get_temp_dir_name ()) (Unix.getpid ()) !n
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if try Sys.is_directory p with Sys_error _ -> false then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let with_dir2 f = with_dir (fun a -> with_dir (fun b -> f a b))
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* cut the journal to a prefix, mid-record-line (a real SIGKILL tear) *)
+let truncate_journal dir frac =
+  let path = Persist.Journal.file ~dir in
+  let s = slurp path in
+  let header_end = String.index s '\n' + 1 in
+  let cut = header_end + int_of_float (frac *. float_of_int (String.length s - header_end)) in
+  let oc = open_out_bin path in
+  output_string oc (String.sub s 0 cut);
+  close_out oc
+
+let keys (c : Core.Tuner.campaign) =
+  List.map
+    (fun (r : Search.Variant.record) ->
+      ( r.Search.Variant.index,
+        Transform.Assignment.signature r.Search.Variant.asg,
+        r.Search.Variant.meas ))
+    c.Core.Tuner.records
+
+(* nan-valued measurement fields make [=] unusable; [compare] is total *)
+let check_same_campaign name (a : Core.Tuner.campaign) (b : Core.Tuner.campaign) =
+  Alcotest.(check int) (name ^ ": record count") (List.length a.Core.Tuner.records)
+    (List.length b.Core.Tuner.records);
+  Alcotest.(check bool) (name ^ ": records identical") true (compare (keys a) (keys b) = 0);
+  Alcotest.(check bool)
+    (name ^ ": summary identical")
+    true
+    (compare a.Core.Tuner.summary b.Core.Tuner.summary = 0);
+  Alcotest.(check int64)
+    (name ^ ": simulated hours bits")
+    (Int64.bits_of_float a.Core.Tuner.simulated_hours)
+    (Int64.bits_of_float b.Core.Tuner.simulated_hours)
+
+let check_no_reeval name (c : Core.Tuner.campaign) =
+  Alcotest.(check int)
+    (name ^ ": fresh evals = records - preloaded")
+    (List.length c.Core.Tuner.records - c.Core.Tuner.preloaded)
+    c.Core.Tuner.trace_stats.Search.Trace.misses

@@ -13,25 +13,8 @@ let small_funarc =
    enumeration, and preloaded records count toward it on resume *)
 let funarc_config = { Core.Config.default with Core.Config.max_variants = Some 48 }
 
-let temp_dir =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Printf.sprintf "%s/prose_persist_test_%d_%d" (Filename.get_temp_dir_name ())
-      (Unix.getpid ()) !n
-
-let rm_rf dir =
-  if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Sys.rmdir dir
-  end
-
-let with_dir f =
-  let dir = temp_dir () in
-  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
-
-let with_dir2 f =
-  with_dir (fun a -> with_dir (fun b -> f a b))
+let with_dir = Harness.with_dir
+let with_dir2 = Harness.with_dir2
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec                                                          *)
@@ -225,45 +208,9 @@ let journal_tests =
 (* ------------------------------------------------------------------ *)
 (* Campaign-level resume determinism                                   *)
 
-let keys (c : Core.Tuner.campaign) =
-  List.map
-    (fun (r : Search.Variant.record) ->
-      ( r.Search.Variant.index,
-        Transform.Assignment.signature r.Search.Variant.asg,
-        r.Search.Variant.meas ))
-    c.Core.Tuner.records
-
-(* nan-valued measurement fields make [=] unusable; [compare] is total *)
-let check_same_campaign name (a : Core.Tuner.campaign) (b : Core.Tuner.campaign) =
-  Alcotest.(check int) (name ^ ": record count") (List.length a.Core.Tuner.records)
-    (List.length b.Core.Tuner.records);
-  Alcotest.(check bool) (name ^ ": records identical") true (compare (keys a) (keys b) = 0);
-  Alcotest.(check bool)
-    (name ^ ": summary identical")
-    true
-    (compare a.Core.Tuner.summary b.Core.Tuner.summary = 0);
-  Alcotest.(check int64)
-    (name ^ ": simulated hours bits")
-    (Int64.bits_of_float a.Core.Tuner.simulated_hours)
-    (Int64.bits_of_float b.Core.Tuner.simulated_hours)
-
-let check_no_reeval name (c : Core.Tuner.campaign) =
-  Alcotest.(check int)
-    (name ^ ": fresh evals = records - preloaded")
-    (List.length c.Core.Tuner.records - c.Core.Tuner.preloaded)
-    c.Core.Tuner.trace_stats.Search.Trace.misses
-
-(* cut the journal to a prefix, mid-record-line (a real SIGKILL tear) *)
-let truncate_journal dir frac =
-  let path = Persist.Journal.file ~dir in
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  let header_end = String.index s '\n' + 1 in
-  let cut = header_end + int_of_float (frac *. float_of_int (String.length s - header_end)) in
-  let oc = open_out_bin path in
-  output_string oc (String.sub s 0 cut);
-  close_out oc
+let check_same_campaign = Harness.check_same_campaign
+let check_no_reeval = Harness.check_no_reeval
+let truncate_journal = Harness.truncate_journal
 
 let resume_tests =
   let kill_resume_dd workers frac () =

@@ -100,7 +100,7 @@ let shard_unit_tests =
     t "create refuses bad arguments" (fun () ->
         List.iter
           (fun (s, w) ->
-            match Shard.create ~shards:s ~workers:w with
+            match Shard.create ~shards:s ~workers:w () with
             | sh ->
               Shard.shutdown sh;
               Alcotest.failf "expected Invalid_argument for %dx%d" s w
@@ -306,18 +306,7 @@ let matrix_tests =
               Alcotest.failf "%s: simulated makespan not accounted" label)
           [ (1, 0); (2, 0); (4, 0); (1, 4); (2, 4); (4, 4) ]);
     Alcotest.test_case "sharded journal resume re-evaluates nothing" `Slow (fun () ->
-        let dir =
-          Filename.concat (Filename.get_temp_dir_name ())
-            (Printf.sprintf "prose_shard_resume_%d" (Unix.getpid ()))
-        in
-        let rm_rf d =
-          if Sys.file_exists d then begin
-            Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
-            Sys.rmdir d
-          end
-        in
-        rm_rf dir;
-        Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+        Harness.with_dir @@ fun dir ->
         let base =
           Core.Tuner.run_delta_debug ~config:matrix_config ~workers:0 small_mpas
         in
