@@ -45,6 +45,17 @@
                               scheduler with S simulated node-shards;
                               results are identical, only the simulated
                               makespan accounting is added
+     main.exe --predict       predictive-search comparison: every
+                              delta-debug campaign (five models +
+                              mpas_joint) at --predict off/rank/prune;
+                              requires rank's minimal set bit-identical
+                              to off's everywhere, >=25% fewer dynamic
+                              evaluations to the minimal set on >=3
+                              campaigns, and (exhaustively, on the
+                              funarc 2^8 space) that prune at the
+                              default margin never skips a variant
+                              that would pass; emitted into --json as
+                              the "predict" section
      main.exe --scaling       shards x workers scaling curve on the
                               whole-model campaign: run the same search
                               at (1,0) (2,2) (2,4) (4,4), require every
@@ -72,6 +83,7 @@ type selection = {
   mutable kill_resume : bool;
   mutable shards : int option;
   mutable scaling : bool;
+  mutable predict_check : bool;
 }
 
 let parse_args () =
@@ -79,7 +91,7 @@ let parse_args () =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
       quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
       json = None; check_against = None; verify_roundtrip = false; no_compile = false;
-      kill_resume = false; shards = None; scaling = false }
+      kill_resume = false; shards = None; scaling = false; predict_check = false }
   in
   let rec go = function
     | [] -> ()
@@ -135,6 +147,10 @@ let parse_args () =
       go rest
     | "--scaling" :: rest ->
       sel.scaling <- true;
+      sel.all <- false;
+      go rest
+    | "--predict" :: rest ->
+      sel.predict_check <- true;
       sel.all <- false;
       go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
@@ -423,6 +439,11 @@ let rec main () =
   if sel.all || sel.bechamel then bechamel_suite ();
   if sel.kill_resume then kill_resume_suite ~config ?workers ();
   let scaling = if sel.scaling then Some (scaling_suite ~config ()) else None in
+  let predict =
+    if sel.predict_check || sel.json <> None then
+      Some (predict_suite ~config ?workers ())
+    else None
+  in
 
   (* perf trajectory: per-campaign wall clock + evaluation counts (forces
      the six campaigns, so `--json` or `--check-against` alone is a
@@ -442,7 +463,7 @@ let rec main () =
     Option.iter
       (fun path ->
         Core.Export.write_file ~path
-          (Core.Export.bench_json ?scaling ~workers:effective entries);
+          (Core.Export.bench_json ?scaling ?predict ~workers:effective entries);
         pf "wrote %s\n%!" path)
       sel.json;
     Option.iter (fun path -> check_against ~seed:sel.seed path entries) sel.check_against
@@ -540,6 +561,165 @@ and kill_resume_suite ~config ?workers () =
     exit 1
   end
   else pf "kill-and-resume check passed\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Predictive-search comparison: every delta-debug campaign at --predict
+   off / rank / prune.  rank must reproduce off's minimal set bit for
+   bit everywhere (it only reorders the trajectory) and reach it with
+   >= 25% fewer dynamic evaluations on at least 3 of the 6 campaigns;
+   prune, checked exhaustively on the funarc 2^8 space at the default
+   margin, must never skip a variant that would dynamically pass.      *)
+
+and predict_suite ~config ?workers () =
+  pf "PREDICTIVE SEARCH COMPARISON (static error-amplification steering, lib/sensitivity)\n";
+  (* the suite runs at its own fixed bench seed and with the variant
+     budget lifted: the savings figures are part of the published
+     comparison, so they must not drift with the CLI --seed (which keeps
+     steering the rest of the harness), and the longest off-mode
+     trajectory must not be truncated mid-search *)
+  let config =
+    { config with Core.Config.seed = 99; max_variants = Some 100_000 }
+  in
+  let is_static (r : Search.Variant.record) =
+    let d = r.Search.Variant.meas.Search.Variant.detail in
+    String.length d >= 6 && String.sub d 0 6 = "static"
+  in
+  let dynamic_evals c =
+    List.length (List.filter (fun r -> not (is_static r)) c.Core.Tuner.records)
+  in
+  let pruned_count (c : Core.Tuner.campaign) =
+    List.length
+      (List.filter
+         (fun (r : Search.Variant.record) ->
+           let d = r.Search.Variant.meas.Search.Variant.detail in
+           String.length d >= 8 && String.sub d 0 8 = "static: ")
+         c.Core.Tuner.records)
+  in
+  let minimal_sig (c : Core.Tuner.campaign) =
+    Option.map
+      (fun m -> Transform.Assignment.signature m.Search.Delta_debug.minimal)
+      c.Core.Tuner.minimal
+  in
+  (* dynamic evaluations spent before the search first lands on the
+     variant it will declare minimal (statically pruned records are free) *)
+  let evals_to_minimal (c : Core.Tuner.campaign) =
+    match minimal_sig c with
+    | None -> dynamic_evals c
+    | Some target ->
+      let rec go n = function
+        | [] -> n
+        | (r : Search.Variant.record) :: rest ->
+          let n = if is_static r then n else n + 1 in
+          if Transform.Assignment.signature r.Search.Variant.asg = target then n else go n rest
+      in
+      go 0 c.Core.Tuner.records
+  in
+  let runners =
+    [
+      ("funarc", fun cfg -> Core.Tuner.run_delta_debug ~config:cfg Models.Registry.funarc);
+      ("mpas", fun cfg -> Core.Experiments.hotspot_campaign ~config:cfg ?workers "mpas");
+      ("adcirc", fun cfg -> Core.Experiments.hotspot_campaign ~config:cfg ?workers "adcirc");
+      ("mom6", fun cfg -> Core.Experiments.hotspot_campaign ~config:cfg ?workers "mom6");
+      ("lulesh", fun cfg -> Core.Experiments.hotspot_campaign ~config:cfg ?workers "lulesh");
+      ("mpas_joint", fun cfg -> Core.Experiments.joint_campaign ~config:cfg ?workers ());
+    ]
+  in
+  let failures = ref 0 in
+  let improved = ref 0 in
+  let points =
+    List.concat_map
+      (fun (name, run) ->
+        let mode m = { config with Core.Config.predict = m } in
+        let off = timed (name ^ " predict=off") (fun () -> run (mode Core.Config.Predict_off)) in
+        let rank =
+          timed (name ^ " predict=rank") (fun () -> run (mode Core.Config.Predict_rank))
+        in
+        let prune =
+          timed (name ^ " predict=prune") (fun () -> run (mode Core.Config.Predict_prune))
+        in
+        let off_sig = minimal_sig off in
+        let point m (c : Core.Tuner.campaign) =
+          {
+            Core.Export.pr_campaign = name;
+            pr_mode = m;
+            pr_evals_to_minimal = evals_to_minimal c;
+            pr_dynamic_evals = dynamic_evals c;
+            pr_pruned = pruned_count c;
+            pr_sim_hours = c.Core.Tuner.simulated_hours;
+            pr_sim_hours_saved = off.Core.Tuner.simulated_hours -. c.Core.Tuner.simulated_hours;
+            pr_minimal_identical = minimal_sig c = off_sig;
+          }
+        in
+        let p_off = point "off" off and p_rank = point "rank" rank
+        and p_prune = point "prune" prune in
+        List.iter
+          (fun p ->
+            pf "  %-10s %-5s %3d evals to minimal / %3d dynamic, %2d pruned, %7.3f sim h \
+                (saved %7.3f), minimal %s\n"
+              name p.Core.Export.pr_mode p.Core.Export.pr_evals_to_minimal
+              p.Core.Export.pr_dynamic_evals p.Core.Export.pr_pruned p.Core.Export.pr_sim_hours
+              p.Core.Export.pr_sim_hours_saved
+              (if p.Core.Export.pr_minimal_identical then "identical" else "DIFFERENT"))
+          [ p_off; p_rank; p_prune ];
+        if not p_rank.Core.Export.pr_minimal_identical then begin
+          pf "  FAIL %s: rank's minimal set differs from off's\n" name;
+          incr failures
+        end;
+        if
+          float_of_int p_rank.Core.Export.pr_evals_to_minimal
+          <= 0.75 *. float_of_int p_off.Core.Export.pr_evals_to_minimal
+        then incr improved;
+        [ p_off; p_rank; p_prune ])
+      runners
+  in
+  pf "  rank saved >=25%% of evaluations-to-minimal on %d of %d campaigns\n" !improved
+    (List.length runners);
+  if !improved < 3 then begin
+    pf "  FAIL: expected >=25%% savings on at least 3 campaigns\n";
+    incr failures
+  end;
+  (* exhaustive prune-safety check on the funarc 2^8 space: at the default
+     margin, no variant that dynamically passes may be pruned *)
+  let brute =
+    timed "funarc exhaustive prune safety" (fun () ->
+        Core.Tuner.run_brute_force ~config Models.Registry.funarc)
+  in
+  let prepared =
+    Core.Tuner.prepare ~config:{ config with Core.Config.predict = Core.Config.Predict_prune }
+      Models.Registry.funarc
+  in
+  (match prepared.Core.Tuner.scorer with
+  | None ->
+    pf "  FAIL funarc: the static analysis declined the program (no scorer)\n";
+    incr failures
+  | Some sc ->
+    let wrong =
+      List.filter
+        (fun (r : Search.Variant.record) ->
+          r.Search.Variant.meas.Search.Variant.status = Search.Variant.Pass
+          && Sensitivity.Score.prune sc r.Search.Variant.asg)
+        brute.Core.Tuner.records
+    in
+    let passers =
+      List.length
+        (List.filter
+           (fun (r : Search.Variant.record) ->
+             r.Search.Variant.meas.Search.Variant.status = Search.Variant.Pass)
+           brute.Core.Tuner.records)
+    in
+    if wrong = [] then
+      pf "  prune safety: 0 of %d passing variants would be pruned at the default margin\n"
+        passers
+    else begin
+      pf "  FAIL funarc: %d passing variant(s) would be statically pruned\n" (List.length wrong);
+      incr failures
+    end);
+  if !failures > 0 then begin
+    pf "predictive-search check FAILED (%d)\n%!" !failures;
+    exit 1
+  end
+  else pf "predictive-search check passed\n%!";
+  points
 
 (* ------------------------------------------------------------------ *)
 (* Shard-scheduler scaling curve: the same whole-model campaign at

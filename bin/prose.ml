@@ -95,6 +95,37 @@ let static_filter_arg =
 let brute_arg =
   Arg.(value & flag & info [ "brute-force" ] ~doc:"Exhaustive 2^n search instead of delta debugging.")
 
+let predict_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Core.Config.Predict_off);
+             ("rank", Core.Config.Predict_rank);
+             ("prune", Core.Config.Predict_prune);
+           ])
+        Core.Config.Predict_off
+    & info [ "predict" ] ~docv:"MODE"
+        ~doc:
+          "Steer the search with the static error-amplification analysis (lib/sensitivity). \
+           $(b,rank) reorders delta-debugging candidates by predicted score (pass-probability \
+           x payoff) so promising subsets are tried first; $(b,prune) additionally skips \
+           variants whose sound static error bound provably exceeds the threshold, \
+           journaling them as static losses with zero evaluation cost. Falls back to the \
+           unpredicted search when the analysis cannot vouch for the program.")
+
+let predict_margin_arg =
+  Arg.(
+    value & opt float Core.Config.default.Core.Config.predict_margin
+    & info [ "predict-margin" ] ~docv:"M"
+        ~doc:
+          "Safety factor for $(b,--predict prune): only variants whose finite static bound \
+           exceeds $(i,M) x threshold are skipped. The default is deliberately enormous — \
+           sound worst-case bounds overshoot observed error by roughly the square root of \
+           the operation count — so pruning only fires on overwhelming evidence; lower it \
+           explicitly to trade safety for pruning.")
+
 let verify_roundtrip_arg =
   Arg.(
     value & flag
@@ -206,14 +237,16 @@ let faults_term =
 
 let tune_cmd =
   let doc = "Run a precision-tuning campaign on a model" in
-  let run m seed max_variants whole static brute hierarchical csv json workers shards verify
-      no_compile no_batch_reuse journal resume faults =
+  let run m seed max_variants whole static predict predict_margin brute hierarchical csv json
+      workers shards verify no_compile no_batch_reuse journal resume faults =
     let config =
       {
         Core.Config.default with
         Core.Config.seed;
         max_variants;
         static_filter = static;
+        predict;
+        predict_margin;
         mode = (if whole then Core.Config.Whole_model_guided else Core.Config.Hotspot_guided);
         verify_roundtrip = verify;
         compile = not no_compile;
@@ -269,6 +302,26 @@ let tune_cmd =
           ss.Core.Tuner.sched_sim_hours ss.Core.Tuner.sched_steals ss.Core.Tuner.sched_rounds
           ss.Core.Tuner.sched_batched ss.Core.Tuner.sched_serial)
       campaign.Core.Tuner.sched;
+    (match config.Core.Config.predict with
+    | Core.Config.Predict_off -> ()
+    | mode ->
+      let pruned =
+        List.length
+          (List.filter
+             (fun (r : Search.Variant.record) ->
+               let d = r.Search.Variant.meas.Search.Variant.detail in
+               String.length d >= 8 && String.sub d 0 8 = "static: ")
+             campaign.Core.Tuner.records)
+      in
+      pf "predict: %s, %s, %d statically pruned record(s)\n"
+        (match mode with
+        | Core.Config.Predict_rank -> "rank"
+        | Core.Config.Predict_prune -> "prune"
+        | Core.Config.Predict_off -> "off")
+        (match campaign.Core.Tuner.prepared.Core.Tuner.scorer with
+        | Some _ -> "scorer engaged"
+        | None -> "analysis declined — unpredicted search")
+        pruned);
     if campaign.Core.Tuner.preloaded > 0 then
       pf "resume: %d records replayed from the journal\n" campaign.Core.Tuner.preloaded;
     Option.iter
@@ -300,9 +353,9 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ model_arg $ seed_arg $ max_variants_arg $ whole_model_arg $ static_filter_arg
-      $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg $ workers_arg $ shards_arg
-      $ verify_roundtrip_arg $ no_compile_arg $ no_batch_reuse_arg $ journal_arg $ resume_arg
-      $ faults_term)
+      $ predict_arg $ predict_margin_arg $ brute_arg $ hierarchical_arg $ csv_arg $ json_arg
+      $ workers_arg $ shards_arg $ verify_roundtrip_arg $ no_compile_arg $ no_batch_reuse_arg
+      $ journal_arg $ resume_arg $ faults_term)
 
 (* ------------------------------------------------------------------ *)
 (* prose campaign ls|show|replay — inspect durable campaign journals.  *)
@@ -400,6 +453,26 @@ let campaign_show_cmd =
       (List.length loaded.Persist.Journal.l_entries)
       pass fail timeout error
       (if loaded.Persist.Journal.l_torn then "  -- torn tail dropped" else "");
+    (* prediction bookkeeping: absent entirely for journals written before
+       the score fields existed *)
+    let scored =
+      List.filter_map (fun (e : Persist.Journal.entry) -> e.Persist.Journal.e_score)
+        loaded.Persist.Journal.l_entries
+    in
+    let pruned =
+      List.length
+        (List.filter
+           (fun (e : Persist.Journal.entry) ->
+             let d = e.Persist.Journal.e_meas.Search.Variant.detail in
+             String.length d >= 8 && String.sub d 0 8 = "static: ")
+           loaded.Persist.Journal.l_entries)
+    in
+    if scored <> [] || pruned > 0 then
+      pf "predict : %d scored record(s), mean score %.4f, %d statically pruned\n"
+        (List.length scored)
+        (if scored = [] then 0.0
+         else List.fold_left ( +. ) 0.0 scored /. float_of_int (List.length scored))
+        pruned;
     match Persist.Snapshot.read ~dir with
     | None -> pf "snapshot: none\n"
     | Some s ->
@@ -447,6 +520,17 @@ let campaign_replay_cmd =
           })
         loaded.Persist.Journal.l_entries
     in
+    (* journaled prediction fields ride along into the CSV; journals
+       written before the columns existed yield empty cells *)
+    let annots : (int, float option * float option) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Persist.Journal.entry) ->
+        Hashtbl.replace annots e.Persist.Journal.e_index
+          (e.Persist.Journal.e_score, e.Persist.Journal.e_bound))
+      loaded.Persist.Journal.l_entries;
+    let annot (r : Search.Variant.record) =
+      Option.value ~default:(None, None) (Hashtbl.find_opt annots r.Search.Variant.index)
+    in
     let s = Search.Variant.summarize records in
     pf "%s %s campaign: %d records replayed%s\n" h.Persist.Journal.model h.Persist.Journal.algo
       s.Search.Variant.total
@@ -455,7 +539,7 @@ let campaign_replay_cmd =
       s.Search.Variant.pass_pct s.Search.Variant.fail_pct s.Search.Variant.timeout_pct
       s.Search.Variant.error_pct s.Search.Variant.best_speedup;
     Option.iter
-      (fun path -> Core.Export.write_file ~path (Core.Export.variants_csv_records records))
+      (fun path -> Core.Export.write_file ~path (Core.Export.variants_csv_records ~annot records))
       csv
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ dir_arg $ csv_arg)

@@ -22,11 +22,12 @@ dune exec bench/main.exe -- --quick --workers 0 --scaling --json BENCH_ci_run.js
 dune exec bin/prose.exe -- tune mpas --max-variants 15 --workers 0 \
   --verify-roundtrip > /dev/null
 
-# Fuzz smoke gate: 300 random well-typed programs through all five
-# oracles (roundtrip, typecheck, rewrite, equiv, compiled) at a fixed
-# seed; "compiled" is the three-way interpreter == lowered IR ==
-# closure-compiled check. Any violation is minimized, written to
-# test/corpus/, and fails the run.
+# Fuzz smoke gate: 300 random well-typed programs through all six
+# oracles (roundtrip, typecheck, rewrite, equiv, compiled, sensitivity)
+# at a fixed seed; "compiled" is the three-way interpreter == lowered IR
+# == closure-compiled check, "sensitivity" checks every finite static
+# error bound against the measured single-atom demotion error. Any
+# violation is minimized, written to test/corpus/, and fails the run.
 dune exec bin/prose.exe -- fuzz --cases 300 --seed 42
 
 # Sharded-scheduler gate: one joint multi-hotspot campaign (the atm_srk3
@@ -47,6 +48,55 @@ _build/default/bin/prose.exe tune mpas_joint --whole-model --max-variants 40 \
 diff -u "$SDIR/seq.csv" "$SDIR/sharded.csv"
 diff -u "$SDIR/seq.json" "$SDIR/sharded.json"
 rm -rf "$SDIR"
+
+# Predictive-search gate, part 1: rank ordering must steer the mpas
+# campaign to the bit-identical 1-minimal variant the unpredicted search
+# finds (fewer evaluations are the point; a different answer is a bug).
+PDIR=$(mktemp -d)
+_build/default/bin/prose.exe tune mpas --workers 0 --predict off \
+  --json "$PDIR/off.json" > /dev/null
+_build/default/bin/prose.exe tune mpas --workers 0 --predict rank \
+  --json "$PDIR/rank.json" > /dev/null
+grep '"minimal"' "$PDIR/off.json" > "$PDIR/off_min.json"
+grep '"minimal"' "$PDIR/rank.json" > "$PDIR/rank_min.json"
+# the evaluation counts differ by design; the atom set must not
+sed 's/"evaluations": [0-9]*/"evaluations": _/' "$PDIR/off_min.json" \
+  > "$PDIR/off_cmp.json"
+sed 's/"evaluations": [0-9]*/"evaluations": _/' "$PDIR/rank_min.json" \
+  > "$PDIR/rank_cmp.json"
+diff -u "$PDIR/off_cmp.json" "$PDIR/rank_cmp.json"
+
+# Predictive-search gate, part 2: SIGKILL a journaled prune campaign
+# mid-search (margin tuned so ~15% of the space is statically skipped and
+# the rest runs for real), resume it, and require the summary to match an
+# uninterrupted run modulo the "trace" line -- pruning decisions are pure
+# functions of (config digest, variant signature), so the torn journal
+# must replay them bit-identically. A second resume of the now-complete
+# journal must preload every record and evaluate nothing.
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --predict prune --predict-margin 100000 \
+  --json "$PDIR/pbase.json" > /dev/null
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --predict prune --predict-margin 100000 \
+  --journal "$PDIR/pcamp" > /dev/null &
+PKILL_PID=$!
+while [ "$(wc -l < "$PDIR/pcamp/journal.jsonl" 2> /dev/null || echo 0)" -lt 40 ]; do
+  sleep 0.02
+done
+kill -9 "$PKILL_PID" 2> /dev/null || true
+wait "$PKILL_PID" 2> /dev/null || true
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --predict prune --predict-margin 100000 \
+  --journal "$PDIR/pcamp" --resume --json "$PDIR/presumed.json" > /dev/null
+grep -v -e '"trace"' "$PDIR/pbase.json" > "$PDIR/pbase_cmp.json"
+grep -v -e '"trace"' "$PDIR/presumed.json" > "$PDIR/presumed_cmp.json"
+diff -u "$PDIR/pbase_cmp.json" "$PDIR/presumed_cmp.json"
+_build/default/bin/prose.exe tune funarc --brute-force --workers 0 \
+  --predict prune --predict-margin 100000 \
+  --journal "$PDIR/pcamp" --resume --json "$PDIR/preplay.json" > /dev/null
+grep '"misses": 0,' "$PDIR/preplay.json" > /dev/null
+grep '"preloaded": 256' "$PDIR/preplay.json" > /dev/null
+rm -rf "$PDIR"
 
 # Crash-safety smoke gate: SIGKILL a journaled campaign mid-search, resume
 # it, and require the summary to be bit-identical to an uninterrupted run.

@@ -49,3 +49,58 @@ let evaluate ?(params = default_params) ?(conv_ratio_threshold = 0.34) st =
 
 let predicts_worse ~baseline ~candidate ~penalty_budget =
   candidate.vector_loops < baseline.vector_loops || candidate.penalty > penalty_budget
+
+(* ------------------------------------------------------------------ *)
+(* Static trip counts: constant folding over loop bounds, so the
+   sensitivity pass can weight loop-carried accumulation by the real
+   iteration count instead of the loop_weight^depth proxy whenever the
+   bounds are compile-time constants (the common case in the model
+   proxies, where extents come from named integer parameters).          *)
+
+let rec const_int ?(env = fun _ -> None) (e : Fortran.Ast.expr) =
+  match e with
+  | Fortran.Ast.Int_lit n -> Some n
+  | Fortran.Ast.Var v -> env v
+  | Fortran.Ast.Unop (Fortran.Ast.Neg, e) -> Option.map (fun n -> -n) (const_int ~env e)
+  | Fortran.Ast.Binop (op, a, b) -> (
+    match (const_int ~env a, const_int ~env b) with
+    | Some x, Some y -> (
+      match op with
+      | Fortran.Ast.Add -> Some (x + y)
+      | Fortran.Ast.Sub -> Some (x - y)
+      | Fortran.Ast.Mul -> Some (x * y)
+      | Fortran.Ast.Div -> if y = 0 then None else Some (x / y)
+      | Fortran.Ast.Pow ->
+        (* mirror the interpreter: negative integer exponents trap, and
+           anything large enough to overflow 63 bits is not worth folding *)
+        if y < 0 || y > 62 then None
+        else begin
+          let r = ref 1 in
+          for _ = 1 to y do
+            r := !r * x
+          done;
+          Some !r
+        end
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let trip_count ?env (s : Fortran.Ast.stmt_node) =
+  match s with
+  | Fortran.Ast.Do { from_; to_; step; _ } -> (
+    let step_v =
+      match step with None -> Some 1 | Some e -> const_int ?env e
+    in
+    match (const_int ?env from_, const_int ?env to_, step_v) with
+    | Some lo, Some hi, Some st when st <> 0 ->
+      (* Fortran semantics: max(0, (hi - lo + st) / st) with flooring —
+         spelled out sign-by-sign because OCaml division truncates
+         toward zero and a naive (hi-lo)/st+1 over-counts empty loops *)
+      let n =
+        if st > 0 then if hi < lo then 0 else ((hi - lo) / st) + 1
+        else if hi > lo then 0
+        else ((lo - hi) / -st) + 1
+      in
+      Some n
+    | _ -> None)
+  | _ -> None

@@ -46,3 +46,15 @@ val predicts_worse :
 (** The static filter: [true] when the candidate should be skipped without
     dynamic evaluation — it vectorizes fewer loops than the baseline, or
     its casting penalty exceeds [penalty_budget]. *)
+
+val const_int : ?env:(string -> int option) -> Fortran.Ast.expr -> int option
+(** Fold an integer expression to a compile-time constant. [env] resolves
+    named integer parameters (default: nothing resolves). Division by zero,
+    negative exponents, and any non-integer construct yield [None]. *)
+
+val trip_count : ?env:(string -> int option) -> Fortran.Ast.stmt_node -> int option
+(** Static iteration count of a counted [do] loop with the Fortran
+    semantics [max 0 ((to - from + step) / step)]: zero-trip loops fold to
+    [Some 0], negative strides count downward, and a non-constant bound, a
+    constant zero step (a runtime trap), or any non-[Do] statement
+    (including [do while]) is [None]. *)

@@ -2,6 +2,11 @@ type mode =
   | Hotspot_guided
   | Whole_model_guided
 
+type predict =
+  | Predict_off
+  | Predict_rank
+  | Predict_prune
+
 type t = {
   machine : Runtime.Machine.t;
   mode : mode;
@@ -11,6 +16,8 @@ type t = {
   static_filter : bool;
   static_penalty_budget : float;
   max_variants : int option;
+  predict : predict;
+  predict_margin : float;
   proc_cache : bool;
   verify_roundtrip : bool;
   compile : bool;
@@ -27,6 +34,8 @@ let default =
     static_filter = false;
     static_penalty_budget = 5.0e4;
     max_variants = None;
+    predict = Predict_off;
+    predict_margin = 1e6;
     proc_cache = true;
     verify_roundtrip = false;
     compile = true;
@@ -50,5 +59,13 @@ let digest t =
         Printf.sprintf "%h" t.static_penalty_budget;
         (match t.max_variants with None -> "-" | Some n -> string_of_int n);
       ]
+  in
+  (* predict fields are appended only when active, so every digest minted
+     before they existed — and every off-mode campaign — is unchanged *)
+  let canonical =
+    match t.predict with
+    | Predict_off -> canonical
+    | Predict_rank -> canonical ^ Printf.sprintf "|predict:rank|margin:%h" t.predict_margin
+    | Predict_prune -> canonical ^ Printf.sprintf "|predict:prune|margin:%h" t.predict_margin
   in
   Digest.to_hex (Digest.string canonical)

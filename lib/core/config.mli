@@ -10,6 +10,19 @@ type mode =
   | Whole_model_guided
       (** the Sec. IV-C search: speedup over the whole model's time *)
 
+type predict =
+  | Predict_off  (** the unpredicted search (pre-PR-9 behaviour) *)
+  | Predict_rank
+      (** reorder ddmin partitions/complements by the static score so
+          promising variants are tried first; the minimal set is
+          bit-identical to [Predict_off], only the exploration order (and
+          hence evaluations-to-minimal) changes *)
+  | Predict_prune
+      (** [Predict_rank] plus: skip dynamic evaluation of variants whose
+          finite static error bound already exceeds
+          [predict_margin × threshold], journaling them as [static:] loss
+          records *)
+
 type t = {
   machine : Runtime.Machine.t;
   mode : mode;
@@ -24,6 +37,16 @@ type t = {
           casting-penalty cost model) before dynamic evaluation *)
   static_penalty_budget : float;  (** casting-penalty budget for the filter *)
   max_variants : int option;  (** overrides the model's default budget *)
+  predict : predict;  (** sensitivity-guided search steering (off by default) *)
+  predict_margin : float;
+      (** soundness slack for [Predict_prune]: only variants whose static
+          bound exceeds margin × threshold are skipped. The default (1e6)
+          is deliberately enormous: the worst-case rounding model
+          accumulates linearly where real errors random-walk, so sound
+          bounds overshoot observed error by ~sqrt(ops) — measured up to
+          ~1.2e5× threshold on passing funarc variants — and pruning must
+          never skip a variant that would pass. Lower it explicitly to
+          trade safety for pruning. *)
   proc_cache : bool;
       (** reuse lowered procedures across variants keyed by precision
           signature ({!Runtime.Lower.Cache}); on by default, off gives
@@ -55,4 +78,6 @@ val digest : t -> string
     campaign journal header stores it, and resume refuses a journal whose
     digest disagrees with the offered configuration. [proc_cache],
     [verify_roundtrip], [compile] and [batch_reuse] are excluded: they
-    change how variants are evaluated, never what the results are. *)
+    change how variants are evaluated, never what the results are.
+    [predict]/[predict_margin] are appended only when predict is not
+    [Predict_off], so pre-PR-9 journals keep their digests. *)

@@ -18,24 +18,41 @@ let csv_field s =
     Buffer.contents b
   end
 
-let variants_csv_records records =
+(* predicted_score / static_bound cells stay empty when the campaign ran
+   without prediction (or the journal predates the columns) *)
+let opt_cell = function
+  | None -> ""
+  | Some v -> Printf.sprintf "%.6g" v
+
+let variants_csv_records ?(annot = fun (_ : Variant.record) -> (None, None)) records =
   let b = Buffer.create 4096 in
   Buffer.add_string b
-    "index,pct_32bit,status,speedup,rel_error,hotspot_time,model_time,casting_share,signature\n";
+    "index,pct_32bit,status,speedup,rel_error,hotspot_time,model_time,casting_share,\
+     predicted_score,static_bound,signature\n";
   List.iter
     (fun (r : Variant.record) ->
       let m = r.Variant.meas in
+      let score, bound = annot r in
       Buffer.add_string b
-        (Printf.sprintf "%d,%.4f,%s,%.6g,%.6g,%.6g,%.6g,%.4f,%s\n" r.Variant.index
+        (Printf.sprintf "%d,%.4f,%s,%.6g,%.6g,%.6g,%.6g,%.4f,%s,%s,%s\n" r.Variant.index
            (100.0 *. Variant.fraction_lowered r)
            (csv_field (Variant.status_to_string m.Variant.status))
            m.Variant.speedup m.Variant.rel_error m.Variant.hotspot_time m.Variant.model_time
-           m.Variant.casting_share
+           m.Variant.casting_share (opt_cell score) (opt_cell bound)
            (csv_field (Transform.Assignment.signature r.Variant.asg))))
     records;
   Buffer.contents b
 
-let variants_csv (c : Tuner.campaign) = variants_csv_records c.Tuner.records
+let variants_csv (c : Tuner.campaign) =
+  let annot =
+    match c.Tuner.prepared.Tuner.scorer with
+    | None -> fun _ -> (None, None)
+    | Some sc ->
+      fun (r : Variant.record) ->
+        ( Some (Sensitivity.Score.score sc r.Variant.asg),
+          Some (Sensitivity.Score.static_bound sc r.Variant.asg) )
+  in
+  variants_csv_records ~annot c.Tuner.records
 
 (* One escaping for every JSON we emit — shared with the campaign
    journal's encoder, covering \r, \t and the rest of the C0 controls. *)
@@ -101,7 +118,27 @@ let sched_json (s : Tuner.sched_stats) =
     (jfloat s.Tuner.sched_sim_hours) s.Tuner.sched_steals s.Tuner.sched_rounds
     s.Tuner.sched_batched s.Tuner.sched_serial
 
-let bench_json ?scaling ~workers entries =
+type predict_point = {
+  pr_campaign : string;
+  pr_mode : string;
+  pr_evals_to_minimal : int;
+  pr_dynamic_evals : int;
+  pr_pruned : int;
+  pr_sim_hours : float;
+  pr_sim_hours_saved : float;
+  pr_minimal_identical : bool;
+}
+
+let predict_point_json p =
+  Printf.sprintf
+    "    {\"campaign\": \"%s\", \"mode\": \"%s\", \"evals_to_minimal\": %d, \
+     \"dynamic_evals\": %d, \"pruned\": %d, \"sim_hours\": %s, \"sim_hours_saved\": %s, \
+     \"minimal_identical\": %b}"
+    (json_escape p.pr_campaign) (json_escape p.pr_mode) p.pr_evals_to_minimal
+    p.pr_dynamic_evals p.pr_pruned (jfloat p.pr_sim_hours) (jfloat p.pr_sim_hours_saved)
+    p.pr_minimal_identical
+
+let bench_json ?scaling ?predict ~workers entries =
   let entry (name, wall_seconds, c) =
     let summary = String.trim (summary_json c) in
     Printf.sprintf
@@ -120,9 +157,16 @@ let bench_json ?scaling ~workers entries =
         (String.concat ",\n"
            (List.map (fun s -> "    " ^ sched_json s) points))
   in
-  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]%s\n}\n" workers
+  let predict_section =
+    match predict with
+    | None | Some [] -> ""
+    | Some points ->
+      Printf.sprintf ",\n  \"predict\": [\n%s\n  ]"
+        (String.concat ",\n" (List.map predict_point_json points))
+  in
+  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]%s%s\n}\n" workers
     (String.concat ",\n" (List.map entry entries))
-    scaling_section
+    scaling_section predict_section
 
 let write_file ~path content =
   let oc = open_out path in

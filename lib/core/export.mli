@@ -10,21 +10,46 @@ val csv_field : string -> string
 
 val variants_csv : Tuner.campaign -> string
 (** Header plus one row per variant: index, %32-bit, status, Eq.-1
-    speedup, relative error, hotspot/model times, casting share, and the
-    precision signature (one character per atom, '4' or '8'). The status
-    and signature fields go through {!csv_field}. *)
+    speedup, relative error, hotspot/model times, casting share, the
+    predicted score and sound static error bound (empty unless the
+    campaign ran with [--predict]), and the precision signature (one
+    character per atom, '4' or '8'). The status and signature fields go
+    through {!csv_field}. *)
 
-val variants_csv_records : Search.Variant.record list -> string
+val variants_csv_records :
+  ?annot:(Search.Variant.record -> float option * float option) ->
+  Search.Variant.record list ->
+  string
 (** {!variants_csv} over a bare record list — what [prose campaign
-    replay] renders straight from a journal. *)
+    replay] renders straight from a journal. [annot] supplies the
+    (predicted_score, static_bound) cells per record (e.g. from the
+    journal's own score fields); both default to empty, as for journals
+    written before the columns existed. *)
 
 val summary_json : Tuner.campaign -> string
 (** Model, search-space size, threshold, Table-II row, 1-minimal variant,
     simulated cluster hours, memo-cache traffic ({!Search.Trace.stats}
     under ["trace"], with the resume bookkeeping), as a JSON object. *)
 
+(** One campaign × predict-mode measurement of the bench predictive-search
+    comparison: dynamic evaluations spent reaching the minimal set, total
+    dynamic evaluations, statically pruned records, simulated cluster
+    hours (and the saving vs the [off] mode of the same campaign), and
+    whether the minimal set is bit-identical to the [off] run's. *)
+type predict_point = {
+  pr_campaign : string;
+  pr_mode : string;  (** ["off"], ["rank"] or ["prune"] *)
+  pr_evals_to_minimal : int;
+  pr_dynamic_evals : int;
+  pr_pruned : int;
+  pr_sim_hours : float;
+  pr_sim_hours_saved : float;
+  pr_minimal_identical : bool;
+}
+
 val bench_json :
   ?scaling:Tuner.sched_stats list ->
+  ?predict:predict_point list ->
   workers:int ->
   (string * float * Tuner.campaign) list ->
   string

@@ -1,35 +1,10 @@
 type t = Metrics.Linreg.model
 
-let feature_names =
-  [ "frac_32bit"; "mismatch_edges"; "mismatch_array_elems"; "vector_loops"; "conv_sites" ]
-
-let features (p : Tuner.prepared) asg =
-  let prog' = Transform.Rewrite.apply p.Tuner.st asg in
-  let st' = Fortran.Symtab.build prog' in
-  let graph = Analysis.Flowgraph.build st' in
-  let violations = Analysis.Flowgraph.violations graph in
-  let array_elems =
-    List.fold_left
-      (fun acc (e : Analysis.Flowgraph.edge) ->
-        if e.Analysis.Flowgraph.e_dummy.Analysis.Flowgraph.n_is_array then
-          acc
-          + Option.value ~default:100 e.Analysis.Flowgraph.e_dummy.Analysis.Flowgraph.n_elements
-        else acc)
-      0 violations
-  in
-  let reports = Analysis.Vectorize.analyze st' in
-  let vec = List.length (List.filter Analysis.Vectorize.vectorizable reports) in
-  let convs =
-    List.fold_left (fun acc (r : Analysis.Vectorize.report) -> acc + r.Analysis.Vectorize.conv_sites)
-      0 reports
-  in
-  [|
-    Transform.Assignment.fraction_lowered asg;
-    float_of_int (List.length violations);
-    float_of_int array_elems;
-    float_of_int vec;
-    float_of_int convs;
-  |]
+(* the feature extraction lives in [Sensitivity.Rank]: the search-time
+   demotion engine refits the same OLS on the same features each round,
+   and the two models must never drift apart *)
+let feature_names = Sensitivity.Rank.feature_names
+let features (p : Tuner.prepared) asg = Sensitivity.Rank.features ~st:p.Tuner.st asg
 
 let measurable (r : Search.Variant.record) =
   r.Search.Variant.meas.Search.Variant.speedup > 0.0
@@ -50,8 +25,49 @@ let r_squared m p records =
   let features, targets = samples p records in
   Metrics.Linreg.r_squared m ~features ~targets
 
+(* Fusion of the static error-amplification model with the dynamic OLS
+   speedup predictor: rank = predicted pass-probability (from the sound
+   per-atom bounds of [Sensitivity.Score]) × predicted speedup (the OLS
+   model when enough committed records exist to fit one, the static
+   def-use payoff proxy otherwise).  This is the reporting/benchmark view
+   of the campaign's scorer; the search itself demotes candidates with
+   the [Sensitivity.Rank] evidence engine, whose inputs accrue in
+   committed-record order so trajectories never depend on scheduling. *)
+module Static = struct
+  type nonrec t = { scorer : Sensitivity.Score.t; ols : t option }
+
+  let speedup_model t p asg =
+    match t.ols with
+    | Some m -> Float.max 0.0 (predict m p asg)
+    | None -> Sensitivity.Score.payoff t.scorer asg
+
+  let score t p asg = Sensitivity.Score.pass_probability t.scorer asg *. speedup_model t p asg
+  let bound t asg = Sensitivity.Score.static_bound t.scorer asg
+
+  let create (p : Tuner.prepared) records =
+    match p.Tuner.scorer with
+    | None -> None
+    | Some scorer ->
+      let by_index =
+        List.sort
+          (fun (a : Search.Variant.record) (b : Search.Variant.record) ->
+            compare a.Search.Variant.index b.Search.Variant.index)
+          records
+      in
+      Some { scorer; ols = train p by_index }
+end
+
 let holdout_report p records =
-  let usable = List.filter measurable records in
+  (* split on committed record order (the variant index), not arrival
+     order: sharded and multi-worker runs commit the same records but may
+     list them in a different order, and the ablation must not depend on
+     scheduling *)
+  let usable =
+    List.sort
+      (fun (a : Search.Variant.record) (b : Search.Variant.record) ->
+        compare a.Search.Variant.index b.Search.Variant.index)
+      (List.filter measurable records)
+  in
   let n = List.length usable in
   let cut = n * 3 / 5 in
   let train_set = List.filteri (fun i _ -> i < cut) usable in

@@ -134,6 +134,10 @@ type prepared = {
   perf_floor : float;  (* noise-adjusted acceptance floor *)
   budget : float;
   baseline_static : Analysis.Static_cost.verdict;
+  scorer : Sensitivity.Score.t option;
+      (* the error-amplification scorer steering rank/prune; None when
+         predict is off or the mirror analysis declined to vouch for
+         itself (fell back to the unpredicted search) *)
   cache : Runtime.Lower.Cache.t option;  (* per-procedure lowering cache *)
   ccache : Runtime.Compile.Cache.t option;  (* compiled-procedure cache *)
   share : share option;  (* batch-reuse table; None disables sharing *)
@@ -434,6 +438,7 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
       perf_floor;
       budget = model.timeout_factor *. baseline_cost;
       baseline_static;
+      scorer = None;
       cache;
       ccache;
       share;
@@ -464,7 +469,16 @@ let prepare ?(config = Config.default) (model : Models.Registry.t) : prepared =
              "Tuner.prepare: cannot derive %s threshold from uniform-32 (error %g, %s)"
              model.name raw.r_rel_error raw.r_detail)
   in
-  { partial with threshold }
+  (* the scorer needs the resolved threshold (From_uniform32 models derive
+     it dynamically above), so it is built last *)
+  let scorer =
+    match config.Config.predict with
+    | Config.Predict_off -> None
+    | Config.Predict_rank | Config.Predict_prune ->
+      Sensitivity.Score.create ~st ~atoms ~metric_key:model.metric_key ~baseline_metric
+        ~threshold ~margin:config.Config.predict_margin
+  in
+  { partial with threshold; scorer }
 
 let statically_filtered p asg =
   p.config.Config.static_filter
@@ -489,7 +503,25 @@ let evaluate p asg : Variant.measurement =
       casting_share = 0.0;
       detail = "static-filter";
     }
-  else measurement_of_raw p asg (transform_and_run p asg)
+  else
+    match p.scorer with
+    | Some sc
+      when p.config.Config.predict = Config.Predict_prune && Sensitivity.Score.prune sc asg ->
+      (* provably hopeless: the finite static error bound already exceeds
+         margin × threshold. A pure function of (config, signature), so
+         every worker/shard/resume agrees; journaled as a loss record that
+         never reached the cluster. *)
+      {
+        Variant.status = Variant.Fail;
+        speedup = 0.0;
+        rel_error = infinity;
+        hotspot_time = 0.0;
+        model_time = 0.0;
+        proc_stats = [];
+        casting_share = 0.0;
+        detail = Printf.sprintf "static: bound %.6g" (Sensitivity.Score.static_bound sc asg);
+      }
+    | Some _ | None -> measurement_of_raw p asg (transform_and_run p asg)
 
 let uniform32_measurement p =
   measurement_of_raw p
@@ -545,9 +577,13 @@ type campaign = {
   fault_stats : Cluster.Faults.stats option;
 }
 
-(* Static-filter rejections never reach the cluster, so no fault can touch
-   them; every fault-accounting site must agree with [faulted_evaluate]. *)
-let off_cluster (m : Variant.measurement) = m.Variant.detail = "static-filter"
+(* Static-filter and static-prune rejections never reach the cluster, so
+   no fault can touch them and they cost no simulated node time; every
+   fault-accounting site must agree with [faulted_evaluate]. Both detail
+   strings start with "static". *)
+let off_cluster (m : Variant.measurement) =
+  let d = m.Variant.detail in
+  String.length d >= 6 && String.sub d 0 6 = "static"
 
 (* The per-procedure cache keys evaluating [asg] requests from
    [Lower.Cache] and [Compile.Cache], derived statically (rewrite +
@@ -755,8 +791,19 @@ let note_record jc ~signature (m : Variant.measurement) =
    caller's checkpoint hook or a configured preemption kill the "job" —
    the record is already durable either way, so interrupting here is
    always resumable with zero re-evaluation. *)
-let journal_sink ?checkpoint jc (r : Variant.record) =
-  Persist.Journal.append jc.jw (Persist.Journal.entry_of_record r);
+let journal_sink ?checkpoint p jc (r : Variant.record) =
+  let entry = Persist.Journal.entry_of_record r in
+  let entry =
+    match p.scorer with
+    | Some sc ->
+      {
+        entry with
+        Persist.Journal.e_score = Some (Sensitivity.Score.score sc r.Variant.asg);
+        e_bound = Some (Sensitivity.Score.static_bound sc r.Variant.asg);
+      }
+    | None -> entry
+  in
+  Persist.Journal.append jc.jw entry;
   let signature = Transform.Assignment.signature r.Variant.asg in
   (match jc.jfaults with
   | Some f when not (off_cluster r.Variant.meas) ->
@@ -780,7 +827,7 @@ let faulted_evaluate p faults asg =
   match faults with
   | None -> m
   | Some fspec ->
-    if m.Variant.detail = "static-filter" then m
+    if off_cluster m then m
     else Cluster.Faults.perturb fspec ~signature:(Transform.Assignment.signature asg) m
 
 let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preloaded () =
@@ -811,7 +858,7 @@ let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preload
             r.Variant.meas)
         preloaded)
     jctx;
-  let sink = Option.map (fun jc -> journal_sink ?checkpoint jc) jctx in
+  let sink = Option.map (fun jc -> journal_sink ?checkpoint p jc) jctx in
   let trace = Trace.create ?max_variants:(max_variants_of p) ?sink () in
   Trace.preload trace preloaded;
   let eval = faulted_evaluate p faults in
@@ -864,6 +911,46 @@ let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preload
           Fun.protect ~finally:(fun () -> note_sched sh) (fun () -> f None (Some sh)))
   in
   let dd_config = { Delta_debug.error_threshold = p.threshold; perf_floor = p.perf_floor } in
+  (* rank (and prune, which implies rank) demotes predicted-fail ddmin
+     candidates with the Sensitivity.Rank evidence engine. Evidence is
+     fed from committed records in consumption order — identical at every
+     worker/shard/slice count and under resume — so the steered
+     trajectory is deterministic (DESIGN.md §13) *)
+  let ranker =
+    match p.scorer with
+    | Some sc when p.config.Config.predict <> Config.Predict_off ->
+      let safe =
+        List.filter
+          (fun a ->
+            match Sensitivity.Score.atom_bound sc a with
+            | Some b -> Float.is_finite b && b <= p.threshold
+            | None -> false)
+          p.atoms
+      in
+      let rk =
+        Sensitivity.Rank.create ~st:p.st ~atoms:p.atoms ~safe ~perf_floor:p.perf_floor
+      in
+      Some
+        {
+          Delta_debug.note =
+            (fun asg (m : Variant.measurement) ->
+              (* error side to blame unless the run finished within the
+                 threshold (a timeout says nothing about the error);
+                 perf side to blame on a timeout or a sub-floor speedup *)
+              let err_ok =
+                (m.Variant.status = Variant.Pass && m.Variant.rel_error <= p.threshold)
+                || m.Variant.status = Variant.Timeout
+              in
+              let perf_ok =
+                m.Variant.status <> Variant.Timeout && m.Variant.speedup >= p.perf_floor
+              in
+              Sensitivity.Rank.observe rk asg
+                { Sensitivity.Rank.err_ok; perf_ok; speedup = m.Variant.speedup });
+          round = (fun () -> Sensitivity.Rank.round rk);
+          demote = (fun asg -> Sensitivity.Rank.demote rk asg);
+        }
+    | Some _ | None -> None
+  in
   let interrupted = ref false in
   let minimal =
     try
@@ -882,12 +969,12 @@ let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preload
       | Delta_debug_algo ->
         Some
           (with_sched (fun pool shard ->
-               Delta_debug.search ?pool ?shard ~cost ?affinity ~atoms:p.atoms ~trace
+               Delta_debug.search ?pool ?shard ~cost ?affinity ?ranker ~atoms:p.atoms ~trace
                  ~evaluate:eval dd_config))
       | Hierarchical_algo ->
         Some
           (with_sched (fun pool shard ->
-               Hierarchical.search ?pool ?shard ~cost ?affinity ~atoms:p.atoms
+               Hierarchical.search ?pool ?shard ~cost ?affinity ?ranker ~atoms:p.atoms
                  ~groups:(flow_groups p) ~trace ~evaluate:eval dd_config))
     with Cluster.Faults.Preempted _ | Paused ->
       interrupted := true;

@@ -40,6 +40,12 @@ type prepared = {
           3σ below parity for the model's Eq.-1 noise *)
   budget : float;  (** variant timeout: timeout_factor × baseline cost *)
   baseline_static : Analysis.Static_cost.verdict;
+  scorer : Sensitivity.Score.t option;
+      (** the error-amplification scorer steering {!Config.predict}
+          rank/prune; [None] when predict is off, or when the mirror
+          analysis declined to vouch for itself
+          ({!Sensitivity.Score.create} returned [None]) and the campaign
+          fell back to the unpredicted search *)
   cache : Runtime.Lower.Cache.t option;
       (** the campaign's per-procedure lowering cache ([None] when
           {!Config.t.proc_cache} is off); domain-safe, shared by pool

@@ -12,6 +12,8 @@ type entry = {
   e_index : int;
   e_signature : string;
   e_meas : Search.Variant.measurement;
+  e_score : float option;  (* predicted score at commit time (predict runs) *)
+  e_bound : float option;  (* static error bound (predict runs) *)
 }
 
 exception Corrupt of string
@@ -27,6 +29,8 @@ let entry_of_record (r : Search.Variant.record) =
     e_index = r.Search.Variant.index;
     e_signature = Transform.Assignment.signature r.Search.Variant.asg;
     e_meas = r.Search.Variant.meas;
+    e_score = None;
+    e_bound = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -49,7 +53,7 @@ let hex = Json.hex_float
 
 let entry_json e =
   let m = e.e_meas in
-  Json.Obj
+  let fields =
     [
       ("kind", Json.Str "record");
       ("index", Json.Num (float_of_int e.e_index));
@@ -69,6 +73,12 @@ let entry_json e =
       ("casting_share", Json.Str (hex m.Search.Variant.casting_share));
       ("detail", Json.Str m.Search.Variant.detail);
     ]
+    (* score/bound are appended only when present, so journals written
+       without prediction are byte-identical to pre-PR-9 ones *)
+    @ (match e.e_score with Some s -> [ ("score", Json.Str (hex s)) ] | None -> [])
+    @ (match e.e_bound with Some b -> [ ("bound", Json.Str (hex b)) ] | None -> [])
+  in
+  Json.Obj fields
 
 let need what = function Some v -> v | None -> corrupt "missing or ill-typed %s" what
 
@@ -118,6 +128,9 @@ let entry_of_json j =
         casting_share = get_hex j "casting_share";
         detail = get_str j "detail";
       };
+    (* absent on pre-PR-9 journals and unpredicted runs: parse as None *)
+    e_score = Option.map Json.of_hex_float Option.(bind (Json.member "score" j) Json.to_str);
+    e_bound = Option.map Json.of_hex_float Option.(bind (Json.member "bound" j) Json.to_str);
   }
 
 (* ------------------------------------------------------------------ *)

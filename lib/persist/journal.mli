@@ -34,6 +34,12 @@ type entry = {
   e_index : int;  (** 1-based commit index *)
   e_signature : string;
   e_meas : Search.Variant.measurement;
+  e_score : float option;
+      (** predicted score the sensitivity scorer assigned at commit time;
+          [None] on unpredicted runs and every pre-PR-9 journal (the field
+          is simply absent from those lines, and absent fields parse as
+          [None] — version stays 1) *)
+  e_bound : float option;  (** static error bound, same presence rule *)
 }
 
 exception Corrupt of string
@@ -45,6 +51,8 @@ val file : dir:string -> string
 (** [dir ^ "/journal.jsonl"]. *)
 
 val entry_of_record : Search.Variant.record -> entry
+(** [e_score]/[e_bound] are [None]; a predicting caller fills them in
+    before {!append}. *)
 
 type writer
 

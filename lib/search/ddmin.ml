@@ -19,7 +19,12 @@ let partition n xs =
   in
   List.filter (fun c -> c <> []) (go 0 xs [])
 
-let minimize ?(prefetch = fun _ -> ()) ~test xs =
+type 'a candidate = Chunk of 'a list | Complement of 'a list
+
+let subset = function Chunk s | Complement s -> s
+
+let minimize ?(order = fun (candidates : 'a candidate list) -> candidates)
+    ?(prefetch = fun _ -> ()) ~test xs =
   if test [] then []
   else begin
     let diff big small = List.filter (fun x -> not (List.memq x small)) big in
@@ -29,19 +34,26 @@ let minimize ?(prefetch = fun _ -> ()) ~test xs =
         List.filter (fun comp -> comp <> [] && comp <> cur)
           (List.map (fun c -> diff cur c) chunks)
       in
+      (* merged round: chunks then complements in ONE candidate list, so a
+         reordering [order] can demote a predicted-fail chunk behind the
+         complements; the canonical order below replays the classic
+         chunks-first sequence exactly *)
+      let candidates =
+        order
+          (List.map (fun c -> Chunk c) chunks
+          @ List.map (fun c -> Complement c) complements)
+      in
       (* speculative batching: announce the whole round's candidates in
          the exact order the sequential algorithm would test them, before
          the first [test] call — results are then consumed sequentially,
          so the trajectory is independent of how [prefetch] computes *)
-      prefetch (chunks @ complements);
-      match List.find_opt test chunks with
-      | Some chunk -> if List.length chunk = 1 then chunk else ddmin chunk 2
-      | None -> (
-        match List.find_opt test complements with
-        | Some comp -> ddmin comp (max (n - 1) 2)
-        | None ->
-          if n < List.length cur then ddmin cur (min (List.length cur) (2 * n))
-          else cur (* singleton granularity exhausted: 1-minimal *))
+      prefetch (List.map subset candidates);
+      match List.find_opt (fun c -> test (subset c)) candidates with
+      | Some (Chunk chunk) -> if List.length chunk = 1 then chunk else ddmin chunk 2
+      | Some (Complement comp) -> ddmin comp (max (n - 1) 2)
+      | None ->
+        if n < List.length cur then ddmin cur (min (List.length cur) (2 * n))
+        else cur (* singleton granularity exhausted: 1-minimal *)
     in
     ddmin xs 2
   end

@@ -11,18 +11,39 @@
     Average O(k log k) tests, worst case O(k²).
 
     Exceptions raised by [test] (e.g. {!Trace.Budget_exhausted})
-    propagate to the caller.
+    propagate to the caller. *)
 
-    [prefetch] (default: no-op) receives each round's candidate subsets —
-    chunks first, then the eligible complements — in exactly the order
-    [test] will try them, before the first [test] call of the round. A
-    parallel caller evaluates them speculatively ({!Pool.map}) and serves
-    the subsequent [test] calls from those results; because consumption
-    stays sequential, the search trajectory is bit-identical to a run
-    without [prefetch] — only wall clock changes. *)
+(** One round candidate. A passing [Chunk] restarts at granularity 2; a
+    passing [Complement] recurses at [max (n-1) 2], as in the classic
+    algorithm. *)
+type 'a candidate = Chunk of 'a list | Complement of 'a list
+
+val subset : 'a candidate -> 'a list
+(** The underlying element subset of a candidate. *)
 
 val minimize :
-  ?prefetch:('a list list -> unit) -> test:('a list -> bool) -> 'a list -> 'a list
+  ?order:('a candidate list -> 'a candidate list) ->
+  ?prefetch:('a list list -> unit) ->
+  test:('a list -> bool) ->
+  'a list ->
+  'a list
+(** [prefetch] (default: no-op) receives each round's candidate subsets —
+    in exactly the order [test] will try them, after [order] — before the
+    first [test] call of the round. A parallel caller evaluates them
+    speculatively ({!Pool.map}) and serves the subsequent [test] calls
+    from those results; because consumption stays sequential, the search
+    trajectory is bit-identical to a run without [prefetch] — only wall
+    clock changes.
+
+    [order] (default: identity) reorders each round's merged candidate
+    list (all chunks followed by all eligible complements) — the
+    predictive-rank hook: a caller moves candidates it predicts will fail
+    behind the rest, so [find_opt] reaches a passer with fewer
+    evaluations. The default order replays the classic
+    chunks-then-complements sequence exactly. Unlike [prefetch], [order]
+    DOES change the search trajectory; determinism across schedulers is
+    preserved as long as [order] is a pure function of the candidate sets
+    and of evidence accumulated in committed-record order. *)
 
 val partition : int -> 'a list -> 'a list list
 (** [partition n xs] splits [xs] into at most [n] non-empty chunks of

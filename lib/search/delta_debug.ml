@@ -10,20 +10,45 @@ type result = {
   evaluations : int;
 }
 
+type ranker = {
+  note : Transform.Assignment.t -> Variant.measurement -> unit;
+  round : unit -> unit;
+  demote : Transform.Assignment.t -> bool;
+}
+
 let accepted cfg (m : Variant.measurement) =
   m.Variant.status = Variant.Pass
   && m.Variant.rel_error <= cfg.error_threshold
   && m.Variant.speedup >= cfg.perf_floor
 
-let search ?pool ?shard ?cost ?affinity ~atoms ~trace ~evaluate cfg =
+(* Stable keep/demote split of a ddmin round's merged candidate list:
+   [demote] is consulted once per candidate after [round] refreshes any
+   per-round state; survivors keep the canonical chunks-then-complements
+   order, demoted candidates follow in their canonical order. Evidence
+   accrues in committed-record order ({!Speculate} consumption), so the
+   resulting trajectory is deterministic at any worker/shard count. *)
+let candidate_order ~variant_of ranker =
+  Option.map
+    (fun rk cands ->
+      rk.round ();
+      let keep, demoted =
+        List.partition (fun c -> not (rk.demote (variant_of (Ddmin.subset c)))) cands
+      in
+      keep @ demoted)
+    ranker
+
+let search ?pool ?shard ?cost ?affinity ?ranker ~atoms ~trace ~evaluate cfg =
   let module A = Transform.Assignment in
   let diff big small = List.filter (fun a -> not (List.memq a small)) big in
   let variant_of high = A.of_lowered atoms ~lowered:(diff atoms high) in
+  let order = candidate_order ~variant_of ranker in
   let spec = Speculate.create ?pool ?shard ?cost ?affinity ~trace ~evaluate () in
   (* best accepted assignment seen so far, for budget-exhausted returns *)
   let best_high = ref atoms in
   let test high =
-    let m = Speculate.evaluate spec (variant_of high) in
+    let asg = variant_of high in
+    let m = Speculate.evaluate spec asg in
+    Option.iter (fun rk -> rk.note asg m) ranker;
     let ok = accepted cfg m in
     if ok && List.length high < List.length !best_high then best_high := high;
     ok
@@ -36,7 +61,7 @@ let search ?pool ?shard ?cost ?affinity ~atoms ~trace ~evaluate cfg =
         (* the baseline itself fails the oracle (can happen when the perf
            floor exceeds 1): fall back to reporting it *)
         atoms
-      else Ddmin.minimize ~prefetch ~test atoms
+      else Ddmin.minimize ?order ~prefetch ~test atoms
     with Trace.Budget_exhausted ->
       finished := false;
       !best_high

@@ -30,11 +30,28 @@ type result = {
   evaluations : int;  (** distinct variants dynamically evaluated *)
 }
 
+(** The predictive-search hook (DESIGN.md §13). [note] is called after
+    every [test] — once per consumed evaluation, in committed-record
+    order, memo hits and journal replays included (the implementation
+    deduplicates by signature, so resumed runs rebuild identical
+    evidence). [round] runs once per ddmin round before any [demote]
+    query (the place to refit per-round models); [demote asg = true]
+    sends the candidate behind every kept one, in a stable split. All
+    three must depend only on the evidence sequence and the assignment,
+    never on wall clock or scheduling, to keep the trajectory
+    deterministic across workers, shards and resume. *)
+type ranker = {
+  note : Transform.Assignment.t -> Variant.measurement -> unit;
+  round : unit -> unit;
+  demote : Transform.Assignment.t -> bool;
+}
+
 val search :
   ?pool:Pool.t ->
   ?shard:Shard.t ->
   ?cost:(Variant.measurement -> float) ->
   ?affinity:(Transform.Assignment.t -> string) ->
+  ?ranker:ranker ->
   atoms:Transform.Assignment.atom list ->
   trace:Trace.t ->
   evaluate:(Transform.Assignment.t -> Variant.measurement) ->
@@ -54,7 +71,25 @@ val search :
     [shard] runs those rounds on a work-stealing {!Shard} scheduler
     instead (and advances its simulated cluster clock using [cost]);
     the same bit-identity argument applies at any shards × workers
-    grid. *)
+    grid.
+
+    [ranker] steers each merged ddmin round: candidates its [demote]
+    predicts will fail are moved (stably) behind the rest, so passing
+    candidates are found with fewer evaluations. A round still contains
+    exactly the classic candidates — only the order within the round
+    changes — but a different first passer redirects the recursion, so
+    1-minimality is preserved while the particular minimal set found may
+    in principle differ ([bench --predict] checks it does not on the
+    registered campaigns). Unlike [pool], [ranker] changes the
+    exploration order; see {!type:ranker} for the determinism
+    contract. *)
 
 val accepted : config -> Variant.measurement -> bool
 (** The oracle: passes, error within threshold, speedup above the floor. *)
+
+val candidate_order :
+  variant_of:('s list -> Transform.Assignment.t) ->
+  ranker option ->
+  ('s Ddmin.candidate list -> 's Ddmin.candidate list) option
+(** The stable keep/demote reorder a [ranker] induces on a merged ddmin
+    round ([None] = classic order). Shared with {!Hierarchical.search}. *)

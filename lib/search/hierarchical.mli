@@ -29,6 +29,7 @@ val search :
   ?shard:Shard.t ->
   ?cost:(Variant.measurement -> float) ->
   ?affinity:(Transform.Assignment.t -> string) ->
+  ?ranker:Delta_debug.ranker ->
   atoms:Transform.Assignment.atom list ->
   groups:Transform.Assignment.atom list list ->
   trace:Trace.t ->
@@ -40,4 +41,7 @@ val search :
     with [finished = false], as in {!Delta_debug.search}. [pool] (or a
     {!Shard} scheduler via [shard]/[cost]) enables speculative batch
     evaluation in both phases with a bit-identical trajectory, as in
+    {!Delta_debug.search}. [ranker] demotes predicted-fail candidates in
+    both the group-phase and the refinement-phase rounds, accruing one
+    evidence stream across the two phases, as in
     {!Delta_debug.search}. *)

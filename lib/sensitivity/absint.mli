@@ -1,0 +1,47 @@
+(** Forward error-amplification analysis — a mirror of {!Runtime.Interp}.
+
+    One abstract execution of the ORIGINAL (all-64-bit) program follows the
+    interpreter's concrete semantics bit-exactly (same values, same traps,
+    same control flow) while every real value additionally carries a sparse
+    per-atom map of absolute-error bounds: entry [a] bounds the deviation
+    this expression can show in the program variant that demotes precisely
+    atom [a] to 32-bit.  All singleton-demotion bounds for every demotable
+    atom are computed simultaneously in a single pass.
+
+    Where a demoted run could diverge in a way intervals cannot bound —
+    a comparison the error interval can flip, an integer conversion that
+    can land on a different integer, a divisor interval reaching zero, an
+    overflow past the 32-bit range — the atom is {e poisoned}: its sound
+    bound is infinite (the variant may trap, loop differently, or produce
+    anything), while its finite error accumulation keeps going and remains
+    usable as a ranking heuristic.  See DESIGN.md §13. *)
+
+module IMap : Map.S with type key = int
+
+type status = Finished | Stopped of string | Runtime_error of string
+
+type sample = {
+  s_key : string;  (** the [print 'key', ...] series key *)
+  s_value : float;  (** the concrete (baseline) sample, bit-exact vs Interp *)
+  s_err : float IMap.t;  (** per-atom absolute-error bound on this sample *)
+}
+
+type result = {
+  r_status : status;
+  r_samples : sample list;  (** mirrored print records, in program order *)
+  r_poisoned : bool array;  (** per atom index: sound bound is infinite *)
+  r_steps : int;
+}
+
+val analyze :
+  ?max_steps:int -> atoms:Transform.Assignment.atom list -> Fortran.Symtab.t -> result option
+(** Run the mirror on the original program. [atoms] fixes the atom
+    indexing: the demotable (declared 64-bit) atoms are numbered 0.. in
+    list order; already-32-bit atoms are skipped (demoting them is the
+    identity).  Returns [None] when the analysis cannot produce a usable
+    answer: the baseline itself traps, or the mirror exceeds [max_steps]
+    (default 20M). *)
+
+val atom_indices :
+  Transform.Assignment.atom list -> (Fortran.Symtab.scope * string, int) Hashtbl.t
+(** The exact atom numbering [analyze] uses, keyed by (scope, name). *)

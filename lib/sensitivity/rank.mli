@@ -1,0 +1,66 @@
+(** Evidence-driven candidate demotion for the predictive delta-debug
+    search (DESIGN.md §13).
+
+    One engine watches a campaign's committed evaluation stream
+    ({!observe}, deduplicated by signature so memo hits and resume
+    replays are idempotent) and answers, once per ddmin round
+    ({!round} then {!demote}), which candidates are predicted to fail:
+
+    - {b error side}: a committed error-failure whose culprit {e core} —
+      the failing lowered set minus atoms proven innocent statically
+      (sound singleton bound within the threshold) or dynamically
+      (member of a committed passing lowered set) — is contained in the
+      candidate predicts the candidate fails too (error monotonicity).
+      When the subtraction empties the core, the failure was an
+      interaction, and plain superset dominance on the full failing set
+      is used instead.
+    - {b perf side}: an OLS speedup model on the committed records'
+      static {!features}, refit each {!round}; candidates predicted
+      2 residual-sigmas below the performance floor are demoted.
+
+    Every answer is a pure function of the committed-record sequence and
+    the assignment, so a search steered by this engine stays bit-identical
+    across worker counts, shards, kill/resume and service slicing. *)
+
+type t
+
+(** One committed evaluation, already classified by the caller's
+    acceptance criteria: [err_ok] = the error side passed (finished
+    within threshold, or timed out before erring), [perf_ok] = the perf
+    side passed (no timeout, speedup at or above the floor). *)
+type outcome = {
+  err_ok : bool;
+  perf_ok : bool;
+  speedup : float;  (** Eq.-1 speedup; non-positive = unusable for the OLS *)
+}
+
+val create :
+  st:Fortran.Symtab.t ->
+  atoms:Transform.Assignment.atom list ->
+  safe:Transform.Assignment.atom list ->
+  perf_floor:float ->
+  t
+(** [safe] seeds the proven-innocent set with the statically safe atoms —
+    those whose sound singleton error bound ({!Score.atom_bound}) already
+    fits the threshold, and which therefore can never be a lone culprit. *)
+
+val observe : t -> Transform.Assignment.t -> outcome -> unit
+(** Feed one consumed evaluation, in committed-record order. Repeat
+    signatures are ignored. *)
+
+val round : t -> unit
+(** Start a ddmin round: refit the perf-side OLS on the evidence so far.
+    Must be called before the round's {!demote} queries. *)
+
+val demote : t -> Transform.Assignment.t -> bool
+(** [true] = this candidate is predicted to fail (either side); the
+    search should try it after the undemoted candidates. *)
+
+val features : st:Fortran.Symtab.t -> Transform.Assignment.t -> float array
+(** Static per-variant features, shared by this engine's round-refit OLS
+    and [Core.Predictor]'s reporting model: lowered fraction, flow-graph
+    precision-mismatch edge and array-element counts, vectorizable loops
+    and conversion sites of the rewritten program. *)
+
+val feature_names : string list
+(** Labels for {!features} positions. *)

@@ -1,13 +1,13 @@
 open Fortran
 
-type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled
+type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled | Sensitivity
 
 type violation = {
   oracle : id;
   detail : string;
 }
 
-let all = [ Roundtrip; Typecheck; Rewrite; Equiv; Compiled ]
+let all = [ Roundtrip; Typecheck; Rewrite; Equiv; Compiled; Sensitivity ]
 
 let name = function
   | Roundtrip -> "roundtrip"
@@ -15,6 +15,7 @@ let name = function
   | Rewrite -> "rewrite"
   | Equiv -> "equiv"
   | Compiled -> "compiled"
+  | Sensitivity -> "sensitivity"
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -23,6 +24,7 @@ let of_name s =
   | "rewrite" -> Some Rewrite
   | "equiv" -> Some Equiv
   | "compiled" -> Some Compiled
+  | "sensitivity" -> Some Sensitivity
   | _ -> None
 
 let budget = 1e6
@@ -197,6 +199,130 @@ let check_compiled (c : Gen.case) =
       };
     ]
 
+(* Soundness of the error-amplification analysis: for every demotable
+   atom the mirror did NOT poison, the static per-atom bound must cover
+   the observed deviation of that atom's singleton-demotion variant —
+   sample by sample, against the actual rewrite→wrapper→run pipeline the
+   tuner uses. A poisoned atom makes no claim (its sound bound is
+   infinite); a timed-out variant makes no claim (the mirror does not
+   model cost). The mirror must also finish whenever the interpreter
+   does, with a bit-identical output series. *)
+let check_sensitivity (c : Gen.case) =
+  let st = Symtab.build (Parser.parse ~file:"fuzz.f90" c.Gen.source) in
+  let atoms = Transform.Assignment.atoms_of_module st Gen.module_name in
+  let base_out = Runtime.Lower.run ~budget (Runtime.Lower.lower ~machine st) in
+  if base_out.Runtime.Interp.status <> Runtime.Interp.Finished then []
+  else
+    match Sensitivity.Absint.analyze ~atoms st with
+    | None ->
+      [
+        {
+          oracle = Sensitivity;
+          detail = "mirror analysis failed on a program the interpreter finishes";
+        };
+      ]
+    | Some r when r.Sensitivity.Absint.r_status <> Sensitivity.Absint.Finished ->
+      [
+        {
+          oracle = Sensitivity;
+          detail =
+            "mirror did not finish on a program the interpreter finishes";
+        };
+      ]
+    | Some r ->
+      let base_records = base_out.Runtime.Interp.records in
+      let samples = r.Sensitivity.Absint.r_samples in
+      if
+        List.length samples <> List.length base_records
+        || not
+             (List.for_all2
+                (fun (s : Sensitivity.Absint.sample) (k, v) ->
+                  String.equal s.Sensitivity.Absint.s_key k
+                  && Int64.bits_of_float s.Sensitivity.Absint.s_value = Int64.bits_of_float v)
+                samples base_records)
+      then
+        [
+          {
+            oracle = Sensitivity;
+            detail = "mirror output series is not bit-identical to the interpreter's";
+          };
+        ]
+      else begin
+        let index_of = Sensitivity.Absint.atom_indices atoms in
+        List.concat_map
+          (fun (a : Transform.Assignment.atom) ->
+            match
+              Hashtbl.find_opt index_of (a.Transform.Assignment.a_scope, a.Transform.Assignment.a_name)
+            with
+            | None -> []  (* declared 32-bit: demotion is the identity *)
+            | Some i when r.Sensitivity.Absint.r_poisoned.(i) -> []
+            | Some i -> (
+              let asg = Transform.Assignment.of_lowered atoms ~lowered:[ a ] in
+              let rewritten = Transform.Rewrite.apply st asg in
+              let w = Transform.Wrappers.insert rewritten in
+              let owner = Transform.Wrappers.owner_fn w in
+              let st_v = Symtab.build w.Transform.Wrappers.program in
+              let out =
+                Runtime.Lower.run ~budget:(budget *. 10.0)
+                  (Runtime.Lower.lower ~wrapper_owner:owner ~machine st_v)
+              in
+              match out.Runtime.Interp.status with
+              | Runtime.Interp.Timed_out -> []  (* cost is not modeled; no claim *)
+              | Runtime.Interp.Finished ->
+                let vrecords = out.Runtime.Interp.records in
+                if List.length vrecords <> List.length base_records then
+                  [
+                    {
+                      oracle = Sensitivity;
+                      detail =
+                        Printf.sprintf
+                          "unpoisoned atom %s: singleton demotion changed the record count \
+                           (%d vs %d)"
+                          (Transform.Assignment.atom_id a)
+                          (List.length vrecords) (List.length base_records);
+                    };
+                  ]
+                else
+                  List.concat
+                    (List.map2
+                       (fun (s : Sensitivity.Absint.sample) (k, v') ->
+                         let bound =
+                           Option.value ~default:0.0
+                             (Sensitivity.Absint.IMap.find_opt i s.Sensitivity.Absint.s_err)
+                         in
+                         let dev = Float.abs (v' -. s.Sensitivity.Absint.s_value) in
+                         if
+                           String.equal s.Sensitivity.Absint.s_key k
+                           && dev <= (bound *. (1.0 +. 1e-12)) +. 1e-300
+                         then []
+                         else
+                           [
+                             {
+                               oracle = Sensitivity;
+                               detail =
+                                 Printf.sprintf
+                                   "atom %s: observed deviation %.17g exceeds static bound \
+                                    %.17g on sample '%s' (base %.17g, variant %.17g)"
+                                   (Transform.Assignment.atom_id a)
+                                   dev bound k s.Sensitivity.Absint.s_value v';
+                             };
+                           ])
+                       samples vrecords)
+              | _ ->
+                [
+                  {
+                    oracle = Sensitivity;
+                    detail =
+                      Printf.sprintf
+                        "unpoisoned atom %s: singleton demotion did not finish (%s)"
+                        (Transform.Assignment.atom_id a)
+                        (Format.asprintf "%a" Runtime.Interp.pp_status
+                           out.Runtime.Interp.status);
+                  };
+                ]))
+          atoms
+      end
+
 let guarded oracle f c =
   try f c
   with e ->
@@ -217,5 +343,6 @@ let check ~ids c =
         | Typecheck -> guarded Typecheck check_typecheck c
         | Rewrite -> guarded Rewrite check_rewrite c
         | Equiv -> guarded Equiv check_equiv c
-        | Compiled -> guarded Compiled check_compiled c)
+        | Compiled -> guarded Compiled check_compiled c
+        | Sensitivity -> guarded Sensitivity check_sensitivity c)
     all

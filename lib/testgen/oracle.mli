@@ -1,6 +1,6 @@
 (** Pipeline invariants checked on every generated case.
 
-    Five oracles, each a whole-pipeline differential check:
+    Six oracles, each a whole-pipeline differential check:
 
     - {b roundtrip}: the canonical source is a fixpoint of
       unparse ∘ parse — pretty-printing what the parser read reproduces
@@ -20,13 +20,19 @@
       {!Runtime.Lower.run} and {!Runtime.Compile.run} (the
       closure-compiled backend) all agree on the same wrapped variant,
       outcome for outcome.
+    - {b sensitivity}: {!Sensitivity.Absint} soundness — the mirror
+      analysis finishes with a bit-identical output series whenever the
+      interpreter finishes, and for every atom it did not poison, the
+      static per-atom error bound covers the observed deviation of that
+      atom's singleton-demotion variant on every output sample (run
+      through the same rewrite→wrapper→run pipeline the tuner uses).
 
     Unexpected exceptions anywhere in a check are themselves violations:
     a generated program may legally trap at runtime (both paths must
     agree on the trap), but the frontend and transformer must never
     raise on a well-typed input. *)
 
-type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled
+type id = Roundtrip | Typecheck | Rewrite | Equiv | Compiled | Sensitivity
 
 type violation = {
   oracle : id;
@@ -34,7 +40,8 @@ type violation = {
 }
 
 val all : id list
-(** In pipeline order: roundtrip, typecheck, rewrite, equiv, compiled. *)
+(** In pipeline order: roundtrip, typecheck, rewrite, equiv, compiled,
+    sensitivity. *)
 
 val name : id -> string
 val of_name : string -> id option

@@ -1,0 +1,32 @@
+module mfz
+  implicit none
+  real(kind=4) :: g41, g42 = 0.5
+  real(kind=8) :: g81
+  integer :: gi1
+  real(kind=4), dimension(4) :: ga44
+contains
+  function p1(a1, a2, a3) result(res_)
+    integer :: a1
+    real(kind=8), intent(out) :: a2
+    integer :: a3
+    integer :: i1, i2
+    real(kind=8) :: res_
+    res_ = i2 + exp(min(i1 + g81, 2.0d0))
+  end function p1
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  real(kind=8) :: m1
+  real(kind=8) :: m3
+  integer :: i1, i2
+  m1 = exp(min(1.5d0, 2.0d0)) / (abs(2.0d0 - g42) + 0.5d0) / (abs(atan(dble(i2))) + 0.5d0)
+  if (min(g42, g42) > exp(min(3.0, 2.0))) then
+  else
+    do i1 = 1, 3
+      m3 = p1(gi1, m1, size(ga44))
+    end do
+  end if
+  print *, 'chk', log(abs(2 ** 0 - min(m3, m1)) + 0.5d0), g41
+end program fzmain

@@ -1,0 +1,23 @@
+module mfz
+  implicit none
+  real(kind=4) :: g41 = 1.5
+  real(kind=8) :: g82
+  logical :: gl1
+  real(kind=8), dimension(3) :: ga83
+contains
+  subroutine p1(a1)
+    real(kind=8), intent(out) :: a1
+    select case (gl1)
+    case (.true.)
+    case (.false.)
+      g82 = dble(2.0) / (abs(sqrt(abs(1.0d-2))) + 0.5d0) + max(ga83(1), -a1)
+    end select
+  end subroutine p1
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  call p1(g82)
+  print *, 'chk', -exp(min(max(g82, g82), 2.0d0)), g41
+end program fzmain

@@ -1,0 +1,29 @@
+module mfz
+  implicit none
+  real(kind=8), parameter :: cf8 = 1.5d0
+  real(kind=4) :: g41 = 0.25, g42
+  real(kind=8) :: g81 = 0.5d0, g82 = 1.0d-2
+  logical :: gl1
+  real(kind=4), dimension(3) :: ga43
+contains
+  subroutine p2(a1, a2)
+    integer :: a1
+    logical :: a2
+    real(kind=8) :: v2
+    integer :: i2
+    if (g42 - g41 >= g42 - g42) then
+    else if (.not. v2 == g81) then
+      g81 = tiny(g82)
+    else
+      print *, 'k2', max(g81 ** 0, cf8 ** 1)
+    end if
+  end subroutine p2
+end module mfz
+
+program fzmain
+  use mfz
+  implicit none
+  integer :: i2
+  call p2(i2, gl1)
+  call p2(size(ga43), .false.)
+end program fzmain

@@ -356,6 +356,59 @@ let static_cost_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Static trip counts                                                  *)
+
+let do_loop ?step from_ to_ =
+  Fortran.Ast.Do
+    { id = 0; var = "i"; from_ = Ast.Int_lit from_; to_ = Ast.Int_lit to_; step; body = [] }
+
+let trip_count_tests =
+  let tc = Analysis.Static_cost.trip_count in
+  [
+    t "counted loop folds" (fun () ->
+        Alcotest.(check (option int)) "1..10" (Some 10) (tc (do_loop 1 10));
+        Alcotest.(check (option int)) "5..5" (Some 1) (tc (do_loop 5 5));
+        Alcotest.(check (option int))
+          "1..10 by 3" (Some 4)
+          (tc (do_loop ~step:(Ast.Int_lit 3) 1 10)));
+    t "zero-trip loop is Some 0, not None" (fun () ->
+        Alcotest.(check (option int)) "5..1" (Some 0) (tc (do_loop 5 1));
+        Alcotest.(check (option int))
+          "1..5 by -1" (Some 0)
+          (tc (do_loop ~step:(Ast.Int_lit (-1)) 1 5)));
+    t "negative stride counts downward" (fun () ->
+        Alcotest.(check (option int))
+          "10..1 by -2" (Some 5)
+          (tc (do_loop ~step:(Ast.Unop (Ast.Neg, Ast.Int_lit 2)) 10 1));
+        Alcotest.(check (option int))
+          "10..1 by -3" (Some 4)
+          (tc (do_loop ~step:(Ast.Int_lit (-3)) 10 1)));
+    t "do-while and zero step do not fold" (fun () ->
+        Alcotest.(check (option int))
+          "do while" None
+          (tc (Fortran.Ast.Do_while { id = 0; cond = Ast.Logical_lit true; body = [] }));
+        Alcotest.(check (option int))
+          "zero step" None
+          (tc (do_loop ~step:(Ast.Int_lit 0) 1 10)));
+    t "const_int folds through the parameter env" (fun () ->
+        let env = function "n" -> Some 100 | _ -> None in
+        Alcotest.(check (option int))
+          "n - 1" (Some 99)
+          (Analysis.Static_cost.const_int ~env (Ast.Binop (Ast.Sub, Ast.Var "n", Ast.Int_lit 1)));
+        Alcotest.(check (option int))
+          "unbound var" None
+          (Analysis.Static_cost.const_int (Ast.Var "n"));
+        Alcotest.(check (option int))
+          "division by zero" None
+          (Analysis.Static_cost.const_int (Ast.Binop (Ast.Div, Ast.Int_lit 1, Ast.Int_lit 0)));
+        Alcotest.(check (option int))
+          "1..n loop" (Some 100)
+          (tc ~env
+             (Fortran.Ast.Do
+                { id = 0; var = "i"; from_ = Ast.Int_lit 1; to_ = Ast.Var "n"; step = None; body = [] })));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Def-use                                                             *)
 
 let defuse_tests =
@@ -387,5 +440,6 @@ let () =
       ("vectorize", vectorize_tests);
       ("flowgraph", flowgraph_tests);
       ("static cost", static_cost_tests);
+      ("trip count", trip_count_tests);
       ("defuse", defuse_tests);
     ]

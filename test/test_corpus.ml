@@ -1,6 +1,6 @@
 (* Corpus replayer: every counterexample checked into test/corpus/ —
    minimized fuzz findings and pinned regression seeds — is re-run
-   through all four oracles on every `dune runtest`, so a bug fixed
+   through all oracles on every `dune runtest`, so a bug fixed
    once stays fixed. *)
 
 let t name f = Alcotest.test_case name `Quick f

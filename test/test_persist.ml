@@ -93,7 +93,8 @@ let weird_meas =
     detail = "comma, \"quote\" and\nnewline\ttab";
   }
 
-let entry i signature meas = { Persist.Journal.e_index = i; e_signature = signature; e_meas = meas }
+let entry i signature meas =
+  { Persist.Journal.e_index = i; e_signature = signature; e_meas = meas; e_score = None; e_bound = None }
 
 let journal_tests =
   [

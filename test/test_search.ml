@@ -80,6 +80,44 @@ let delta_debug_tests =
         let n = 32 in
         let _, _, r, _ = run_dd ~critical:[ 3 ] n in
         Alcotest.(check bool) "fewer than n^2 evals" true (r.Delta_debug.evaluations < n * n));
+    t "ranker sees every consumed evaluation and steers the rounds" (fun () ->
+        let n = 16 in
+        let atoms = mk_atoms n in
+        let crit = List.filteri (fun i _ -> List.mem i [ 2; 9 ]) atoms in
+        let noted = ref 0 in
+        let rounds = ref 0 in
+        (* an all-knowing demoter: any candidate lowering a critical atom
+           will fail, push it back *)
+        let ranker =
+          {
+            Delta_debug.note = (fun _ _ -> incr noted);
+            round = (fun () -> incr rounds);
+            demote =
+              (fun asg ->
+                let lowered = Transform.Assignment.lowered asg in
+                List.exists (fun c -> List.memq c lowered) crit);
+          }
+        in
+        let trace = Trace.create () in
+        let r =
+          Delta_debug.search ~ranker ~atoms ~trace ~evaluate:(oracle ~critical:crit atoms)
+            dd_config
+        in
+        let _, _, r0, t0 = run_dd ~critical:[ 2; 9 ] n in
+        Alcotest.(check int) "same high set size" (List.length r0.Delta_debug.high_set)
+          (List.length r.Delta_debug.high_set);
+        List.iter
+          (fun c ->
+            Alcotest.(check bool) "critical kept" true (List.memq c r.Delta_debug.high_set))
+          crit;
+        Alcotest.(check bool) "rounds ran" true (!rounds > 0);
+        (* note fires on every consumed test (memo hits included), so it
+           covers at least each fresh evaluation *)
+        Alcotest.(check bool) "note covers every fresh evaluation" true
+          (!noted >= Trace.count trace);
+        (* the oracle-grade demoter cannot do worse than the classic order *)
+        Alcotest.(check bool) "no more evaluations than unranked" true
+          (Trace.count trace <= Trace.count t0));
     t "budget exhaustion returns best seen" (fun () ->
         let atoms = mk_atoms 20 in
         let crit = List.filteri (fun i _ -> i = 4 || i = 13) atoms in
@@ -151,6 +189,58 @@ let ddmin_tests =
           !tested);
     t "minimize of passing empty set" (fun () ->
         Alcotest.(check (list int)) "empty" [] (Ddmin.minimize ~test:(fun _ -> true) [ 1; 2; 3 ]));
+    t "identity order replays the classic trajectory" (fun () ->
+        let log ~order test =
+          let tested = ref [] in
+          let wrapped xs =
+            tested := xs :: !tested;
+            test xs
+          in
+          let m =
+            match order with
+            | None -> Ddmin.minimize ~test:wrapped [ 1; 2; 3; 4; 5; 6 ]
+            | Some o -> Ddmin.minimize ~order:o ~test:wrapped [ 1; 2; 3; 4; 5; 6 ]
+          in
+          (m, List.rev !tested)
+        in
+        let test xs = List.mem 3 xs && List.mem 5 xs in
+        let classic = log ~order:None test in
+        let ordered = log ~order:(Some (fun c -> c)) test in
+        Alcotest.(check bool) "same minimal and same test sequence" true (classic = ordered);
+        (* each round presents all chunks before any complement *)
+        ignore
+          (Ddmin.minimize
+             ~order:(fun cands ->
+               let rec chunks_first seen_comp = function
+                 | [] -> true
+                 | Ddmin.Chunk _ :: rest -> (not seen_comp) && chunks_first seen_comp rest
+                 | Ddmin.Complement _ :: rest -> chunks_first true rest
+               in
+               Alcotest.(check bool) "chunks precede complements" true (chunks_first false cands);
+               cands)
+             ~test [ 1; 2; 3; 4; 5; 6 ]));
+    t "order demotes within the round without losing 1-minimality" (fun () ->
+        (* the oracle needs {3}; an order that sends every candidate
+           missing 3 to the back skips straight to the passing chunk *)
+        let count = ref 0 in
+        let test xs =
+          incr count;
+          List.mem 3 xs
+        in
+        let order cands =
+          let keep, demoted =
+            List.partition (fun c -> List.mem 3 (Ddmin.subset c)) cands
+          in
+          keep @ demoted
+        in
+        let m = Ddmin.minimize ~order ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        let steered = !count in
+        count := 0;
+        let m' = Ddmin.minimize ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        Alcotest.(check (list int)) "same minimal" m' m;
+        Alcotest.(check bool)
+          (Printf.sprintf "fewer tests steered (%d) than classic (%d)" steered !count)
+          true (steered <= !count));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"minimize returns exactly the required subset" ~count:100
          QCheck.(pair (int_range 1 24) (small_list (int_range 0 23)))

@@ -1,0 +1,386 @@
+(* Predictive-search tests: the error-amplification scorer, the
+   evidence-driven rank engine, prune soundness, scheduler/resume
+   determinism of the steered trajectories, the holdout split's
+   scheduling invariance, and the CSV/journal prediction columns. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let small_funarc =
+  { Models.Registry.funarc with Models.Registry.source = Models.Funarc.source ~n:200 () }
+
+let small_mpas =
+  { Models.Registry.mpas with
+    Models.Registry.source = Models.Mpas.source ~p:Models.Mpas.small () }
+
+let with_predict ?(margin = Core.Config.default.Core.Config.predict_margin) mode config =
+  { config with Core.Config.predict = mode; predict_margin = margin }
+
+let signatures (c : Core.Tuner.campaign) =
+  List.map
+    (fun (r : Search.Variant.record) ->
+      ( r.Search.Variant.index,
+        Transform.Assignment.signature r.Search.Variant.asg,
+        Search.Variant.status_to_string r.Search.Variant.meas.Search.Variant.status ))
+    c.Core.Tuner.records
+
+let minimal_sig (c : Core.Tuner.campaign) =
+  Option.map
+    (fun m -> Transform.Assignment.signature m.Search.Delta_debug.minimal)
+    c.Core.Tuner.minimal
+
+(* ------------------------------------------------------------------ *)
+(* Scorer                                                              *)
+
+let scorer_tests =
+  [
+    t "scorer engages on funarc" (fun () ->
+        let config = with_predict Core.Config.Predict_rank Core.Config.default in
+        let p = Core.Tuner.prepare ~config small_funarc in
+        match p.Core.Tuner.scorer with
+        | None -> Alcotest.fail "the mirror analysis declined funarc"
+        | Some sc ->
+          Alcotest.(check (float 0.0))
+            "nothing lowered, nothing bounded" 0.0
+            (Sensitivity.Score.static_bound sc
+               (Transform.Assignment.original p.Core.Tuner.atoms));
+          List.iter
+            (fun a ->
+              match Sensitivity.Score.atom_bound sc a with
+              | None -> Alcotest.fail "demotable atom without a bound"
+              | Some b ->
+                Alcotest.(check bool) "bound is non-negative" true (b >= 0.0 || b <> b))
+            p.Core.Tuner.atoms);
+    t "scorer is off when predict is off" (fun () ->
+        let p = Core.Tuner.prepare small_funarc in
+        Alcotest.(check bool) "no scorer" true (p.Core.Tuner.scorer = None));
+    t "prune never skips a passing variant (exhaustive funarc space)" (fun () ->
+        (* the bench asserts this on the registered model; the tier-1 suite
+           keeps a scaled-down copy so the guarantee cannot rot unnoticed *)
+        let config = with_predict Core.Config.Predict_prune Core.Config.default in
+        let p = Core.Tuner.prepare ~config small_funarc in
+        let sc =
+          match p.Core.Tuner.scorer with
+          | Some sc -> sc
+          | None -> Alcotest.fail "no scorer"
+        in
+        let brute = Core.Tuner.run_brute_force small_funarc in
+        let wrongly_pruned =
+          List.filter
+            (fun (r : Search.Variant.record) ->
+              r.Search.Variant.meas.Search.Variant.status = Search.Variant.Pass
+              && Sensitivity.Score.prune sc r.Search.Variant.asg)
+            brute.Core.Tuner.records
+        in
+        Alcotest.(check int) "no passing variant pruned" 0 (List.length wrongly_pruned));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The evidence engine                                                 *)
+
+let rank_engine_tests =
+  let mk () =
+    let p = Core.Tuner.prepare small_funarc in
+    let rk =
+      Sensitivity.Rank.create ~st:p.Core.Tuner.st ~atoms:p.Core.Tuner.atoms ~safe:[]
+        ~perf_floor:p.Core.Tuner.perf_floor
+    in
+    (p.Core.Tuner.atoms, rk)
+  in
+  let lower atoms sel =
+    Transform.Assignment.of_lowered atoms
+      ~lowered:(List.filteri (fun i _ -> List.mem i sel) atoms)
+  in
+  let efail = { Sensitivity.Rank.err_ok = false; perf_ok = true; speedup = 1.1 } in
+  let pass = { Sensitivity.Rank.err_ok = true; perf_ok = true; speedup = 1.1 } in
+  [
+    t "no evidence, no demotion" (fun () ->
+        let atoms, rk = mk () in
+        Sensitivity.Rank.round rk;
+        Alcotest.(check bool) "kept" false (Sensitivity.Rank.demote rk (lower atoms [ 0; 1 ])));
+    t "an error failure dominates its supersets" (fun () ->
+        let atoms, rk = mk () in
+        Sensitivity.Rank.observe rk (lower atoms [ 0 ]) efail;
+        Sensitivity.Rank.round rk;
+        Alcotest.(check bool) "superset demoted" true
+          (Sensitivity.Rank.demote rk (lower atoms [ 0; 1 ]));
+        Alcotest.(check bool) "disjoint kept" false
+          (Sensitivity.Rank.demote rk (lower atoms [ 1; 2 ])));
+    t "pass evidence shrinks the culprit core" (fun () ->
+        let atoms, rk = mk () in
+        Sensitivity.Rank.observe rk (lower atoms [ 1 ]) pass;
+        Sensitivity.Rank.observe rk (lower atoms [ 0; 1 ]) efail;
+        Sensitivity.Rank.round rk;
+        (* atom 1 passed alone, so the {0,1} failure's core is {0} *)
+        Alcotest.(check bool) "core superset demoted" true
+          (Sensitivity.Rank.demote rk (lower atoms [ 0; 2 ]));
+        Alcotest.(check bool) "the innocent atom alone is kept" false
+          (Sensitivity.Rank.demote rk (lower atoms [ 1 ])));
+    t "an emptied core falls back to full-set dominance" (fun () ->
+        let atoms, rk = mk () in
+        Sensitivity.Rank.observe rk (lower atoms [ 0; 1 ]) pass;
+        (* the OR-model is now inconsistent for a failure inside {0}:
+           subtraction would empty the core and predict everything fails *)
+        Sensitivity.Rank.observe rk (lower atoms [ 0 ]) efail;
+        Sensitivity.Rank.round rk;
+        Alcotest.(check bool) "superset of the full set demoted" true
+          (Sensitivity.Rank.demote rk (lower atoms [ 0; 2 ]));
+        Alcotest.(check bool) "unrelated candidate kept" false
+          (Sensitivity.Rank.demote rk (lower atoms [ 2 ])));
+    t "observe deduplicates by signature" (fun () ->
+        let atoms, rk = mk () in
+        let asg = lower atoms [ 0 ] in
+        Sensitivity.Rank.observe rk asg pass;
+        (* a replayed contradictory outcome for the same signature is
+           ignored: committed evidence is immutable *)
+        Sensitivity.Rank.observe rk asg efail;
+        Sensitivity.Rank.round rk;
+        Alcotest.(check bool) "still kept" false
+          (Sensitivity.Rank.demote rk (lower atoms [ 0; 1 ])));
+    t "features are finite and match the predictor's names" (fun () ->
+        let p = Core.Tuner.prepare small_funarc in
+        let f =
+          Sensitivity.Rank.features ~st:p.Core.Tuner.st
+            (Transform.Assignment.uniform p.Core.Tuner.atoms Fortran.Ast.K4)
+        in
+        Alcotest.(check int) "arity" (List.length Sensitivity.Rank.feature_names)
+          (Array.length f);
+        Array.iter (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v)) f);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Steered campaigns: identity of the minimal set, determinism         *)
+
+let campaign_tests =
+  [
+    t "rank reaches the same minimal set as off" (fun () ->
+        let off = Core.Tuner.run_delta_debug small_funarc in
+        let rank =
+          Core.Tuner.run_delta_debug
+            ~config:(with_predict Core.Config.Predict_rank Core.Config.default)
+            small_funarc
+        in
+        Alcotest.(check bool) "identical minimal" true (minimal_sig off = minimal_sig rank));
+    t "rank trajectory is identical across workers and shards" (fun () ->
+        let config = with_predict Core.Config.Predict_rank Core.Config.default in
+        let seq = Core.Tuner.run_delta_debug ~config ~workers:0 small_mpas in
+        let pooled = Core.Tuner.run_delta_debug ~config ~workers:4 small_mpas in
+        let sharded = Core.Tuner.run_delta_debug ~config ~shards:2 ~workers:2 small_mpas in
+        Alcotest.(check bool) "workers=4 record-identical" true
+          (signatures seq = signatures pooled);
+        Alcotest.(check bool) "shards=2 record-identical" true
+          (signatures seq = signatures sharded);
+        Alcotest.(check bool) "same minimal" true
+          (minimal_sig seq = minimal_sig pooled && minimal_sig seq = minimal_sig sharded));
+    t "prune trajectory is identical across workers and shards" (fun () ->
+        (* a margin low enough that pruning actually fires on this space *)
+        let config =
+          with_predict ~margin:1.0 Core.Config.Predict_prune Core.Config.default
+        in
+        let pruned_count c =
+          List.length
+            (List.filter
+               (fun (r : Search.Variant.record) ->
+                 let d = r.Search.Variant.meas.Search.Variant.detail in
+                 String.length d >= 8 && String.sub d 0 8 = "static: ")
+               c.Core.Tuner.records)
+        in
+        let seq = Core.Tuner.run_delta_debug ~config ~workers:0 small_funarc in
+        let pooled = Core.Tuner.run_delta_debug ~config ~workers:4 small_funarc in
+        let sharded = Core.Tuner.run_delta_debug ~config ~shards:2 ~workers:2 small_funarc in
+        Alcotest.(check bool) "workers=4 record-identical" true
+          (signatures seq = signatures pooled);
+        Alcotest.(check bool) "shards=2 record-identical" true
+          (signatures seq = signatures sharded);
+        Alcotest.(check int) "same pruned count" (pruned_count seq) (pruned_count pooled));
+    t "a resumed prune campaign replays without re-evaluating" (fun () ->
+        let config =
+          with_predict ~margin:1.0 Core.Config.Predict_prune Core.Config.default
+        in
+        let dir = Filename.temp_file "sens_resume" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        Fun.protect
+          ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+          (fun () ->
+            let full =
+              Core.Tuner.run_delta_debug ~config ~workers:0 ~journal:dir small_funarc
+            in
+            let resumed =
+              Core.Tuner.resume ~config ~workers:0 ~model:small_funarc ~journal:dir ()
+            in
+            Alcotest.(check int) "whole prefix preloaded"
+              (List.length full.Core.Tuner.records)
+              resumed.Core.Tuner.preloaded;
+            Alcotest.(check int) "zero fresh evaluations" 0
+              resumed.Core.Tuner.trace_stats.Search.Trace.misses;
+            Alcotest.(check bool) "record-identical" true
+              (signatures full = signatures resumed);
+            Alcotest.(check bool) "same minimal" true
+              (minimal_sig full = minimal_sig resumed)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Holdout split: committed order, not arrival order                   *)
+
+let holdout_tests =
+  [
+    t "holdout split is invariant under record arrival order" (fun () ->
+        let c = Core.Tuner.run_brute_force small_funarc in
+        let p = c.Core.Tuner.prepared in
+        let bits = Int64.bits_of_float in
+        let report records =
+          match Core.Predictor.holdout_report p records with
+          | Some (tr, te, n) -> (bits tr, bits te, n)
+          | None -> Alcotest.fail "fit failed"
+        in
+        (* a sharded run lists the same committed records in a different
+           arrival order; the split must not notice *)
+        Alcotest.(check bool) "reversed arrival, bit-identical report" true
+          (report c.Core.Tuner.records = report (List.rev c.Core.Tuner.records));
+        let shuffled =
+          let tagged =
+            List.mapi (fun i r -> ((i * 7919) mod 101, i, r)) c.Core.Tuner.records
+          in
+          List.map (fun (_, _, r) -> r) (List.sort compare tagged)
+        in
+        Alcotest.(check bool) "shuffled arrival, bit-identical report" true
+          (report c.Core.Tuner.records = report shuffled));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Export columns and journal fields                                   *)
+
+(* minimal RFC-4180 reader: split one CSV line into fields, honouring
+   quoted fields and doubled quotes *)
+let split_csv_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let rec go i in_quotes =
+    if i >= n then fields := Buffer.contents buf :: !fields
+    else
+      match line.[i] with
+      | '"' when in_quotes ->
+        if i + 1 < n && line.[i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          go (i + 2) true
+        end
+        else go (i + 1) false
+      | '"' -> go (i + 1) true
+      | ',' when not in_quotes ->
+        fields := Buffer.contents buf :: !fields;
+        Buffer.clear buf;
+        go (i + 1) false
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1) in_quotes
+  in
+  go 0 false;
+  List.rev !fields
+
+let export_tests =
+  [
+    t "variants CSV carries the prediction columns" (fun () ->
+        let config = with_predict Core.Config.Predict_rank Core.Config.default in
+        let c = Core.Tuner.run_delta_debug ~config small_funarc in
+        let lines =
+          List.filter (fun l -> l <> "")
+            (String.split_on_char '\n' (Core.Export.variants_csv c))
+        in
+        let header = split_csv_line (List.hd lines) in
+        Alcotest.(check bool) "predicted_score column" true
+          (List.mem "predicted_score" header);
+        Alcotest.(check bool) "static_bound column" true (List.mem "static_bound" header);
+        let score_at = ref (-1) and bound_at = ref (-1) in
+        List.iteri
+          (fun i h ->
+            if h = "predicted_score" then score_at := i;
+            if h = "static_bound" then bound_at := i)
+          header;
+        List.iter
+          (fun row ->
+            let cells = split_csv_line row in
+            Alcotest.(check int) "full width" (List.length header) (List.length cells);
+            (* a predicted campaign fills both cells on every row *)
+            Alcotest.(check bool) "score cell filled" true
+              (List.nth cells !score_at <> "");
+            Alcotest.(check bool) "bound cell filled" true
+              (List.nth cells !bound_at <> ""))
+          (List.tl lines));
+    t "unpredicted records export empty prediction cells" (fun () ->
+        let p = Core.Tuner.prepare small_funarc in
+        let asg = Transform.Assignment.uniform p.Core.Tuner.atoms Fortran.Ast.K4 in
+        let r = { Search.Variant.index = 1; asg; meas = Core.Tuner.evaluate p asg } in
+        let csv = Core.Export.variants_csv_records [ r ] in
+        let row = split_csv_line (List.nth (String.split_on_char '\n' csv) 1) in
+        let header = split_csv_line (List.hd (String.split_on_char '\n' csv)) in
+        let cell name =
+          let at = ref (-1) in
+          List.iteri (fun i h -> if h = name then at := i) header;
+          List.nth row !at
+        in
+        Alcotest.(check string) "empty score" "" (cell "predicted_score");
+        Alcotest.(check string) "empty bound" "" (cell "static_bound"));
+    t "RFC-4180 fields round-trip through the splitter" (fun () ->
+        List.iter
+          (fun s ->
+            let line =
+              String.concat "," [ Core.Export.csv_field s; "x"; Core.Export.csv_field s ]
+            in
+            Alcotest.(check (list string)) "round trip" [ s; "x"; s ] (split_csv_line line))
+          [ "plain"; "with,comma"; "say \"hi\""; "line\nbreak"; "tail\r"; "" ]);
+    t "journal score fields round-trip and stay absent when off" (fun () ->
+        let config = with_predict Core.Config.Predict_rank Core.Config.default in
+        let dir = Filename.temp_file "sens_journal" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        Fun.protect
+          ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+          (fun () ->
+            let c = Core.Tuner.run_delta_debug ~config ~workers:0 ~journal:dir small_funarc in
+            let loaded = Persist.Journal.load ~dir in
+            Alcotest.(check int) "every record journaled"
+              (List.length c.Core.Tuner.records)
+              (List.length loaded.Persist.Journal.l_entries);
+            List.iter
+              (fun (e : Persist.Journal.entry) ->
+                Alcotest.(check bool) "score present" true (e.Persist.Journal.e_score <> None);
+                Alcotest.(check bool) "bound present" true (e.Persist.Journal.e_bound <> None))
+              loaded.Persist.Journal.l_entries;
+            (* an unpredicted journal of the same model writes no score
+               fields at all — pre-PR-9 journals parse the same way *)
+            let dir_off = dir ^ "_off" in
+            Unix.mkdir dir_off 0o755;
+            Fun.protect
+              ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir_off)))
+              (fun () ->
+                ignore (Core.Tuner.run_delta_debug ~workers:0 ~journal:dir_off small_funarc);
+                let ic = open_in (Persist.Journal.file ~dir:dir_off) in
+                let contents =
+                  Fun.protect
+                    ~finally:(fun () -> close_in ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                Alcotest.(check bool) "no score field on disk" false
+                  (let rec contains i =
+                     i + 7 <= String.length contents
+                     && (String.sub contents i 7 = "\"score\"" || contains (i + 1))
+                   in
+                   contains 0);
+                let off = Persist.Journal.load ~dir:dir_off in
+                List.iter
+                  (fun (e : Persist.Journal.entry) ->
+                    Alcotest.(check bool) "parses as None" true
+                      (e.Persist.Journal.e_score = None && e.Persist.Journal.e_bound = None))
+                  off.Persist.Journal.l_entries)));
+  ]
+
+let () =
+  Alcotest.run "sensitivity"
+    [
+      ("scorer", scorer_tests);
+      ("rank engine", rank_engine_tests);
+      ("campaigns", campaign_tests);
+      ("holdout", holdout_tests);
+      ("export", export_tests);
+    ]
