@@ -62,7 +62,16 @@
                               point bit-identical in records and summary,
                               require >= 2x simulated-makespan improvement
                               at 4x4 over 1x0, and emit the curve into
-                              the --json trajectory                      *)
+                              the --json trajectory
+     main.exe --fleet         cross-campaign dedup check: K=3 identical
+                              campaigns multiplexed through the service
+                              scheduler with the shared evaluation memo;
+                              requires every job's journal (shared
+                              provenance lines stripped), minimal set and
+                              summary (trace line stripped) byte-identical
+                              to a solo run, and >= 40% fewer fleet-wide
+                              fresh evaluations than 3 solo runs; emitted
+                              into --json as the "fleet" section          *)
 
 let pf = Printf.printf
 
@@ -84,6 +93,7 @@ type selection = {
   mutable shards : int option;
   mutable scaling : bool;
   mutable predict_check : bool;
+  mutable fleet : bool;
 }
 
 let parse_args () =
@@ -91,7 +101,8 @@ let parse_args () =
     { tables = []; figures = []; checks = false; ablation = false; bechamel = false; all = true;
       quick = false; workers = None; seed = Core.Config.default.Core.Config.seed;
       json = None; check_against = None; verify_roundtrip = false; no_compile = false;
-      kill_resume = false; shards = None; scaling = false; predict_check = false }
+      kill_resume = false; shards = None; scaling = false; predict_check = false;
+      fleet = false }
   in
   let rec go = function
     | [] -> ()
@@ -153,6 +164,10 @@ let parse_args () =
       sel.predict_check <- true;
       sel.all <- false;
       go rest
+    | "--fleet" :: rest ->
+      sel.fleet <- true;
+      sel.all <- false;
+      go rest
     | arg :: _ -> failwith ("unknown argument " ^ arg)
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -170,7 +185,9 @@ let want_figure sel n = sel.all || List.mem n sel.figures
    no JSON dependency needed.  eval_ms_mean is optional so baselines
    recorded before it existed still parse, and a malformed entry is
    skipped (reported by name when one was read) rather than aborting
-   the whole guard. *)
+   the whole guard.  The scan keys on those three substrings only, so
+   baselines gain new fields (e.g. the summary trace line's "shared"
+   counter, or a "fleet" section) without breaking older readers. *)
 let baseline_walls path =
   let s =
     try
@@ -444,6 +461,7 @@ let rec main () =
       Some (predict_suite ~config ?workers ())
     else None
   in
+  let fleet = if sel.fleet || sel.json <> None then Some (fleet_suite ()) else None in
 
   (* perf trajectory: per-campaign wall clock + evaluation counts (forces
      the six campaigns, so `--json` or `--check-against` alone is a
@@ -463,7 +481,7 @@ let rec main () =
     Option.iter
       (fun path ->
         Core.Export.write_file ~path
-          (Core.Export.bench_json ?scaling ?predict ~workers:effective entries);
+          (Core.Export.bench_json ?scaling ?predict ?fleet ~workers:effective entries);
         pf "wrote %s\n%!" path)
       sel.json;
     Option.iter (fun path -> check_against ~seed:sel.seed path entries) sel.check_against
@@ -781,6 +799,153 @@ and scaling_suite ~config () =
   end
   else pf "scaling check passed: every point bit-identical, >= 2x simulated speedup at 4x4\n%!";
   List.filter_map (fun (_, (c : Core.Tuner.campaign)) -> c.Core.Tuner.sched) runs
+
+(* ------------------------------------------------------------------ *)
+(* Fleet-dedup check: K identical campaigns multiplexed through the
+   service scheduler with the cross-campaign evaluation memo.  Each
+   job's journal (shared provenance lines stripped), minimal set and
+   summary (trace line stripped) must be byte-identical to a solo run
+   of the same campaign, and the fleet-wide count of fresh dynamic
+   evaluations must undercut K solo runs by at least 40% — the memo
+   turns the duplicated work into journaled, provenance-annotated
+   replays.                                                            *)
+
+and fleet_suite () =
+  pf "FLEET DEDUP CHECK (shared cross-campaign evaluation memo)\n";
+  let k = 3 in
+  (* the suite runs at the jobs' own spec-derived config (the memo keys
+     on the config digest), so the CLI --seed steering the rest of the
+     harness does not move these published numbers *)
+  let spec =
+    {
+      Service.Job.sp_model = "funarc";
+      sp_algo = "delta_debug";
+      sp_seed = 42;
+      sp_workers = 0;
+      sp_max_variants = None;
+      sp_whole_model = false;
+      sp_quota_hours = None;
+      sp_faults = None;
+      sp_tenant = "bench";
+      sp_priority = 1;
+    }
+  in
+  let config = Service.Job.config_of_spec spec in
+  let tmp =
+    Printf.sprintf "%s/prose_fleet_%d" (Filename.get_temp_dir_name ()) (Unix.getpid ())
+  in
+  let rec rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then rm_rf p else Sys.remove p)
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  rm_rf tmp;
+  Unix.mkdir tmp 0o755;
+  Fun.protect ~finally:(fun () -> if Sys.getenv_opt "PROSE_FLEET_KEEP" = None then rm_rf tmp) @@ fun () ->
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let strip sub s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l ->
+           let n = String.length sub and m = String.length l in
+           let rec at i = i + n <= m && (String.sub l i n = sub || at (i + 1)) in
+           not (at 0))
+    |> String.concat "\n"
+  in
+  (* solo baseline (journaled): all K jobs are identical, so one solo run
+     stands in for all three *)
+  let solo_dir = Filename.concat tmp "solo" in
+  Unix.mkdir solo_dir 0o755;
+  let solo =
+    timed "funarc solo (journaled)" (fun () ->
+        Core.Tuner.run_delta_debug ~config ~journal:solo_dir Models.Registry.funarc)
+  in
+  let solo_misses = solo.Core.Tuner.trace_stats.Search.Trace.misses in
+  let solo_journal = slurp (Persist.Journal.file ~dir:solo_dir) in
+  let solo_summary = strip "\"trace\"" (Core.Export.summary_json solo) in
+  let solo_minimal =
+    Option.map (fun r -> Service.Sched.minimal_text solo r) solo.Core.Tuner.minimal
+  in
+  (* the fleet: K identical jobs, round-robin slices, shared memo *)
+  let root = Filename.concat tmp "fleet" in
+  Unix.mkdir root 0o755;
+  let store = Service.Store.open_ ~root in
+  let memo = Service.Memo.create () in
+  let sched = Service.Sched.create ~slice_records:8 ~memo ~find_model:Models.Registry.find store in
+  let ids =
+    List.init k (fun _ ->
+        match Service.Store.submit store ~find_model:Models.Registry.find spec with
+        | Ok j -> j.Service.Job.id
+        | Error m -> failwith ("fleet submit rejected: " ^ m))
+  in
+  let fleet_misses = ref 0 and fleet_shared = ref 0 in
+  timed "funarc fleet (3 jobs, shared memo)" (fun () ->
+      let rec go () =
+        match Service.Sched.step sched with
+        | Service.Sched.Idle -> ()
+        | Service.Sched.Sliced { si_fresh; si_shared; _ } ->
+          fleet_misses := !fleet_misses + si_fresh;
+          fleet_shared := !fleet_shared + si_shared;
+          go ()
+      in
+      go ());
+  let failures = ref 0 in
+  let identical =
+    List.for_all
+      (fun id ->
+        let dir = Service.Store.campaign_dir store id in
+        let journal = strip "\"kind\":\"shared\"" (slurp (Persist.Journal.file ~dir)) in
+        let summary = strip "\"trace\"" (slurp (Service.Store.summary_file store id)) in
+        let minimal =
+          let p = Service.Store.minimal_file store id in
+          if Sys.file_exists p then Some (slurp p) else None
+        in
+        let ok =
+          journal = solo_journal && summary = solo_summary && minimal = solo_minimal
+        in
+        if not ok then
+          pf "  FAIL %s: journal identical %b, summary identical %b, minimal identical %b\n" id
+            (journal = solo_journal) (summary = solo_summary) (minimal = solo_minimal);
+        ok)
+      ids
+  in
+  if not identical then incr failures;
+  let solo_fleet = k * solo_misses in
+  let saved_pct =
+    if solo_fleet = 0 then 0.0
+    else 100.0 *. (1.0 -. (float_of_int !fleet_misses /. float_of_int solo_fleet))
+  in
+  pf "  %d jobs: %d fresh evaluations fleet-wide vs %d for %d solo runs (%d memo-shared, \
+      %.0f%% saved)\n"
+    k !fleet_misses solo_fleet k !fleet_shared saved_pct;
+  if saved_pct < 40.0 then begin
+    pf "  FAIL: expected >= 40%% fewer fresh evaluations than %d solo runs\n" k;
+    incr failures
+  end;
+  if !failures > 0 then begin
+    pf "fleet-dedup check FAILED (%d)\n%!" !failures;
+    exit 1
+  end
+  else pf "fleet-dedup check passed: every job byte-identical to solo, %.0f%% saved\n%!" saved_pct;
+  [
+    {
+      Core.Export.fl_jobs = k;
+      fl_solo_misses = solo_fleet;
+      fl_fleet_misses = !fleet_misses;
+      fl_fleet_shared = !fleet_shared;
+      fl_saved_pct = saved_pct;
+      fl_identical = identical;
+    };
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the

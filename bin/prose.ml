@@ -448,6 +448,11 @@ let campaign_show_cmd =
     pf "config  : %s\n" h.Persist.Journal.config_digest;
     pf "workers : %d\n" h.Persist.Journal.workers;
     pf "atoms   : %d\n" h.Persist.Journal.atoms;
+    if h.Persist.Journal.caps <> [] then
+      pf "caps    : %s\n" (String.concat ", " h.Persist.Journal.caps);
+    if loaded.Persist.Journal.l_shared <> [] then
+      pf "shared  : %d record(s) attributed to the fleet memo\n"
+        (List.length loaded.Persist.Journal.l_shared);
     let pass, fail, timeout, error = status_counts loaded.Persist.Journal.l_entries in
     pf "records : %d (%d pass, %d fail, %d timeout, %d error)%s\n"
       (List.length loaded.Persist.Journal.l_entries)
@@ -573,8 +578,9 @@ let open_store root =
   end
 
 let job_line (j : Service.Job.t) =
-  let { Service.Job.id; spec; state; records; hours; best_speedup } = j in
+  let { Service.Job.id; spec; state; records; hours; best_speedup; shared } = j in
   let extra = match state with Service.Job.Failed msg -> "  (" ^ msg ^ ")" | _ -> "" in
+  let extra = (if shared > 0 then Printf.sprintf "  %d memo-shared" shared else "") ^ extra in
   Printf.sprintf "%-6s %-8s %-12s %-8s %5d records %10.4f h  best %.3fx%s" id
     spec.Service.Job.sp_model spec.Service.Job.sp_algo (Service.Job.state_name state) records
     hours best_speedup extra
@@ -607,16 +613,28 @@ let serve_cmd =
       & info [ "slice" ] ~docv:"K"
           ~doc:"Fresh durable records per scheduler time slice (>= 1).")
   in
-  let run root slots slice =
+  let no_memo_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shared-memo" ]
+          ~doc:
+            "Disable the fleet-wide cross-campaign evaluation memo. With the memo on (the \
+             default), concurrent jobs in the same evaluation space evaluate each variant \
+             once fleet-wide; memo-served records are journaled normally plus a provenance \
+             line. Job results never depend on this flag.")
+  in
+  let run root slots slice no_memo =
     match
-      Service.Server.run ~slice_records:slice ~log:(fun m -> pf "%s\n%!" m) ~root ~slots ()
+      Service.Server.run ~slice_records:slice ~shared_memo:(not no_memo)
+        ~log:(fun m -> pf "%s\n%!" m) ~root ~slots ()
     with
     | Ok () -> ()
     | Error msg ->
       prerr_endline ("prose serve: " ^ msg);
       exit 1
   in
-  Cmd.v (Cmd.info "serve" ~doc ~man) Term.(const run $ root_arg $ slots_arg $ slice_arg)
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run $ root_arg $ slots_arg $ slice_arg $ no_memo_arg)
 
 let submit_cmd =
   let doc = "Submit a tuning campaign to the service queue" in
@@ -646,7 +664,16 @@ let submit_cmd =
   let tenant_arg =
     Arg.(value & opt string "default" & info [ "tenant" ] ~doc:"Accounting label for the job.")
   in
-  let run root model seed max_variants whole brute hierarchical workers quota tenant faults =
+  let priority_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "priority" ] ~docv:"W"
+          ~doc:
+            "Scheduling weight (>= 1): the job claims up to $(docv) consecutive time slices \
+             per round-robin turn. Results never depend on it.")
+  in
+  let run root model seed max_variants whole brute hierarchical workers quota tenant priority
+      faults =
     let spec =
       {
         Service.Job.sp_model = String.lowercase_ascii model;
@@ -659,6 +686,7 @@ let submit_cmd =
         sp_quota_hours = quota;
         sp_faults = faults;
         sp_tenant = tenant;
+        sp_priority = priority;
       }
     in
     match Service.Proto.roundtrip ~root (Service.Proto.Submit spec) with
@@ -691,7 +719,8 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const run $ root_arg $ submit_model_arg $ seed_arg $ max_variants_arg $ whole_model_arg
-      $ brute_arg $ hierarchical_arg $ sworkers_arg $ quota_arg $ tenant_arg $ faults_term)
+      $ brute_arg $ hierarchical_arg $ sworkers_arg $ quota_arg $ tenant_arg $ priority_arg
+      $ faults_term)
 
 let watch_cmd =
   let doc = "Stream a job's status events until it completes" in
@@ -728,12 +757,13 @@ let watch_cmd =
                 | None -> loop ()
                 | Some ev ->
                   let { Service.Sched.ev_job; ev_state; ev_records; ev_hours; ev_best;
-                        ev_detail } =
+                        ev_shared; ev_detail } =
                     ev
                   in
-                  pf "%-6s %-8s %5d records %10.4f h  best %.3fx%s\n%!" ev_job
+                  pf "%-6s %-8s %5d records %10.4f h  best %.3fx%s%s\n%!" ev_job
                     (Service.Job.state_name ev_state)
                     ev_records ev_hours ev_best
+                    (if ev_shared > 0 then Printf.sprintf "  %d memo-shared" ev_shared else "")
                     (if ev_detail = "" then "" else "  [" ^ ev_detail ^ "]");
                   if Service.Job.terminal ev_state then `Terminal ev_state else loop ())
             in
@@ -768,12 +798,17 @@ let jobs_cmd =
         exit 1
       | Some j ->
         let { Service.Job.sp_model; sp_algo; sp_seed; sp_workers; sp_max_variants;
-              sp_whole_model; sp_quota_hours; sp_faults; sp_tenant } =
+              sp_whole_model; sp_quota_hours; sp_faults; sp_tenant; sp_priority } =
           j.Service.Job.spec
         in
         pf "%s\n" (job_line j);
-        pf "  model %s  algo %s  seed %d  workers %d  tenant %s\n" sp_model sp_algo sp_seed
-          sp_workers sp_tenant;
+        pf "  model %s  algo %s  seed %d  workers %d  tenant %s  priority %d\n" sp_model
+          sp_algo sp_seed sp_workers sp_tenant sp_priority;
+        if j.Service.Job.shared > 0 then
+          pf "  fleet dedup: %d of %d records served by the shared memo (%.0f%%)\n"
+            j.Service.Job.shared j.Service.Job.records
+            (100.0 *. float_of_int j.Service.Job.shared
+            /. float_of_int (max 1 j.Service.Job.records));
         pf "  budget: %s variants, %s cluster-hours quota\n"
           (match sp_max_variants with Some n -> string_of_int n | None -> "model default")
           (match sp_quota_hours with Some h -> Printf.sprintf "%.3f" h | None -> "unlimited");

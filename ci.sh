@@ -172,4 +172,44 @@ diff -u "$VDIR/solo1_cmp.json" "$VDIR/j001_cmp.json"
 grep -v -e '"trace"' "$VDIR/solo2.json" > "$VDIR/solo2_cmp.json"
 grep -v -e '"trace"' "$VDIR/jobs/j002/summary.json" > "$VDIR/j002_cmp.json"
 diff -u "$VDIR/solo2_cmp.json" "$VDIR/j002_cmp.json"
+
+# Fleet-dedup gate: two campaigns in the same evaluation space (same
+# model, same config, same seed) through one server share the
+# process-wide evaluation memo — each variant is evaluated once
+# fleet-wide, and memo-served records are journaled normally plus a
+# {"kind":"shared",...} provenance line naming the donor job. Stripping
+# those lines must recover the solo journal byte for byte, the summaries
+# must match solo modulo the "trace" line, and the trailing job must
+# account a nonzero cumulative shared counter (the leader, at
+# --priority 2, stays ahead, so the follower is served almost entirely
+# from the fleet).
+_build/default/bin/prose.exe serve --root "$VDIR" --slots 2 --slice 4 \
+  >> "$VDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+while [ ! -S "$VDIR/prose.sock" ]; do sleep 0.02; done
+_build/default/bin/prose.exe submit --root "$VDIR" funarc --seed 11 --workers 0 \
+  --priority 2
+_build/default/bin/prose.exe submit --root "$VDIR" funarc --seed 11 --workers 0
+_build/default/bin/prose.exe watch --root "$VDIR" j003
+_build/default/bin/prose.exe watch --root "$VDIR" j004
+_build/default/bin/prose.exe jobs show --root "$VDIR" j004 | tee "$VDIR/j004_show.txt"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+_build/default/bin/prose.exe tune funarc --seed 11 --workers 0 \
+  --journal "$VDIR/solo3" --json "$VDIR/solo3.json" > /dev/null
+grep -v '"kind":"shared"' "$VDIR/jobs/j003/campaign/journal.jsonl" > "$VDIR/j003_j.jsonl"
+grep -v '"kind":"shared"' "$VDIR/jobs/j004/campaign/journal.jsonl" > "$VDIR/j004_j.jsonl"
+diff "$VDIR/solo3/journal.jsonl" "$VDIR/j003_j.jsonl"
+diff "$VDIR/solo3/journal.jsonl" "$VDIR/j004_j.jsonl"
+grep -v -e '"trace"' "$VDIR/solo3.json" > "$VDIR/solo3_cmp.json"
+grep -v -e '"trace"' "$VDIR/jobs/j003/summary.json" > "$VDIR/j003_cmp.json"
+grep -v -e '"trace"' "$VDIR/jobs/j004/summary.json" > "$VDIR/j004_cmp.json"
+diff -u "$VDIR/solo3_cmp.json" "$VDIR/j003_cmp.json"
+diff -u "$VDIR/solo3_cmp.json" "$VDIR/j004_cmp.json"
+# the memo actually fired: `jobs show` prints the fleet-dedup gauge only
+# when the job's cumulative shared counter is nonzero (the summary's
+# "trace" line covers just the finishing slice, which can be all-replay),
+# and the server log accounted at least one memo-served slice
+grep 'fleet dedup:' "$VDIR/j004_show.txt" > /dev/null
+grep -E ', [1-9][0-9]* memo-shared\)' "$VDIR/serve.log" > /dev/null
 rm -rf "$VDIR"

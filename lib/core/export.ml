@@ -92,7 +92,7 @@ let summary_json (c : Tuner.campaign) =
   "error_pct": %s,
   "best_speedup": %s,
   "simulated_hours": %s,
-  "trace": {"hits": %d, "misses": %d, "live": %d, "appends": %d, "preloaded": %d, "interrupted": %b},
+  "trace": {"hits": %d, "misses": %d, "shared": %d, "live": %d, "appends": %d, "preloaded": %d, "interrupted": %b},
   "backend": {"compiled_procs": %d, "compile_hits": %d, "reuse_hits": %d, "reuse_misses": %d},
   "minimal": %s
 }
@@ -104,6 +104,7 @@ let summary_json (c : Tuner.campaign) =
     (jfloat s.Variant.pass_pct) (jfloat s.Variant.fail_pct) (jfloat s.Variant.timeout_pct)
     (jfloat s.Variant.error_pct) (jfloat s.Variant.best_speedup) (jfloat c.Tuner.simulated_hours)
     c.Tuner.trace_stats.Trace.hits c.Tuner.trace_stats.Trace.misses
+    c.Tuner.trace_stats.Trace.shared
     c.Tuner.trace_stats.Trace.live c.Tuner.trace_stats.Trace.appends
     c.Tuner.preloaded c.Tuner.interrupted
     c.Tuner.backend.Tuner.compiled_procs c.Tuner.backend.Tuner.compile_hits
@@ -138,7 +139,23 @@ let predict_point_json p =
     p.pr_dynamic_evals p.pr_pruned (jfloat p.pr_sim_hours) (jfloat p.pr_sim_hours_saved)
     p.pr_minimal_identical
 
-let bench_json ?scaling ?predict ~workers entries =
+type fleet_point = {
+  fl_jobs : int;
+  fl_solo_misses : int;
+  fl_fleet_misses : int;
+  fl_fleet_shared : int;
+  fl_saved_pct : float;
+  fl_identical : bool;
+}
+
+let fleet_point_json f =
+  Printf.sprintf
+    "    {\"jobs\": %d, \"solo_misses\": %d, \"fleet_misses\": %d, \"fleet_shared\": %d, \
+     \"saved_pct\": %s, \"identical\": %b}"
+    f.fl_jobs f.fl_solo_misses f.fl_fleet_misses f.fl_fleet_shared (jfloat f.fl_saved_pct)
+    f.fl_identical
+
+let bench_json ?scaling ?predict ?fleet ~workers entries =
   let entry (name, wall_seconds, c) =
     let summary = String.trim (summary_json c) in
     Printf.sprintf
@@ -164,9 +181,16 @@ let bench_json ?scaling ?predict ~workers entries =
       Printf.sprintf ",\n  \"predict\": [\n%s\n  ]"
         (String.concat ",\n" (List.map predict_point_json points))
   in
-  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]%s%s\n}\n" workers
+  let fleet_section =
+    match fleet with
+    | None | Some [] -> ""
+    | Some points ->
+      Printf.sprintf ",\n  \"fleet\": [\n%s\n  ]"
+        (String.concat ",\n" (List.map fleet_point_json points))
+  in
+  Printf.sprintf "{\n  \"workers\": %d,\n  \"campaigns\": [\n%s\n  ]%s%s%s\n}\n" workers
     (String.concat ",\n" (List.map entry entries))
-    scaling_section predict_section
+    scaling_section predict_section fleet_section
 
 let write_file ~path content =
   let oc = open_out path in

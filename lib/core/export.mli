@@ -47,9 +47,25 @@ type predict_point = {
   pr_minimal_identical : bool;
 }
 
+(** One fleet-dedup measurement ([bench --fleet]): K identical-model
+    service campaigns over the shared evaluation memo vs K solo runs —
+    fleet-wide fresh evaluations ([trace.misses]) on both sides, the
+    memo-served record count, the saving percentage, and whether every
+    per-job journal (modulo provenance lines) and trace-stripped summary
+    was byte-identical to its solo counterpart. *)
+type fleet_point = {
+  fl_jobs : int;
+  fl_solo_misses : int;
+  fl_fleet_misses : int;
+  fl_fleet_shared : int;
+  fl_saved_pct : float;
+  fl_identical : bool;
+}
+
 val bench_json :
   ?scaling:Tuner.sched_stats list ->
   ?predict:predict_point list ->
+  ?fleet:fleet_point list ->
   workers:int ->
   (string * float * Tuner.campaign) list ->
   string
@@ -59,6 +75,7 @@ val bench_json :
     milliseconds per evaluation, and the full {!summary_json} object.
     [scaling] appends the shard scheduler's workers x shards curve
     ([bench --scaling]): one object per grid point with the simulated
-    makespan and steal/batch accounting. *)
+    makespan and steal/batch accounting. [fleet] appends the
+    cross-campaign dedup measurements ([bench --fleet]). *)
 
 val write_file : path:string -> string -> unit

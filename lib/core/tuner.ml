@@ -791,7 +791,7 @@ let note_record jc ~signature (m : Variant.measurement) =
    caller's checkpoint hook or a configured preemption kill the "job" —
    the record is already durable either way, so interrupting here is
    always resumable with zero re-evaluation. *)
-let journal_sink ?checkpoint p jc (r : Variant.record) =
+let journal_sink ?checkpoint ?(shared_pending = fun () -> None) p jc (r : Variant.record) =
   let entry = Persist.Journal.entry_of_record r in
   let entry =
     match p.scorer with
@@ -804,6 +804,12 @@ let journal_sink ?checkpoint p jc (r : Variant.record) =
     | None -> entry
   in
   Persist.Journal.append jc.jw entry;
+  (* provenance for a memo-served record, staged by the trace's on_shared
+     hook in the same locked critical section — written right after the
+     record line so a crash between the two loses only the annotation *)
+  (match shared_pending () with
+  | Some sh -> Persist.Journal.append_shared jc.jw sh
+  | None -> ());
   let signature = Transform.Assignment.signature r.Variant.asg in
   (match jc.jfaults with
   | Some f when not (off_cluster r.Variant.meas) ->
@@ -822,15 +828,31 @@ let journal_sink ?checkpoint p jc (r : Variant.record) =
 (* Variant evaluation with injected faults applied: what the search (and
    hence the trace and journal) observes. Static-filter rejections never
    reach the cluster, so no fault can touch them. *)
-let faulted_evaluate p faults asg =
-  let m = evaluate p asg in
+let apply_faults faults ~signature m =
   match faults with
   | None -> m
-  | Some fspec ->
-    if off_cluster m then m
-    else Cluster.Faults.perturb fspec ~signature:(Transform.Assignment.signature asg) m
+  | Some fspec -> if off_cluster m then m else Cluster.Faults.perturb fspec ~signature m
 
-let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preloaded () =
+let faulted_evaluate p faults asg =
+  apply_faults faults
+    ~signature:(Transform.Assignment.signature asg)
+    (evaluate p asg)
+
+(* Fleet-wide evaluation memo hooks (the service's cross-campaign memo
+   plugs in here; solo campaigns pass none). The memo stores {e pre-fault}
+   measurements — a pure function of (model source, config digest,
+   signature), identical whichever campaign in the space computes it —
+   and each consuming campaign applies its own fault perturbation (a pure
+   function of its fault spec and the signature), so a memo-served record
+   is bit-identical to the one the campaign would have evaluated itself.
+   [memo_find] returns the measurement plus the donor campaign's id for
+   the journal's provenance annotation. *)
+type memo_hooks = {
+  memo_find : signature:string -> (Variant.measurement * string) option;
+  memo_publish : signature:string -> Variant.measurement -> unit;
+}
+
+let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ?memo ~preloaded () =
   let fstate = Option.map Cluster.Faults.create faults in
   let jctx =
     Option.map
@@ -858,10 +880,68 @@ let execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preload
             r.Variant.meas)
         preloaded)
     jctx;
-  let sink = Option.map (fun jc -> journal_sink ?checkpoint p jc) jctx in
-  let trace = Trace.create ?max_variants:(max_variants_of p) ?sink () in
+  (* Fleet memo wiring. [shared_lookup] runs outside the trace lock: it
+     asks the memo for a pre-fault measurement, stashes the donor id
+     keyed by signature, and applies this campaign's own fault
+     perturbation so the trace commits exactly what a live evaluation
+     would have. [on_shared] then fires under the trace lock, immediately
+     before the journal sink, staging the provenance annotation the sink
+     appends right after the record line. *)
+  let donor_lock = Mutex.create () in
+  let donors : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  let pending : Persist.Journal.shared option ref = ref None in
+  let shared_lookup =
+    Option.map
+      (fun h asg ->
+        let signature = Transform.Assignment.signature asg in
+        match h.memo_find ~signature with
+        | None -> None
+        | Some (m, donor) ->
+          Mutex.lock donor_lock;
+          Hashtbl.replace donors signature donor;
+          Mutex.unlock donor_lock;
+          Some (apply_faults faults ~signature m))
+      memo
+  in
+  let on_shared =
+    Option.map
+      (fun (_ : memo_hooks) (r : Variant.record) ->
+        let signature = Transform.Assignment.signature r.Variant.asg in
+        let donor =
+          Mutex.lock donor_lock;
+          let d = Hashtbl.find_opt donors signature in
+          Mutex.unlock donor_lock;
+          Option.value ~default:"" d
+        in
+        pending :=
+          Some
+            { Persist.Journal.sh_index = r.Variant.index; sh_signature = signature;
+              sh_donor = donor })
+      memo
+  in
+  let shared_pending () =
+    let sh = !pending in
+    pending := None;
+    sh
+  in
+  let sink = Option.map (fun jc -> journal_sink ?checkpoint ~shared_pending p jc) jctx in
+  let trace =
+    Trace.create ?max_variants:(max_variants_of p) ?shared_lookup ?on_shared ?sink ()
+  in
   Trace.preload trace preloaded;
-  let eval = faulted_evaluate p faults in
+  let eval =
+    match memo with
+    | None -> faulted_evaluate p faults
+    | Some h ->
+      (* publish the pre-fault measurement of every fresh evaluation;
+         preloaded (journal-replayed) records are not republished — their
+         stored values are post-fault *)
+      fun asg ->
+        let signature = Transform.Assignment.signature asg in
+        let m = evaluate p asg in
+        h.memo_publish ~signature m;
+        apply_faults faults ~signature m
+  in
   (* schedule effectively-identical candidates on one pool worker so the
      batch-reuse table is hit instead of raced *)
   let affinity = Option.map (fun sh asg -> share_key p sh asg) p.share in
@@ -1000,26 +1080,29 @@ let journal_header p ~algo ~workers =
     config_digest = Config.digest p.config;
     workers = (match workers with Some w -> w | None -> default_workers ());
     atoms = List.length p.atoms;
+    (* every journal this writer produces may carry provenance lines, so
+       solo and service headers stay byte-identical *)
+    caps = [ "shared" ];
   }
 
 let start_journal p ~algo ~workers dir =
   (dir, Persist.Journal.create ~dir (journal_header p ~algo ~workers))
 
-let run_algo ~algo ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
+let run_algo ~algo ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint ?memo model =
   let p = prepare ?config model in
   let journal = Option.map (start_journal p ~algo ~workers) journal in
-  execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ~preloaded:[] ()
+  execute p ~algo ?workers ?shards ?pool ?journal ?faults ?checkpoint ?memo ~preloaded:[] ()
 
-let run_delta_debug ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
+let run_delta_debug ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint ?memo model =
   run_algo ~algo:Delta_debug_algo ?config ?workers ?shards ?pool ?journal ?faults
-    ?checkpoint model
+    ?checkpoint ?memo model
 
-let run_brute_force ?config ?journal ?faults ?checkpoint model =
-  run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults ?checkpoint model
+let run_brute_force ?config ?journal ?faults ?checkpoint ?memo model =
+  run_algo ~algo:Brute_force_algo ~workers:0 ?config ?journal ?faults ?checkpoint ?memo model
 
-let run_hierarchical ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint model =
+let run_hierarchical ?config ?workers ?shards ?pool ?journal ?faults ?checkpoint ?memo model =
   run_algo ~algo:Hierarchical_algo ?config ?workers ?shards ?pool ?journal ?faults
-    ?checkpoint model
+    ?checkpoint ?memo model
 
 let run_random ?config ~samples model =
   let p = prepare ?config model in
@@ -1047,7 +1130,7 @@ let record_of_entry atoms (e : Persist.Journal.entry) : Variant.record =
     meas = e.Persist.Journal.e_meas;
   }
 
-let resume ?(config = Config.default) ?workers ?shards ?pool ?faults ?checkpoint ?model
+let resume ?(config = Config.default) ?workers ?shards ?pool ?faults ?checkpoint ?memo ?model
     ~journal:dir () =
   let loaded, jw = Persist.Journal.reopen ~dir () in
   let h = loaded.Persist.Journal.l_header in
@@ -1083,4 +1166,5 @@ let resume ?(config = Config.default) ?workers ?shards ?pool ?faults ?checkpoint
   let preloaded =
     List.map (record_of_entry p.atoms) loaded.Persist.Journal.l_entries
   in
-  execute p ~algo ?workers ?shards ?pool ~journal:(dir, jw) ?faults ?checkpoint ~preloaded ()
+  execute p ~algo ?workers ?shards ?pool ~journal:(dir, jw) ?faults ?checkpoint ?memo
+    ~preloaded ()

@@ -175,6 +175,26 @@ exception Paused
     [interrupted = true]; {!resume} later continues it bit-identically
     (exactly like an injected preemption, but caller-controlled). *)
 
+type memo_hooks = {
+  memo_find : signature:string -> (Search.Variant.measurement * string) option;
+      (** pre-fault measurement for this signature, plus the donor
+          campaign id, if some fleet campaign already evaluated it *)
+  memo_publish : signature:string -> Search.Variant.measurement -> unit;
+      (** called once per fresh evaluation with its pre-fault measurement *)
+}
+(** Fleet-wide evaluation memo hooks ([?memo] on the runners; the
+    service's cross-campaign memo plugs in here, solo campaigns pass
+    none). The contract: the memo is keyed by evaluation space — same
+    model source and same {!Config.digest} — within which a pre-fault
+    measurement is a pure function of the signature, identical whichever
+    campaign computes it. A [memo_find] hit is committed as a normal
+    record (journaled, budgeted, charged full simulated cluster-hours)
+    with this campaign's own fault perturbation applied and a
+    provenance annotation line in the journal, but costs no live
+    evaluation — it shows up in {!Search.Trace.stats} as [shared]
+    instead of [misses]. Preloaded (journal-replayed) records are never
+    republished: their stored values are post-fault. *)
+
 val run_delta_debug :
   ?config:Config.t ->
   ?workers:int ->
@@ -183,6 +203,7 @@ val run_delta_debug :
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
   ?checkpoint:(progress -> unit) ->
+  ?memo:memo_hooks ->
   Models.Registry.t ->
   campaign
 (** The paper's search (Sec. III-B) on the model's search space, bounded
@@ -239,6 +260,7 @@ val run_brute_force :
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
   ?checkpoint:(progress -> unit) ->
+  ?memo:memo_hooks ->
   Models.Registry.t ->
   campaign
 (** Exhaustive 2ⁿ exploration — the funarc walkthrough of Sec. II-B.
@@ -260,6 +282,7 @@ val run_hierarchical :
   ?journal:string ->
   ?faults:Cluster.Faults.spec ->
   ?checkpoint:(progress -> unit) ->
+  ?memo:memo_hooks ->
   Models.Registry.t ->
   campaign
 (** The community-structure search ({!Search.Hierarchical}) over the
@@ -277,6 +300,7 @@ val resume :
   ?pool:Search.Pool.t ->
   ?faults:Cluster.Faults.spec ->
   ?checkpoint:(progress -> unit) ->
+  ?memo:memo_hooks ->
   ?model:Models.Registry.t ->
   journal:string ->
   unit ->

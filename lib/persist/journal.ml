@@ -6,6 +6,7 @@ type header = {
   config_digest : string;
   workers : int;
   atoms : int;
+  caps : string list;  (* optional-line capabilities, e.g. "shared" *)
 }
 
 type entry = {
@@ -14,6 +15,17 @@ type entry = {
   e_meas : Search.Variant.measurement;
   e_score : float option;  (* predicted score at commit time (predict runs) *)
   e_bound : float option;  (* static error bound (predict runs) *)
+}
+
+(* Provenance annotation for one cross-campaign shared record: the line
+   immediately after a record line may attribute that record's measurement
+   to the fleet memo entry published by [sh_donor]. Annotations carry no
+   measurement data — stripping every "shared" line recovers the solo
+   journal byte for byte. *)
+type shared = {
+  sh_index : int;  (* commit index of the record line being annotated *)
+  sh_signature : string;
+  sh_donor : string;  (* donor job id that published the measurement *)
 }
 
 exception Corrupt of string
@@ -47,6 +59,7 @@ let header_json h =
       ("config", Json.Str h.config_digest);
       ("workers", Json.Num (float_of_int h.workers));
       ("atoms", Json.Num (float_of_int h.atoms));
+      ("caps", Json.Arr (List.map (fun c -> Json.Str c) h.caps));
     ]
 
 let hex = Json.hex_float
@@ -80,6 +93,15 @@ let entry_json e =
   in
   Json.Obj fields
 
+let shared_json sh =
+  Json.Obj
+    [
+      ("kind", Json.Str "shared");
+      ("index", Json.Num (float_of_int sh.sh_index));
+      ("sig", Json.Str sh.sh_signature);
+      ("donor", Json.Str sh.sh_donor);
+    ]
+
 let need what = function Some v -> v | None -> corrupt "missing or ill-typed %s" what
 
 let get_str j k = need k Option.(bind (Json.member k j) Json.to_str)
@@ -95,7 +117,18 @@ let header_of_json j =
     config_digest = get_str j "config";
     workers = get_int j "workers";
     atoms = get_int j "atoms";
+    (* absent on pre-PR-10 journals: no optional line kinds allowed *)
+    caps =
+      (match Json.member "caps" j with
+      | None | Some Json.Null -> []
+      | Some v ->
+        List.map
+          (fun c -> need "cap" (Json.to_str c))
+          (need "caps" (Json.to_list v)));
   }
+
+let shared_of_json j =
+  { sh_index = get_int j "index"; sh_signature = get_str j "sig"; sh_donor = get_str j "donor" }
 
 let entry_of_json j =
   let status =
@@ -161,6 +194,7 @@ let create ?(fsync = true) ~dir h =
   w
 
 let append w e = write_line w (entry_json e)
+let append_shared w sh = write_line w (shared_json sh)
 
 let close w = close_out w.oc
 
@@ -170,6 +204,7 @@ let close w = close_out w.oc
 type loaded = {
   l_header : header;
   l_entries : entry list;
+  l_shared : shared list;
   l_valid_bytes : int;
   l_torn : bool;
 }
@@ -207,11 +242,11 @@ let load ~dir =
        line is tolerated (it becomes the torn region that [reopen] truncates);
        damage anywhere earlier means the file was edited or the disk lied,
        and silently dropping the suffix would resume from the wrong state *)
-    let rec records acc valid = function
-      | [] -> (List.rev acc, valid)
+    let rec records acc shacc valid = function
+      | [] -> (List.rev acc, List.rev shacc, valid)
       | (line, lend) :: tl -> (
         let damaged () =
-          if tl = [] then (List.rev acc, valid)
+          if tl = [] then (List.rev acc, List.rev shacc, valid)
           else corrupt "journal %s: damaged record line mid-file (offset %d)" (file ~dir) valid
         in
         match Json.parse line with
@@ -223,13 +258,28 @@ let load ~dir =
                 e.e_index
                 (String.length e.e_signature)
                 h.atoms;
-            records (e :: acc) lend tl
+            records (e :: acc) shacc lend tl
+          | exception Corrupt _ -> damaged ())
+        (* provenance annotations: only legal when the header declared the
+           "shared" capability — in any other journal an unexpected kind
+           is damage, exactly as before *)
+        | j when Json.member "kind" j = Some (Json.Str "shared") && List.mem "shared" h.caps
+          -> (
+          match shared_of_json j with
+          | sh ->
+            if String.length sh.sh_signature <> h.atoms then
+              corrupt "journal %s: shared %d signature length %d (expected %d)" (file ~dir)
+                sh.sh_index
+                (String.length sh.sh_signature)
+                h.atoms;
+            records acc (sh :: shacc) lend tl
           | exception Corrupt _ -> damaged ())
         | _ -> damaged ()
         | exception Json.Parse_error _ -> damaged ())
     in
-    let entries, valid = records [] hend rest in
-    { l_header = h; l_entries = entries; l_valid_bytes = valid; l_torn = valid < n }
+    let entries, shares, valid = records [] [] hend rest in
+    { l_header = h; l_entries = entries; l_shared = shares; l_valid_bytes = valid;
+      l_torn = valid < n }
 
 (* Campaign discovery: every directory under [root] (bounded depth)
    holding a journal.jsonl, in deterministic depth-first lexicographic

@@ -28,6 +28,13 @@ type header = {
   config_digest : string;  (** {!Core.Config} digest over result-affecting fields *)
   workers : int;  (** requested worker count (informational) *)
   atoms : int;  (** search-space size; signatures must have this length *)
+  caps : string list;
+      (** declared optional line kinds. Writers in this tree always
+          declare [["shared"]]; journals written before the field existed
+          parse as [[]], and a journal may only contain a "shared"
+          provenance line when its header declares the capability —
+          anywhere else such a line is damage, exactly as any other
+          unknown kind. *)
 }
 
 type entry = {
@@ -41,6 +48,17 @@ type entry = {
           [None] — version stays 1) *)
   e_bound : float option;  (** static error bound, same presence rule *)
 }
+
+type shared = {
+  sh_index : int;  (** commit index of the record line being annotated *)
+  sh_signature : string;
+  sh_donor : string;  (** donor job id that published the measurement *)
+}
+(** Cross-campaign provenance annotation: written immediately after the
+    record line it attributes to the fleet-wide evaluation memo. Carries
+    no measurement data, so stripping every "shared" line recovers the
+    solo journal byte for byte; losing one to a crash loses provenance
+    metadata only, never a record. *)
 
 exception Corrupt of string
 (** Unreadable or mismatching journal (bad header, wrong version, record
@@ -65,11 +83,17 @@ val create : ?fsync:bool -> dir:string -> header -> writer
 val append : writer -> entry -> unit
 (** Write one record line, flush, and (by default) fsync. *)
 
+val append_shared : writer -> shared -> unit
+(** Write one provenance annotation line (immediately after the record it
+    annotates). Only meaningful when the header declares the ["shared"]
+    capability. *)
+
 val close : writer -> unit
 
 type loaded = {
   l_header : header;
   l_entries : entry list;  (** in commit order; indices are 1..n *)
+  l_shared : shared list;  (** provenance annotations, in file order *)
   l_valid_bytes : int;  (** prefix length covered by complete lines *)
   l_torn : bool;  (** a trailing incomplete line was discarded *)
 }

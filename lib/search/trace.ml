@@ -1,6 +1,7 @@
 type stats = {
   hits : int;
   misses : int;
+  shared : int;
   live : int;
   appends : int;
 }
@@ -12,14 +13,17 @@ type t = {
   max_variants : int option;
   lock : Mutex.t;
   sink : (Variant.record -> unit) option;
+  shared_lookup : (Transform.Assignment.t -> Variant.measurement option) option;
+  on_shared : (Variant.record -> unit) option;
   mutable hits : int;  (* evaluate calls served from cache *)
   mutable misses : int;  (* fresh evaluations committed *)
+  mutable shared : int;  (* commits served by the external shared lookup *)
   mutable appends : int;  (* sink invocations *)
 }
 
 exception Budget_exhausted
 
-let create ?max_variants ?sink () =
+let create ?max_variants ?shared_lookup ?on_shared ?sink () =
   {
     recs = [];
     n = 0;
@@ -27,8 +31,11 @@ let create ?max_variants ?sink () =
     max_variants;
     lock = Mutex.create ();
     sink;
+    shared_lookup;
+    on_shared;
     hits = 0;
     misses = 0;
+    shared = 0;
     appends = 0;
   }
 
@@ -45,18 +52,23 @@ let check_budget t =
   | Some cap when t.n >= cap -> raise Budget_exhausted
   | Some _ | None -> ()
 
-(* Commit one fresh record under the lock. The sink fires here, after the
-   cache and record list are updated but before the lock is released, so
-   journal lines carry consecutive commit indices in record-list order for
-   every worker count. A sink exception (e.g. a simulated job preemption)
-   propagates to the caller with the commit already durable. *)
-let commit t key asg m =
+(* Commit one record under the lock. The sink fires here, after the cache
+   and record list are updated but before the lock is released, so journal
+   lines carry consecutive commit indices in record-list order for every
+   worker count. A sink exception (e.g. a simulated job preemption)
+   propagates to the caller with the commit already durable. A commit
+   served by the external shared lookup counts as [shared] rather than a
+   miss and additionally fires [on_shared] just before the sink — still
+   under the lock, so a journaling sink can annotate the record's
+   provenance atomically with its append. *)
+let commit ?(shared = false) t key asg m =
   check_budget t;
   t.n <- t.n + 1;
-  t.misses <- t.misses + 1;
+  if shared then t.shared <- t.shared + 1 else t.misses <- t.misses + 1;
   Hashtbl.add t.cache key m;
   let r = { Variant.index = t.n; asg; meas = m } in
   t.recs <- r :: t.recs;
+  if shared then Option.iter (fun f -> f r) t.on_shared;
   (match t.sink with
   | Some f ->
     t.appends <- t.appends + 1;
@@ -80,15 +92,31 @@ let evaluate t ~f asg =
   match cached with
   | Some m -> m
   | None -> (
-    (* run [f] outside the lock: concurrent callers proceed in parallel *)
-    let m = f asg in
-    locked t (fun () ->
-        match Hashtbl.find_opt t.cache key with
-        | Some m' ->
-          (* another caller committed the same variant first *)
-          t.hits <- t.hits + 1;
-          m'
-        | None -> commit t key asg m))
+    (* the cross-campaign shared lookup is consulted outside the lock
+       (it takes its own mutex); a hit commits as a normal record — the
+       books, the budget and the sink all see it — but costs no live
+       evaluation and is classified [shared], not a miss *)
+    let shared_m =
+      match t.shared_lookup with None -> None | Some look -> look asg
+    in
+    match shared_m with
+    | Some m ->
+      locked t (fun () ->
+          match Hashtbl.find_opt t.cache key with
+          | Some m' ->
+            (* another caller committed the same variant first *)
+            t.hits <- t.hits + 1;
+            m'
+          | None -> commit ~shared:true t key asg m)
+    | None -> (
+      (* run [f] outside the lock: concurrent callers proceed in parallel *)
+      let m = f asg in
+      locked t (fun () ->
+          match Hashtbl.find_opt t.cache key with
+          | Some m' ->
+            t.hits <- t.hits + 1;
+            m'
+          | None -> commit t key asg m)))
 
 let preload t records =
   locked t (fun () ->
@@ -107,7 +135,8 @@ let count t = locked t (fun () -> t.n)
 
 let stats t =
   locked t (fun () ->
-      { hits = t.hits; misses = t.misses; live = Hashtbl.length t.cache; appends = t.appends })
+      { hits = t.hits; misses = t.misses; shared = t.shared; live = Hashtbl.length t.cache;
+        appends = t.appends })
 
 let clear t =
   locked t (fun () ->
@@ -115,5 +144,6 @@ let clear t =
       t.n <- 0;
       t.hits <- 0;
       t.misses <- 0;
+      t.shared <- 0;
       t.appends <- 0;
       Hashtbl.reset t.cache)

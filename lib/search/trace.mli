@@ -19,23 +19,46 @@
     cache and record list from a replayed journal so a resumed campaign
     re-evaluates nothing it already measured, and {!stats} exposes the
     counters that prove it (a journaled prefix contributes hits, never
-    misses). *)
+    misses).
+
+    {b Cross-campaign sharing.} An optional [shared_lookup] is consulted
+    on every own-cache miss, before [f] runs: a hit commits as a normal
+    record (cache, record list, budget, sink — everything a fresh
+    evaluation would touch) but is counted under [shared] instead of
+    [misses], and fires [on_shared] under the lock just before the sink
+    so the journaling layer can annotate the record's provenance
+    atomically with its append. The service's fleet-wide evaluation memo
+    plugs in here; a solo campaign passes neither hook and behaves
+    exactly as before. *)
 
 type t
 
 type stats = {
   hits : int;  (** {!evaluate} calls served from the memo cache *)
   misses : int;  (** fresh evaluations committed as records *)
+  shared : int;
+      (** records committed from [shared_lookup] answers — journaled and
+          budgeted like misses, but no live evaluation ran *)
   live : int;  (** distinct signatures currently cached *)
   appends : int;  (** sink invocations (journaled appends); 0 without a sink *)
 }
 
 val create :
-  ?max_variants:int -> ?sink:(Variant.record -> unit) -> unit -> t
-(** [sink] is called synchronously under the trace lock as each fresh
-    record commits (after the cache and record list are updated). An
-    exception raised by the sink propagates out of {!evaluate} with the
-    commit already in place — the simulated job-preemption path. *)
+  ?max_variants:int ->
+  ?shared_lookup:(Transform.Assignment.t -> Variant.measurement option) ->
+  ?on_shared:(Variant.record -> unit) ->
+  ?sink:(Variant.record -> unit) ->
+  unit -> t
+(** [sink] is called synchronously under the trace lock as each record
+    commits (after the cache and record list are updated). An exception
+    raised by the sink propagates out of {!evaluate} with the commit
+    already in place — the simulated job-preemption path.
+
+    [shared_lookup] runs {e outside} the trace lock (it may take its own)
+    and must be a pure function of the assignment for the campaign's
+    configuration — its answer is committed verbatim as this campaign's
+    measurement. [on_shared] fires only for shared commits, under the
+    lock, immediately before the sink. *)
 
 exception Budget_exhausted
 (** Raised by {!evaluate} when [max_variants] distinct evaluations have

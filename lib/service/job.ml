@@ -14,6 +14,7 @@ type spec = {
   sp_quota_hours : float option;
   sp_faults : Core.Cluster.Faults.spec option;
   sp_tenant : string;
+  sp_priority : int;  (* scheduling weight: slices per round-robin turn *)
 }
 
 type state = Queued | Running | Paused | Done | Failed of string
@@ -25,9 +26,11 @@ type t = {
   records : int;
   hours : float;
   best_speedup : float;
+  shared : int;  (* records served by the fleet memo, cumulative *)
 }
 
-let make ~id spec = { id; spec; state = Queued; records = 0; hours = 0.0; best_speedup = 0.0 }
+let make ~id spec =
+  { id; spec; state = Queued; records = 0; hours = 0.0; best_speedup = 0.0; shared = 0 }
 
 let state_name = function
   | Queued -> "queued"
@@ -58,6 +61,7 @@ let validate ~find_model s =
     Error "max-variants must be >= 1"
   else if (match s.sp_quota_hours with Some q -> not (q > 0.0) | None -> false) then
     Error "quota must be positive"
+  else if s.sp_priority < 1 then Error "priority must be >= 1"
   else
     match s.sp_faults with
     | Some f when f.Core.Cluster.Faults.preempt_at_hours <> None ->
@@ -103,6 +107,7 @@ let spec_json s =
         match s.sp_quota_hours with Some h -> Json.Str (hex h) | None -> Json.Null );
       ("faults", match s.sp_faults with Some f -> faults_json f | None -> Json.Null);
       ("tenant", Json.Str s.sp_tenant);
+      ("priority", Json.Num (float_of_int s.sp_priority));
     ]
 
 let to_json j =
@@ -115,6 +120,7 @@ let to_json j =
       ("records", Json.Num (float_of_int j.records));
       ("hours", Json.Str (hex j.hours));
       ("best_speedup", Json.Str (hex j.best_speedup));
+      ("shared", Json.Num (float_of_int j.shared));
     ]
 
 exception Bad of string
@@ -148,6 +154,11 @@ let spec_of_json j =
     sp_quota_hours = get_opt j "quota_hours" (fun k v -> Json.of_hex_float (need k (Json.to_str v)));
     sp_faults = get_opt j "faults" (fun _ v -> faults_of_json v);
     sp_tenant = get_str j "tenant";
+    (* absent on pre-PR-10 state files: plain round-robin weight *)
+    sp_priority =
+      (match get_opt j "priority" (fun k v -> need k (Json.to_int v)) with
+      | Some p -> p
+      | None -> 1);
   }
 
 let state_of_json j =
@@ -172,6 +183,10 @@ let of_json j =
       records = get_int j "records";
       hours = get_hex j "hours";
       best_speedup = get_hex j "best_speedup";
+      shared =
+        (match get_opt j "shared" (fun k v -> need k (Json.to_int v)) with
+        | Some n -> n
+        | None -> 0);
     }
   with
   | j -> Ok j

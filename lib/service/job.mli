@@ -27,6 +27,11 @@ type spec = {
           with a preemption boundary are admission-rejected (stopping jobs
           is the scheduler's prerogative) *)
   sp_tenant : string;  (** accounting label, free-form *)
+  sp_priority : int;
+      (** scheduling weight (>= 1, default 1): consecutive slices the
+          weighted-deficit round-robin grants per turn. Absent on
+          pre-PR-10 state files, which parse as weight 1. Never
+          result-affecting — only {e when} a job's slices run. *)
 }
 
 type state =
@@ -43,6 +48,9 @@ type t = {
   records : int;  (** committed journal records at the last checkpoint *)
   hours : float;  (** simulated cluster hours consumed, incl. fault losses *)
   best_speedup : float;
+  shared : int;
+      (** cumulative records served by the fleet-wide evaluation memo
+          (provenance-annotated in the journal); 0 with the memo off *)
 }
 
 val make : id:string -> spec -> t
@@ -62,8 +70,9 @@ val config_of_spec : spec -> Core.Config.t
 
 val validate : find_model:(string -> Models.Registry.t) -> spec -> (unit, string) result
 (** Admission control: known model ([find_model] raising [Not_found]
-    rejects) and algorithm, non-negative workers, positive quota and
-    variant budget, and no job-supplied preemption boundary. *)
+    rejects) and algorithm, non-negative workers, positive quota,
+    variant budget and priority, and no job-supplied preemption
+    boundary. *)
 
 val spec_json : spec -> Persist.Json.t
 val to_json : t -> Persist.Json.t

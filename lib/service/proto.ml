@@ -66,6 +66,7 @@ let event_json (e : Sched.event) =
       ("records", Json.Num (float_of_int e.Sched.ev_records));
       ("hours", Json.Str (Json.hex_float e.Sched.ev_hours));
       ("best", Json.Str (Json.hex_float e.Sched.ev_best));
+      ("shared", Json.Num (float_of_int e.Sched.ev_shared));
       ("detail", Json.Str e.Sched.ev_detail);
     ]
 
@@ -91,6 +92,9 @@ let event_of_json j =
             Option.value ~default:0 (Option.bind (Json.member "records" j) Json.to_int);
           ev_hours = (match str "hours" with Some h -> Json.of_hex_float h | None -> 0.0);
           ev_best = (match str "best" with Some b -> Json.of_hex_float b | None -> 0.0);
+          (* absent on events from pre-PR-10 servers *)
+          ev_shared =
+            Option.value ~default:0 (Option.bind (Json.member "shared" j) Json.to_int);
           ev_detail = Option.value ~default:"" (str "detail");
         })
       state

@@ -18,41 +18,73 @@ type event = {
   ev_records : int;
   ev_hours : float;
   ev_best : float;
+  ev_shared : int;
   ev_detail : string;
 }
 
 type slice_result =
   | Idle
-  | Sliced of { si_job : string; si_state : Job.state; si_fresh : int; si_new_records : int }
+  | Sliced of {
+      si_job : string;
+      si_state : Job.state;
+      si_fresh : int;
+      si_new_records : int;
+      si_shared : int;
+    }
 
-(* Pure round-robin cursor arithmetic, shared by the live scheduler and
-   the fairness property tests. *)
+(* Pure weighted-deficit round-robin cursor arithmetic, shared by the
+   live scheduler and the fairness property tests. A job of weight w is
+   served up to w consecutive slices per turn (its remaining credit rides
+   in the cursor), then the cursor advances to the next runnable id in
+   sorted wrap-around order. Weight 1 everywhere degenerates to the plain
+   round robin. *)
 module Fair = struct
-  let next_after ~cursor ids =
+  type cursor = { c_id : string option; c_credit : int }
+
+  let start = { c_id = None; c_credit = 0 }
+
+  let next ~weight ~cursor ids =
     match ids with
     | [] -> None
     | first :: _ -> (
-      match cursor with
-      | None -> Some first
-      | Some c -> (
-        match List.find_opt (fun id -> id > c) ids with
-        | Some id -> Some id
-        | None -> Some first))
+      match cursor.c_id with
+      | Some c when cursor.c_credit > 0 && List.mem c ids ->
+        Some (c, { cursor with c_credit = cursor.c_credit - 1 })
+      | _ ->
+        let id =
+          match cursor.c_id with
+          | None -> first
+          | Some c -> (
+            match List.find_opt (fun id -> id > c) ids with
+            | Some id -> id
+            | None -> first)
+        in
+        Some (id, { c_id = Some id; c_credit = max 1 (weight id) - 1 }))
 
-  let simulate ~slices =
+  let next_after ~cursor ids =
+    Option.map fst (next ~weight:(fun _ -> 1) ~cursor:{ c_id = cursor; c_credit = 0 } ids)
+
+  let simulate_weighted ~slices =
     let remaining = Hashtbl.create 16 in
-    List.iter (fun (id, n) -> if n > 0 then Hashtbl.replace remaining id n) slices;
+    let weights = Hashtbl.create 16 in
+    List.iter
+      (fun (id, n, w) ->
+        if n > 0 then Hashtbl.replace remaining id n;
+        Hashtbl.replace weights id (max 1 w))
+      slices;
+    let weight id = match Hashtbl.find_opt weights id with Some w -> w | None -> 1 in
     let runnable () =
-      List.filter_map (fun (id, _) -> if Hashtbl.mem remaining id then Some id else None) slices
+      List.filter_map (fun (id, _, _) -> if Hashtbl.mem remaining id then Some id else None)
+        slices
       |> List.sort_uniq compare
     in
     let order = ref [] in
-    let cursor = ref None in
+    let cursor = ref start in
     let rec go () =
-      match next_after ~cursor:!cursor (runnable ()) with
+      match next ~weight ~cursor:!cursor (runnable ()) with
       | None -> ()
-      | Some id ->
-        cursor := Some id;
+      | Some (id, cursor') ->
+        cursor := cursor';
         order := id :: !order;
         let n = Hashtbl.find remaining id in
         if n <= 1 then Hashtbl.remove remaining id else Hashtbl.replace remaining id (n - 1);
@@ -60,32 +92,36 @@ module Fair = struct
     in
     go ();
     List.rev !order
+
+  let simulate ~slices = simulate_weighted ~slices:(List.map (fun (id, n) -> (id, n, 1)) slices)
 end
 
 type t = {
   store : Store.t;
   slice_records : int;
   pool : Search.Pool.t option;
+  memo : Memo.t option;  (* fleet-wide evaluation memo; None = dedup off *)
   find_model : string -> Models.Registry.t;
   on_event : event -> unit;
-  mutable cursor : string option;
+  mutable cursor : Fair.cursor;
   mutable draining : bool;
 }
 
-let create ?(slice_records = 8) ?pool ?(find_model = Models.Registry.find)
+let create ?(slice_records = 8) ?pool ?memo ?(find_model = Models.Registry.find)
     ?(on_event = fun (_ : event) -> ()) store =
   if slice_records < 1 then invalid_arg "Sched.create: slice_records < 1";
-  { store; slice_records; pool; find_model; on_event; cursor = None; draining = false }
+  { store; slice_records; pool; memo; find_model; on_event; cursor = Fair.start;
+    draining = false }
 
 let store t = t.store
 let find_model t = t.find_model
 let drain t = t.draining <- true
 let draining t = t.draining
 
-let emit t ~job ~state ~records ~hours ~best ~detail =
+let emit t ~job ~state ~records ~hours ~best ~shared ~detail =
   t.on_event
     { ev_job = job; ev_state = state; ev_records = records; ev_hours = hours; ev_best = best;
-      ev_detail = detail }
+      ev_shared = shared; ev_detail = detail }
 
 let event_of_job (j : Job.t) ~detail =
   {
@@ -94,6 +130,7 @@ let event_of_job (j : Job.t) ~detail =
     ev_records = j.Job.records;
     ev_hours = j.Job.hours;
     ev_best = j.Job.best_speedup;
+    ev_shared = j.Job.shared;
     ev_detail = detail;
   }
 
@@ -128,7 +165,8 @@ let run_slice t (job0 : Job.t) =
     if !start = None then start := Some pg.Core.Tuner.pg_records;
     last := pg;
     emit t ~job:id ~state:Job.Running ~records:pg.Core.Tuner.pg_records
-      ~hours:pg.Core.Tuner.pg_hours ~best:pg.Core.Tuner.pg_best ~detail:"";
+      ~hours:pg.Core.Tuner.pg_hours ~best:pg.Core.Tuner.pg_best ~shared:job0.Job.shared
+      ~detail:"";
     (match spec.Job.sp_quota_hours with
     | Some q when pg.Core.Tuner.pg_hours >= q ->
       quota_hit := true;
@@ -142,10 +180,12 @@ let run_slice t (job0 : Job.t) =
     | Some s when pg.Core.Tuner.pg_records - s >= t.slice_records -> raise Core.Tuner.Paused
     | Some _ | None -> ()
   in
-  let finish (job : Job.t) ~detail ~fresh ~new_records =
+  let finish (job : Job.t) ~detail ~fresh ~new_records ~slice_shared =
     Store.update t.store job;
     t.on_event (event_of_job job ~detail);
-    Sliced { si_job = id; si_state = job.Job.state; si_fresh = fresh; si_new_records = new_records }
+    Sliced
+      { si_job = id; si_state = job.Job.state; si_fresh = fresh; si_new_records = new_records;
+        si_shared = slice_shared }
   in
   match
     let model =
@@ -160,24 +200,30 @@ let run_slice t (job0 : Job.t) =
       | Some a -> a
       | None -> failwith ("unknown algorithm " ^ spec.Job.sp_algo)
     in
+    (* one evaluation space per (model source, config digest): only jobs
+       whose measurements are interchangeable ever share *)
+    let memo =
+      Option.map (fun m -> Memo.hooks m ~space:(Memo.space_key ~model ~config) ~job:id) t.memo
+    in
     if Sys.file_exists (Persist.Journal.file ~dir) then
       Core.Tuner.resume ~config ~workers:spec.Job.sp_workers ?pool:t.pool ?faults ~checkpoint
-        ~model ~journal:dir ()
+        ?memo ~model ~journal:dir ()
     else begin
       match algo with
       | Core.Tuner.Brute_force_algo ->
-        Core.Tuner.run_brute_force ~config ~journal:dir ?faults ~checkpoint model
+        Core.Tuner.run_brute_force ~config ~journal:dir ?faults ~checkpoint ?memo model
       | Core.Tuner.Delta_debug_algo ->
         Core.Tuner.run_delta_debug ~config ~workers:spec.Job.sp_workers ?pool:t.pool
-          ~journal:dir ?faults ~checkpoint model
+          ~journal:dir ?faults ~checkpoint ?memo model
       | Core.Tuner.Hierarchical_algo ->
         Core.Tuner.run_hierarchical ~config ~workers:spec.Job.sp_workers ?pool:t.pool
-          ~journal:dir ?faults ~checkpoint model
+          ~journal:dir ?faults ~checkpoint ?memo model
     end
   with
   | campaign ->
     let pg = !last in
     let fresh = campaign.Core.Tuner.trace_stats.Search.Trace.misses in
+    let slice_shared = campaign.Core.Tuner.trace_stats.Search.Trace.shared in
     let new_records =
       List.length campaign.Core.Tuner.records - campaign.Core.Tuner.preloaded
     in
@@ -203,8 +249,9 @@ let run_slice t (job0 : Job.t) =
         records = pg.Core.Tuner.pg_records;
         hours = pg.Core.Tuner.pg_hours;
         best_speedup = pg.Core.Tuner.pg_best;
+        shared = job0.Job.shared + slice_shared;
       }
-      ~detail ~fresh ~new_records
+      ~detail ~fresh ~new_records ~slice_shared
   | exception
       (( Core.Tuner.Resume_mismatch msg
        | Persist.Journal.Corrupt msg
@@ -213,15 +260,23 @@ let run_slice t (job0 : Job.t) =
        | Sys_error msg ) as e) ->
     ignore (e : exn);
     finish { job with Job.state = Job.Failed msg } ~detail:"error" ~fresh:0 ~new_records:0
+      ~slice_shared:0
 
 let step t =
   if t.draining then Idle
   else
     let runnable = List.filter (fun j -> Job.runnable j.Job.state) (Store.list t.store) in
-    match Fair.next_after ~cursor:t.cursor (List.map (fun (j : Job.t) -> j.Job.id) runnable) with
+    let weight id =
+      match List.find_opt (fun (j : Job.t) -> j.Job.id = id) runnable with
+      | Some j -> j.Job.spec.Job.sp_priority
+      | None -> 1
+    in
+    match
+      Fair.next ~weight ~cursor:t.cursor (List.map (fun (j : Job.t) -> j.Job.id) runnable)
+    with
     | None -> Idle
-    | Some id -> (
-      t.cursor <- Some id;
+    | Some (id, cursor') -> (
+      t.cursor <- cursor';
       match List.find_opt (fun (j : Job.t) -> j.Job.id = id) runnable with
       | Some job -> run_slice t job
       | None -> Idle)

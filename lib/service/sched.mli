@@ -27,6 +27,7 @@ type event = {
   ev_records : int;
   ev_hours : float;
   ev_best : float;
+  ev_shared : int;  (** cumulative fleet-memo-served records *)
   ev_detail : string;  (** [""] for progress ticks; else ["slice"],
                            ["drained"], ["finished"], ["quota-exhausted"],
                            ["cancelled"], ["error"] *)
@@ -39,21 +40,43 @@ type slice_result =
       si_state : Job.state;  (** the job's state after the slice *)
       si_fresh : int;  (** fresh dynamic evaluations this slice (trace misses) *)
       si_new_records : int;  (** records committed beyond the resumed prefix *)
+      si_shared : int;  (** records served by the fleet memo this slice *)
     }
 
-(** Pure round-robin cursor arithmetic, shared by the live scheduler and
-    the fairness property tests. *)
+(** Pure weighted-deficit round-robin cursor arithmetic, shared by the
+    live scheduler and the fairness property tests. *)
 module Fair : sig
+  type cursor = {
+    c_id : string option;  (** last served id *)
+    c_credit : int;  (** consecutive slices the last id may still claim *)
+  }
+
+  val start : cursor
+
+  val next :
+    weight:(string -> int) -> cursor:cursor -> string list -> (string * cursor) option
+  (** Serve the cursor's id again while it has credit and is still
+      runnable; otherwise advance to the first id strictly after it in
+      the sorted runnable list (wrapping to the head) with fresh credit
+      [weight id - 1]. Weights below 1 are clamped to 1. [None] iff the
+      list is empty. *)
+
   val next_after : cursor:string option -> string list -> string option
-  (** The first id strictly after [cursor] in the sorted runnable list,
-      wrapping to the head; [None] cursor (or no greater id) picks the
-      head. [None] iff the list is empty. *)
+  (** {!next} at uniform weight 1 (the plain round robin): the first id
+      strictly after [cursor] in the sorted runnable list, wrapping to
+      the head; [None] cursor (or no greater id) picks the head. [None]
+      iff the list is empty. *)
+
+  val simulate_weighted : slices:(string * int * int) list -> string list
+  (** Pure replay of the scheduling loop: each [(id, slices, weight)] job
+      needs the given number of slices, every round serves {!next} over
+      the still-runnable ids. Returns the service order — the subject of
+      the QCheck fairness bounds (burst length <= weight while others are
+      runnable; between consecutive services of any job, each other job
+      appears at most its weight times). *)
 
   val simulate : slices:(string * int) list -> string list
-  (** Pure replay of the scheduling loop: each job needs the given number
-      of slices, every round serves [next_after] over the still-runnable
-      ids. Returns the service order — the subject of the QCheck
-      starvation bound. *)
+  (** {!simulate_weighted} at uniform weight 1. *)
 end
 
 val event_of_job : Job.t -> detail:string -> event
@@ -65,24 +88,29 @@ type t
 val create :
   ?slice_records:int ->
   ?pool:Search.Pool.t ->
+  ?memo:Memo.t ->
   ?find_model:(string -> Models.Registry.t) ->
   ?on_event:(event -> unit) ->
   Store.t ->
   t
 (** [slice_records] (default 8, >= 1) is the fresh-record budget of one
-    slice. [pool] is the shared evaluation substrate lent to every slice
-    (jobs with positive [sp_workers]); [None] runs jobs sequentially or
-    on per-slice pools. [find_model] (default {!Models.Registry.find},
-    raising [Not_found]) resolves model names — tests override it to
-    substitute scaled-down sources. [on_event] observes every progress
-    tick and state transition. *)
+    slice (memo-served records count too: a fully-shared slice still
+    yields the thread). [pool] is the shared evaluation substrate lent to
+    every slice (jobs with positive [sp_workers]); [None] runs jobs
+    sequentially or on per-slice pools. [memo] is the fleet-wide
+    cross-campaign evaluation memo every slice consults and feeds
+    ({!Memo}); [None] turns dedup off. [find_model] (default
+    {!Models.Registry.find}, raising [Not_found]) resolves model names —
+    tests override it to substitute scaled-down sources. [on_event]
+    observes every progress tick and state transition. *)
 
 val store : t -> Store.t
 val find_model : t -> string -> Models.Registry.t
 
 val step : t -> slice_result
-(** Run one slice of the next runnable job after the cursor (fair
-    round-robin in id order). [Idle] when nothing is runnable or the
+(** Run one slice of the next runnable job after the cursor
+    (weighted-deficit round-robin in id order; a job's [sp_priority] is
+    its weight). [Idle] when nothing is runnable or the
     scheduler is draining. Admission errors, resume mismatches and other
     per-job failures land in the job's [Failed] state — [step] never
     raises on job-level problems. *)

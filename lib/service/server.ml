@@ -123,8 +123,8 @@ let wait_activity sock =
   | _ -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
-let run ?(slice_records = 8) ?(find_model = Models.Registry.find) ?(log = fun _ -> ())
-    ~root ~slots () =
+let run ?(slice_records = 8) ?(shared_memo = true) ?(find_model = Models.Registry.find)
+    ?(log = fun _ -> ()) ~root ~slots () =
   let store = Store.open_ ~root in
   let path = Proto.socket_file ~root in
   let stale_live =
@@ -147,8 +147,10 @@ let run ?(slice_records = 8) ?(find_model = Models.Registry.find) ?(log = fun _ 
     Unix.bind sock (Unix.ADDR_UNIX path);
     Unix.listen sock 16;
     let pool = if slots > 0 then Some (Search.Pool.create ~workers:slots) else None in
+    let memo = if shared_memo then Some (Memo.create ()) else None in
     let sched =
-      Sched.create ~slice_records ?pool ~find_model ~on_event:(fun ev -> deliver t ev) store
+      Sched.create ~slice_records ?pool ?memo ~find_model ~on_event:(fun ev -> deliver t ev)
+        store
     in
     t.sched <- Some sched;
     let on_signal =
@@ -174,10 +176,10 @@ let run ?(slice_records = 8) ?(find_model = Models.Registry.find) ?(log = fun _ 
           accept_pending t sock;
           if not t.stop then begin
             match Sched.step sched with
-            | Sched.Sliced { si_job; si_state; si_fresh; si_new_records } ->
+            | Sched.Sliced { si_job; si_state; si_fresh; si_new_records; si_shared } ->
               log
-                (Printf.sprintf "slice %s: +%d records (%d fresh evaluations) -> %s" si_job
-                   si_new_records si_fresh (Job.state_name si_state))
+                (Printf.sprintf "slice %s: +%d records (%d fresh, %d memo-shared) -> %s"
+                   si_job si_new_records si_fresh si_shared (Job.state_name si_state))
             | Sched.Idle -> wait_activity sock
           end
         done;

@@ -79,6 +79,7 @@ let header =
     config_digest = "cafe";
     workers = 0;
     atoms = 4;
+    caps = [ "shared" ];
   }
 
 let weird_meas =

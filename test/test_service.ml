@@ -31,6 +31,7 @@ let base_spec =
     sp_quota_hours = None;
     sp_faults = None;
     sp_tenant = "default";
+    sp_priority = 1;
   }
 
 let fault_spec =
@@ -53,6 +54,7 @@ let full_spec =
     sp_quota_hours = Some 0x1.999999999999ap-3 (* a float with no short decimal *);
     sp_faults = Some fault_spec;
     sp_tenant = "climate-group";
+    sp_priority = 3;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -222,6 +224,7 @@ let proto_tests =
                 ev_records = 12;
                 ev_hours = 0x1.91a2b3c4d5e6fp-5;
                 ev_best = 1.375;
+                ev_shared = 5;
                 ev_detail = "slice";
               }
             in
@@ -253,7 +256,34 @@ let fair_unit_tests =
         Alcotest.(check (option string)) "wrap" (Some "j001")
           (n (Some "j002") [ "j001"; "j002" ]);
         Alcotest.(check (option string)) "cursor's job may have departed" (Some "j003")
-          (n (Some "j002") [ "j001"; "j003" ]))
+          (n (Some "j002") [ "j001"; "j003" ]));
+    t "weighted cursor bursts up to its weight, then yields" (fun () ->
+        let weight = function "j001" -> 3 | _ -> 1 in
+        let step cursor ids =
+          match Service.Sched.Fair.next ~weight ~cursor ids with
+          | Some (id, cursor') -> (id, cursor')
+          | None -> Alcotest.fail "empty runnable list"
+        in
+        let ids = [ "j001"; "j002" ] in
+        let c0 = Service.Sched.Fair.start in
+        let id1, c1 = step c0 ids in
+        let id2, c2 = step c1 ids in
+        let id3, c3 = step c2 ids in
+        let id4, c4 = step c3 ids in
+        let id5, _ = step c4 ids in
+        Alcotest.(check (list string)) "3-slice burst, then the next job, then wrap"
+          [ "j001"; "j001"; "j001"; "j002"; "j001" ]
+          [ id1; id2; id3; id4; id5 ];
+        (* a departed job forfeits its remaining credit *)
+        let _, mid = step c0 ids in
+        let next_id, _ = step mid [ "j002" ] in
+        Alcotest.(check string) "credit dies with the departure" "j002" next_id);
+    t "simulate_weighted at weight 1 is the plain round robin" (fun () ->
+        let slices = [ ("j001", 3); ("j002", 1); ("j003", 2) ] in
+        Alcotest.(check (list string)) "identical order"
+          (Service.Sched.Fair.simulate ~slices)
+          (Service.Sched.Fair.simulate_weighted
+             ~slices:(List.map (fun (id, n) -> (id, n, 1)) slices)));
   ]
 
 (* Between two consecutive slices of any still-runnable job, every other
@@ -283,6 +313,42 @@ let fairness_prop =
           | _after_departure :: live_gaps -> List.for_all distinct live_gaps)
         slices)
 
+(* The weighted generalization: between two consecutive services of any
+   still-runnable job, every other job is served at most its weight
+   times. At uniform weight 1 this is exactly the property above. *)
+let weighted_fairness_prop =
+  QCheck.Test.make ~name:"weighted deficit: no job starves beyond others' weights" ~count:500
+    QCheck.(small_list (pair (int_range 1 5) (int_range 1 4)))
+    (fun jobs ->
+      let slices = List.mapi (fun i (n, w) -> (Printf.sprintf "j%03d" (i + 1), n, w)) jobs in
+      let order = Service.Sched.Fair.simulate_weighted ~slices in
+      let served id = List.length (List.filter (String.equal id) order) in
+      List.for_all (fun (id, n, _) -> served id = n) slices
+      &&
+      let weight_of id =
+        match List.find_opt (fun (j, _, _) -> String.equal j id) slices with
+        | Some (_, _, w) -> w
+        | None -> 1
+      in
+      let bounded gap =
+        List.for_all
+          (fun other ->
+            List.length (List.filter (String.equal other) gap) <= weight_of other)
+          (List.sort_uniq compare gap)
+      in
+      List.for_all
+        (fun (id, _, _) ->
+          let rec split acc gaps = function
+            | [] -> List.rev (List.rev acc :: gaps)
+            | x :: rest ->
+              if String.equal x id then split [] (List.rev acc :: gaps) rest
+              else split (x :: acc) gaps rest
+          in
+          match List.rev (split [] [] order) with
+          | [] -> true
+          | _after_departure :: live_gaps -> List.for_all bounded live_gaps)
+        slices)
+
 (* ------------------------------------------------------------------ *)
 (* Scheduler: multiplexing byte-identity, quota, drain, SIGKILL        *)
 
@@ -291,25 +357,25 @@ let submit_or_die store spec =
   | Ok j -> j
   | Error m -> Alcotest.failf "submit rejected: %s" m
 
-(* each slice flattened to (job, state, fresh evaluations, new records) *)
+(* each slice flattened to (job, state, fresh evals, memo-shared, new records) *)
 let drive sched =
   let rec go acc =
     match Service.Sched.step sched with
     | Service.Sched.Idle -> List.rev acc
-    | Service.Sched.Sliced { si_job; si_state; si_fresh; si_new_records } ->
-      go ((si_job, si_state, si_fresh, si_new_records) :: acc)
+    | Service.Sched.Sliced { si_job; si_state; si_fresh; si_new_records; si_shared } ->
+      go ((si_job, si_state, si_fresh, si_shared, si_new_records) :: acc)
   in
   go []
 
-(* zero re-evaluation, slice by slice: every fresh evaluation of a slice
-   produced a new durable record and vice versa — a resumed prefix is
-   replayed, never re-run *)
+(* zero re-evaluation, slice by slice: every new durable record of a
+   slice was either freshly evaluated or served by the fleet memo — a
+   resumed prefix is replayed, never re-run *)
 let check_slices_fresh name slices =
   List.iter
-    (fun (job, _, fresh, new_records) ->
+    (fun (job, _, fresh, shared, new_records) ->
       Alcotest.(check int)
         (Printf.sprintf "%s: %s slice evaluated only its fresh records" name job)
-        new_records fresh)
+        new_records (fresh + shared))
     slices
 
 let job_journal store id =
@@ -318,6 +384,13 @@ let job_journal store id =
 let strip_trace s =
   String.split_on_char '\n' s
   |> List.filter (fun l -> not (contains_sub l "\"trace\""))
+  |> String.concat "\n"
+
+(* a memo-fed job's journal is the solo journal plus provenance
+   annotation lines — strip those before byte-comparing *)
+let strip_shared s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> not (contains_sub l "\"kind\":\"shared\""))
   |> String.concat "\n"
 
 let state_of store id =
@@ -381,12 +454,12 @@ let matrix_test pool_workers () =
       Alcotest.(check bool)
         (Printf.sprintf "%s: %s got multiple slices" name id)
         true
-        (List.length (List.filter (fun (j, _, _, _) -> j = id) slices) >= 2))
+        (List.length (List.filter (fun (j, _, _, _, _) -> j = id) slices) >= 2))
     [ "j001"; "j002"; "j003" ];
   Alcotest.(check (list string))
     (name ^ ": first round is id order")
     [ "j001"; "j002"; "j003" ]
-    (List.filteri (fun i _ -> i < 3) (List.map (fun (j, _, _, _) -> j) slices));
+    (List.filteri (fun i _ -> i < 3) (List.map (fun (j, _, _, _, _) -> j) slices));
   check_slices_fresh name slices;
   List.iter
     (fun id ->
@@ -523,6 +596,109 @@ let sigkill_test () =
         (String.equal (job_journal store id) (Harness.slurp (Persist.Journal.file ~dir))))
     [ d1; d2 ]
 
+(* K identical jobs over the shared evaluation memo: every journal
+   (provenance lines stripped), minimal set and summary (trace line
+   stripped) byte-identical to the solo run, while the fleet evaluates
+   strictly fewer fresh variants than K solo runs would *)
+let memo_matrix_test k pool_workers () =
+  Harness.with_dir2 @@ fun root solo_dir ->
+  let store = Service.Store.open_ ~root in
+  for _ = 1 to k do
+    ignore (submit_or_die store spec_dd)
+  done;
+  let with_pool f =
+    if pool_workers > 0 then Search.Pool.with_pool ~workers:pool_workers (fun p -> f (Some p))
+    else f None
+  in
+  let slices =
+    with_pool (fun pool ->
+        let sched =
+          Service.Sched.create ~slice_records:3 ?pool ~memo:(Service.Memo.create ())
+            ~find_model store
+        in
+        drive sched)
+  in
+  let name = Printf.sprintf "memo k=%d pool=%d" k pool_workers in
+  check_slices_fresh name slices;
+  Alcotest.(check bool) (name ^ ": the memo actually served records") true
+    (List.exists (fun (_, _, _, shared, _) -> shared > 0) slices);
+  let solo = solo_dd ~journal:solo_dir in
+  let fleet_misses = List.fold_left (fun acc (_, _, fresh, _, _) -> acc + fresh) 0 slices in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: fleet misses strictly below %dx solo" name k)
+    true
+    (fleet_misses < k * solo.Core.Tuner.trace_stats.Search.Trace.misses);
+  let solo_journal = Harness.slurp (Persist.Journal.file ~dir:solo_dir) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "%s: %s done" name id) true
+        (state_of store id = Service.Job.Done);
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s journal (sans provenance) byte-identical to solo" name id)
+        solo_journal
+        (strip_shared (job_journal store id));
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s summary identical to solo (sans trace)" name id)
+        (strip_trace (Core.Export.summary_json solo))
+        (strip_trace (Harness.slurp (Service.Store.summary_file store id)));
+      match solo.Core.Tuner.minimal with
+      | Some r ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s: %s minimal set identical to solo" name id)
+          (Service.Sched.minimal_text solo r)
+          (Harness.slurp (Service.Store.minimal_file store id))
+      | None -> ())
+    (List.init k (fun i -> Printf.sprintf "j%03d" (i + 1)))
+
+(* SIGTERM mid-slice with the memo on, then a SIGKILL-style torn journal:
+   a fresh server (fresh, empty in-memory memo) resumes every job with
+   zero re-evaluation of any journaled prefix — memo-served records
+   journaled before the crash are replayed like any other prefix *)
+let memo_restart_test () =
+  Harness.with_dir2 @@ fun root solo_dir ->
+  let store = Service.Store.open_ ~root in
+  ignore (submit_or_die store spec_dd);
+  ignore (submit_or_die store spec_dd);
+  let sched_cell = ref None in
+  let ticks = ref 0 in
+  let on_event (ev : Service.Sched.event) =
+    if ev.Service.Sched.ev_detail = "" then begin
+      incr ticks;
+      if !ticks = 8 then Option.iter Service.Sched.drain !sched_cell
+    end
+  in
+  let sched =
+    Service.Sched.create ~slice_records:3 ~memo:(Service.Memo.create ()) ~find_model ~on_event
+      store
+  in
+  sched_cell := Some sched;
+  let pre = drive sched in
+  check_slices_fresh "memo pre-drain" pre;
+  Alcotest.(check bool) "memo served records before the drain" true
+    (List.exists (fun (_, _, _, shared, _) -> shared > 0) pre);
+  Alcotest.(check bool) "a job paused mid-campaign" true
+    (List.exists (fun id -> state_of store id = Service.Job.Paused) [ "j001"; "j002" ]);
+  (* SIGKILL on top of the drain: tear the donor's journal mid-record;
+     the follower's journal keeps provenance lines naming the donor *)
+  Harness.truncate_journal (Service.Store.campaign_dir store "j001") 0.6;
+  let sched2 =
+    Service.Sched.create ~slice_records:3 ~memo:(Service.Memo.create ()) ~find_model store
+  in
+  let slices = drive sched2 in
+  check_slices_fresh "memo post-restart" slices;
+  let solo = solo_dd ~journal:solo_dir in
+  ignore (solo : Core.Tuner.campaign);
+  let solo_journal = Harness.slurp (Persist.Journal.file ~dir:solo_dir) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " done after restart") true
+        (state_of store id = Service.Job.Done);
+      Alcotest.(check string)
+        (id ^ " journal (sans provenance) byte-identical to solo")
+        solo_journal
+        (strip_shared (job_journal store id)))
+    [ "j001"; "j002" ]
+
 let cancel_test () =
   Harness.with_dir @@ fun root ->
   let store = Service.Store.open_ ~root in
@@ -549,6 +725,15 @@ let sched_tests =
       (matrix_test 0);
     Alcotest.test_case "3 concurrent jobs = 3 solo runs, byte for byte (4 workers)" `Slow
       (matrix_test 4);
+    Alcotest.test_case "2 same-model jobs share the memo, bytes = solo (sequential)" `Quick
+      (memo_matrix_test 2 0);
+    Alcotest.test_case "3 same-model jobs share the memo, bytes = solo (sequential)" `Quick
+      (memo_matrix_test 3 0);
+    Alcotest.test_case "2 same-model jobs share the memo, bytes = solo (4 workers)" `Slow
+      (memo_matrix_test 2 4);
+    Alcotest.test_case "3 same-model jobs share the memo, bytes = solo (4 workers)" `Slow
+      (memo_matrix_test 3 4);
+    t "SIGTERM + torn journal with memo on: restart re-evaluates nothing" memo_restart_test;
     t "quota exhaustion stops at the exact preemption record" quota_test;
     t "mid-slice drain pauses durably and resumes bit-identically" drain_test;
     t "SIGKILL-torn journal: restart re-evaluates nothing, results identical" sigkill_test;
@@ -567,6 +752,7 @@ let header =
     config_digest = "cafe";
     workers = 0;
     atoms = 4;
+    caps = [ "shared" ];
   }
 
 let find_campaign_tests =
@@ -626,7 +812,7 @@ let () =
       ("job", job_tests);
       ("store", store_tests);
       ("proto", proto_tests);
-      ("fair", fair_unit_tests @ [ qt fairness_prop ]);
+      ("fair", fair_unit_tests @ [ qt fairness_prop; qt weighted_fairness_prop ]);
       ("sched", sched_tests);
       ("campaign-discovery", find_campaign_tests);
     ]
